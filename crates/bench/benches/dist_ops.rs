@@ -1,0 +1,87 @@
+//! Microbenchmarks of the distribution algebra — the inner loop of both
+//! path-cost computation and routing-label maintenance.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use srt_dist::{convolve, convolve_bounded, dominance, kl_divergence, wasserstein1, Histogram};
+
+fn hist(bins: usize, seed: u64) -> Histogram {
+    let probs: Vec<f64> = (0..bins)
+        .map(|i| 1.0 + ((i as u64 * 2654435761 + seed) % 97) as f64)
+        .collect();
+    Histogram::new(30.0 + seed as f64, 5.0, probs).expect("valid")
+}
+
+fn bench_convolution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dist/convolve");
+    for bins in [5usize, 10, 20, 40] {
+        let a = hist(bins, 1);
+        let b = hist(bins, 2);
+        g.bench_with_input(BenchmarkId::new("full", bins), &bins, |bch, _| {
+            bch.iter(|| convolve(black_box(&a), black_box(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("bounded", bins), &bins, |bch, _| {
+            bch.iter(|| convolve_bounded(black_box(&a), black_box(&b), bins).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_rebin(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dist/rebin");
+    let a = hist(64, 3);
+    for target in [8usize, 16, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(target), &target, |bch, &t| {
+            bch.iter(|| black_box(&a).with_bins(t).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_divergences(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dist/divergence");
+    let a = hist(20, 4);
+    let b = hist(20, 5);
+    g.bench_function("kl_aligned", |bch| {
+        bch.iter(|| kl_divergence(black_box(&a), black_box(&b)))
+    });
+    let c2 = hist(33, 6);
+    g.bench_function("kl_projected", |bch| {
+        bch.iter(|| kl_divergence(black_box(&a), black_box(&c2)))
+    });
+    g.bench_function("wasserstein1", |bch| {
+        bch.iter(|| wasserstein1(black_box(&a), black_box(&b)))
+    });
+    g.finish();
+}
+
+fn bench_dominance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dist/dominance");
+    let fast = hist(20, 7);
+    let slow = fast.shift(25.0);
+    g.bench_function("dominant_pair", |bch| {
+        bch.iter(|| dominance::compare(black_box(&fast), black_box(&slow)))
+    });
+    let x = hist(20, 8);
+    let y = hist(20, 9);
+    g.bench_function("incomparable_pair", |bch| {
+        bch.iter(|| dominance::compare(black_box(&x), black_box(&y)))
+    });
+    g.finish();
+}
+
+fn bench_cdf(c: &mut Criterion) {
+    let a = hist(20, 10);
+    c.bench_function("dist/cdf", |bch| {
+        bch.iter(|| black_box(&a).cdf(black_box(55.0)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_convolution,
+    bench_rebin,
+    bench_divergences,
+    bench_dominance,
+    bench_cdf
+);
+criterion_main!(benches);

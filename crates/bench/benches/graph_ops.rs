@@ -1,0 +1,38 @@
+//! Microbenchmarks of the graph substrate: the searches underpinning
+//! pivot initialization (Dijkstra) and the optimistic bound (backward
+//! Dijkstra), plus SCC extraction used by the network generator.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use srt_graph::algo::{backward_dijkstra, dijkstra, strongly_connected_components};
+use srt_graph::{EdgeId, NodeId, OptimisticBounds};
+use srt_synth::{generate_network, NetworkConfig};
+
+fn bench_graph(c: &mut Criterion) {
+    let g = generate_network(&NetworkConfig::default());
+    let target = NodeId((g.num_nodes() - 1) as u32);
+    let w = |e: EdgeId| g.attrs(e).freeflow_time_s();
+
+    let mut group = c.benchmark_group("graph");
+    group.bench_function("dijkstra_one_to_one", |b| {
+        b.iter(|| dijkstra(&g, NodeId(0), Some(black_box(target)), w))
+    });
+    group.bench_function("dijkstra_one_to_all", |b| {
+        b.iter(|| dijkstra(&g, NodeId(0), None, w))
+    });
+    group.bench_function("backward_dijkstra", |b| {
+        b.iter(|| backward_dijkstra(&g, black_box(target), w))
+    });
+    group.bench_function("optimistic_bounds", |b| {
+        b.iter(|| OptimisticBounds::freeflow(&g, black_box(target)))
+    });
+    group.bench_function("scc", |b| {
+        b.iter(|| strongly_connected_components(black_box(&g)))
+    });
+    group.bench_function("generate_default_network", |b| {
+        b.iter(|| generate_network(black_box(&NetworkConfig::default())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! E3/E4 benches: the hybrid model's inference cost (the routing inner
+//! loop) and the training/labelling pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use srt_bench::tiny_context;
+use srt_core::model::features::pair_features;
+use srt_core::model::training::{train_hybrid, TrainingConfig};
+use srt_core::{CombinePolicy, HybridCost};
+use srt_ml::forest::ForestConfig;
+
+fn bench_combine(c: &mut Criterion) {
+    let ctx = tiny_context();
+    let cost = HybridCost::from_ground_truth(&ctx.world, &ctx.model, CombinePolicy::Hybrid);
+    let (e1, e2) = ctx.world.graph.edge_pairs().next().expect("pairs exist");
+    let pre = cost.marginal(e1).clone();
+
+    let mut g = c.benchmark_group("model/combine");
+    g.bench_function("hybrid_gate", |b| {
+        b.iter(|| cost.combine(black_box(&pre), e1, e2))
+    });
+    let conv_cost = HybridCost::from_ground_truth(&ctx.world, &ctx.model, CombinePolicy::AlwaysConvolve);
+    g.bench_function("convolution_arm", |b| {
+        b.iter(|| conv_cost.combine(black_box(&pre), e1, e2))
+    });
+    let est_cost = HybridCost::from_ground_truth(&ctx.world, &ctx.model, CombinePolicy::AlwaysEstimate);
+    g.bench_function("estimation_arm", |b| {
+        b.iter(|| est_cost.combine(black_box(&pre), e1, e2))
+    });
+    g.finish();
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let ctx = tiny_context();
+    let (e1, e2) = ctx.world.graph.edge_pairs().next().expect("pairs exist");
+    let m1 = ctx.world.ground_truth.marginal(e1);
+    let m2 = ctx.world.ground_truth.marginal(e2);
+    c.bench_function("model/pair_features", |b| {
+        b.iter(|| pair_features(&ctx.world.graph, black_box(m1), e1, e2, m2))
+    });
+}
+
+fn bench_gate_and_estimator(c: &mut Criterion) {
+    let ctx = tiny_context();
+    let (e1, e2) = ctx.world.graph.edge_pairs().next().expect("pairs exist");
+    let m1 = ctx.world.ground_truth.marginal(e1);
+    let m2 = ctx.world.ground_truth.marginal(e2);
+    let features = pair_features(&ctx.world.graph, m1, e1, e2, m2);
+
+    let mut g = c.benchmark_group("model/inference");
+    g.bench_function("classifier_prob", |b| {
+        b.iter(|| ctx.model.classifier.prob_dependent(black_box(&features)))
+    });
+    g.bench_function("estimator_predict", |b| {
+        b.iter(|| {
+            ctx.model
+                .estimator
+                .predict(black_box(&features), 10.0, 200.0)
+        })
+    });
+    g.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let ctx = tiny_context();
+    let cfg = TrainingConfig {
+        train_pairs: 120,
+        test_pairs: 40,
+        min_obs: 5,
+        bins: 10,
+        forest: ForestConfig {
+            n_trees: 8,
+            ..ForestConfig::default()
+        },
+        ..TrainingConfig::default()
+    };
+    let mut g = c.benchmark_group("model/train");
+    g.sample_size(10);
+    g.bench_function("e3_protocol_tiny", |b| {
+        b.iter(|| train_hybrid(black_box(&ctx.world), &cfg).expect("trains"))
+    });
+    g.finish();
+}
+
+fn bench_dependence_labelling(c: &mut Criterion) {
+    let ctx = tiny_context();
+    let (e1, e2) = ctx.world.graph.edge_pairs().next().expect("pairs exist");
+    let mut g = c.benchmark_group("model/dependence");
+    g.sample_size(20);
+    g.bench_function("e4_label_pair", |b| {
+        b.iter(|| {
+            ctx.world
+                .ground_truth
+                .label(&ctx.world.graph, &ctx.world.model, e1, e2)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_combine,
+    bench_feature_extraction,
+    bench_gate_and_estimator,
+    bench_training,
+    bench_dependence_labelling
+);
+criterion_main!(benches);

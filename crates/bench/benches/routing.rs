@@ -1,0 +1,177 @@
+//! E5/E6/A1 benches: probabilistic budget routing per distance category,
+//! the anytime variants, the expected-time baseline, and the pruning
+//! ablation. The distance-category groups regenerate the paper's
+//! efficiency table rows (compare their mean times); the ablation group
+//! regenerates the per-pruning cost the paper only alludes to.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use srt_bench::tiny_context;
+use srt_core::routing::baseline::ExpectedTimeBaseline;
+use srt_core::routing::{BudgetRouter, RouterConfig};
+use srt_core::{CombinePolicy, HybridCost};
+use srt_synth::{DistanceCategory, Query, QueryGenerator};
+use std::time::Duration;
+
+fn queries_for(cat: DistanceCategory, n: usize) -> Vec<Query> {
+    let ctx = tiny_context();
+    let mut qg = QueryGenerator::new(0xBE7C);
+    qg.generate(&ctx.world.graph, &ctx.world.model, cat, n)
+}
+
+/// E6 — one bench per distance category (the efficiency table's rows).
+fn bench_efficiency_table(c: &mut Criterion) {
+    let ctx = tiny_context();
+    let cost = HybridCost::from_ground_truth(&ctx.world, &ctx.model, CombinePolicy::Hybrid);
+    let router = BudgetRouter::new(&cost, RouterConfig::default());
+
+    let mut g = c.benchmark_group("routing/e6_efficiency");
+    g.sample_size(20);
+    for cat in DistanceCategory::ALL {
+        let queries = queries_for(cat, 5);
+        if queries.is_empty() {
+            continue; // tiny network does not span the longest category
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(cat.label()), &queries, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    black_box(router.route(q.source, q.target, q.budget_s, None));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+/// E5 — the anytime variants (P∞ / P1 / P5 / P10 stand-ins).
+fn bench_quality_anytime(c: &mut Criterion) {
+    let ctx = tiny_context();
+    let cost = HybridCost::from_ground_truth(&ctx.world, &ctx.model, CombinePolicy::Hybrid);
+    let router = BudgetRouter::new(&cost, RouterConfig::default());
+    let queries = queries_for(DistanceCategory::OneToFive, 5);
+
+    let mut g = c.benchmark_group("routing/e5_anytime");
+    g.sample_size(20);
+    let variants: [(&str, Option<Duration>); 4] = [
+        ("p_inf", None),
+        ("p1", Some(Duration::from_micros(100))),
+        ("p5", Some(Duration::from_micros(500))),
+        ("p10", Some(Duration::from_millis(2))),
+    ];
+    for (name, limit) in variants {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &queries, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    black_box(router.route(q.source, q.target, q.budget_s, limit));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+/// A1 — per-pruning ablation cost.
+fn bench_pruning_ablation(c: &mut Criterion) {
+    let ctx = tiny_context();
+    let cost = HybridCost::from_ground_truth(&ctx.world, &ctx.model, CombinePolicy::Hybrid);
+    let queries = queries_for(DistanceCategory::OneToFive, 3);
+
+    let full = RouterConfig::default();
+    let variants: Vec<(&str, RouterConfig)> = vec![
+        ("all_prunings", full),
+        (
+            "no_bound",
+            RouterConfig {
+                use_bound_pruning: false,
+                max_labels: 30_000,
+                ..full
+            },
+        ),
+        (
+            "no_pivot",
+            RouterConfig {
+                use_pivot_init: false,
+                ..full
+            },
+        ),
+        (
+            "no_shifting",
+            RouterConfig {
+                use_cost_shifting: false,
+                ..full
+            },
+        ),
+        (
+            "no_dominance",
+            RouterConfig {
+                use_dominance: false,
+                max_labels: 30_000,
+                ..full
+            },
+        ),
+    ];
+
+    let mut g = c.benchmark_group("routing/a1_pruning_ablation");
+    g.sample_size(10);
+    for (name, cfg) in variants {
+        let router = BudgetRouter::new(&cost, cfg);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &queries, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    black_box(router.route(q.source, q.target, q.budget_s, None));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The deterministic baseline the quality table compares against.
+fn bench_baseline(c: &mut Criterion) {
+    let ctx = tiny_context();
+    let cost = HybridCost::from_ground_truth(&ctx.world, &ctx.model, CombinePolicy::Hybrid);
+    let queries = queries_for(DistanceCategory::OneToFive, 5);
+
+    c.bench_function("routing/expected_time_baseline", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(ExpectedTimeBaseline::solve(
+                    &cost, q.source, q.target, q.budget_s,
+                ));
+            }
+        })
+    });
+}
+
+/// Path-cost computation alone (the virtual-edge iteration).
+fn bench_path_cost(c: &mut Criterion) {
+    let ctx = tiny_context();
+    let cost = HybridCost::from_ground_truth(&ctx.world, &ctx.model, CombinePolicy::Hybrid);
+    let traj = ctx
+        .world
+        .trajectories
+        .iter()
+        .max_by_key(|t| t.edges.len())
+        .expect("trajectories exist");
+
+    let mut g = c.benchmark_group("routing/path_cost");
+    for len in [2usize, 5, 10] {
+        if traj.edges.len() < len {
+            continue;
+        }
+        let edges = &traj.edges[..len];
+        g.bench_with_input(BenchmarkId::from_parameter(len), &edges, |b, es| {
+            b.iter(|| black_box(cost.path_distribution(es)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_efficiency_table,
+    bench_quality_anytime,
+    bench_pruning_ablation,
+    bench_baseline,
+    bench_path_cost
+);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E1/E2 benches: regenerating the paper's introductory artefacts.
+//! These are cheap closed-form computations; benching them documents that
+//! the examples are exact reproductions, not measurements.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use srt_eval::experiments::{intro, motivating};
+
+fn bench_intro(c: &mut Criterion) {
+    c.bench_function("tables/e1_intro_airport", |b| {
+        b.iter(|| {
+            let (table, result) = intro::run();
+            black_box((table.num_rows(), result.p1_on_time))
+        })
+    });
+}
+
+fn bench_motivating(c: &mut Criterion) {
+    c.bench_function("tables/e2_motivating_example", |b| {
+        b.iter(|| {
+            let (table, result) = motivating::run();
+            black_box((table.num_rows(), result.kl))
+        })
+    });
+}
+
+criterion_group!(benches, bench_intro, bench_motivating);
+criterion_main!(benches);

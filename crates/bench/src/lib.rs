@@ -1,0 +1,22 @@
+//! Shared fixtures for the benchmark suite.
+//!
+//! Criterion benches live in `benches/`; this library hosts the
+//! lazily-built worlds and trained models they share, so fixture
+//! construction is paid once per bench binary instead of once per
+//! measurement.
+
+use srt_eval::setup::{build_context, EvalContext, Scale};
+use std::sync::OnceLock;
+
+/// A tiny evaluation context (world + trained hybrid model), built on
+/// first use and reused by every benchmark in the binary.
+pub fn tiny_context() -> &'static EvalContext {
+    static CTX: OnceLock<EvalContext> = OnceLock::new();
+    CTX.get_or_init(|| build_context(Scale::Tiny))
+}
+
+/// A small evaluation context for the routing table benches.
+pub fn small_context() -> &'static EvalContext {
+    static CTX: OnceLock<EvalContext> = OnceLock::new();
+    CTX.get_or_init(|| build_context(Scale::Small))
+}

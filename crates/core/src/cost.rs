@@ -1,0 +1,228 @@
+//! Iterative path-cost computation with virtual edges.
+//!
+//! "Path cost computation is an iterative process, as the cost of a path
+//! is computed by repeatedly combining the cost of the path so far with
+//! the cost of the next edge until the last edge is reached. We can use
+//! the distribution estimation model built for short paths to estimate the
+//! costs of longer paths by treating the path so far (pre-path) as a
+//! 'virtual' edge."
+
+use crate::model::features::pair_features;
+use crate::model::hybrid::HybridModel;
+use srt_dist::Histogram;
+use srt_graph::{EdgeId, RoadGraph};
+use srt_synth::SyntheticWorld;
+
+/// How the path-so-far is combined with the next edge.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CombinePolicy {
+    /// The paper's hybrid: classifier-gated convolution/estimation.
+    Hybrid,
+    /// Independence baseline: always convolve.
+    AlwaysConvolve,
+    /// Ablation: always use the learned estimator.
+    AlwaysEstimate,
+}
+
+/// Path-cost oracle: per-edge marginals + the hybrid model + a policy.
+#[derive(Clone, Debug)]
+pub struct HybridCost<'a> {
+    graph: &'a RoadGraph,
+    model: &'a HybridModel,
+    marginals: Vec<Histogram>,
+    /// Combination policy (swappable for baselines/ablations).
+    pub policy: CombinePolicy,
+}
+
+impl<'a> HybridCost<'a> {
+    /// Builds a cost oracle from explicit per-edge marginals.
+    ///
+    /// # Panics
+    /// Panics if `marginals.len() != graph.num_edges()`.
+    pub fn new(
+        graph: &'a RoadGraph,
+        model: &'a HybridModel,
+        marginals: Vec<Histogram>,
+        policy: CombinePolicy,
+    ) -> Self {
+        assert_eq!(
+            marginals.len(),
+            graph.num_edges(),
+            "one marginal per edge required"
+        );
+        HybridCost {
+            graph,
+            model,
+            marginals,
+            policy,
+        }
+    }
+
+    /// Convenience: marginals straight from a synthetic world's
+    /// ground-truth oracle.
+    pub fn from_ground_truth(
+        world: &'a SyntheticWorld,
+        model: &'a HybridModel,
+        policy: CombinePolicy,
+    ) -> Self {
+        let marginals = world
+            .graph
+            .edge_ids()
+            .map(|e| world.ground_truth.marginal(e).clone())
+            .collect();
+        Self::new(&world.graph, model, marginals, policy)
+    }
+
+    /// The underlying road network.
+    pub fn graph(&self) -> &RoadGraph {
+        self.graph
+    }
+
+    /// The hybrid model in use.
+    pub fn model(&self) -> &HybridModel {
+        self.model
+    }
+
+    /// Travel-time marginal of edge `e`.
+    pub fn marginal(&self, e: EdgeId) -> &Histogram {
+        &self.marginals[e.index()]
+    }
+
+    /// Combines the path-so-far distribution `pre` (whose last edge is
+    /// `prev_edge`) with `next_edge` under the configured policy.
+    pub fn combine(&self, pre: &Histogram, prev_edge: EdgeId, next_edge: EdgeId) -> Histogram {
+        let next_marginal = self.marginal(next_edge);
+        match self.policy {
+            CombinePolicy::Hybrid => {
+                self.model
+                    .combine(self.graph, pre, prev_edge, next_edge, next_marginal)
+                    .0
+            }
+            CombinePolicy::AlwaysConvolve => self.model.convolve(pre, next_marginal),
+            CombinePolicy::AlwaysEstimate => {
+                let features =
+                    pair_features(self.graph, pre, prev_edge, next_edge, next_marginal);
+                self.model.estimate(pre, next_marginal, &features)
+            }
+        }
+    }
+
+    /// Full travel-time distribution of a path (edges in travel order).
+    /// Returns `None` for an empty path.
+    pub fn path_distribution(&self, edges: &[EdgeId]) -> Option<Histogram> {
+        let (&first, rest) = edges.split_first()?;
+        let mut dist = self.marginal(first).clone();
+        let mut prev = first;
+        for &e in rest {
+            dist = self.combine(&dist, prev, e);
+            prev = e;
+        }
+        Some(dist)
+    }
+
+    /// On-time probability of a path under budget `t` seconds.
+    pub fn prob_within(&self, edges: &[EdgeId], t: f64) -> f64 {
+        match self.path_distribution(edges) {
+            Some(d) => d.prob_within(t),
+            None => 1.0, // the empty path arrives instantly
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::training::{train_hybrid, TrainingConfig};
+    use srt_ml::forest::ForestConfig;
+    use srt_synth::WorldConfig;
+
+    fn setup() -> (SyntheticWorld, HybridModel) {
+        let world = SyntheticWorld::build(WorldConfig::tiny());
+        let cfg = TrainingConfig {
+            train_pairs: 120,
+            test_pairs: 40,
+            min_obs: 5,
+            bins: 10,
+            forest: ForestConfig {
+                n_trees: 6,
+                ..ForestConfig::default()
+            },
+            ..TrainingConfig::default()
+        };
+        let (model, _) = train_hybrid(&world, &cfg).unwrap();
+        (world, model)
+    }
+
+    #[test]
+    fn path_distribution_mean_grows_with_length() {
+        let (world, model) = setup();
+        let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
+        let traj = &world.trajectories[0];
+        let mut last_mean = 0.0;
+        for k in 1..=traj.edges.len().min(6) {
+            let d = cost.path_distribution(&traj.edges[..k]).unwrap();
+            assert!(d.mean() > last_mean, "mean must grow along the path");
+            last_mean = d.mean();
+        }
+    }
+
+    #[test]
+    fn empty_path_has_no_distribution_but_prob_one() {
+        let (world, model) = setup();
+        let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
+        assert!(cost.path_distribution(&[]).is_none());
+        assert_eq!(cost.prob_within(&[], 10.0), 1.0);
+    }
+
+    #[test]
+    fn single_edge_distribution_is_the_marginal() {
+        let (world, model) = setup();
+        let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
+        let e = EdgeId(0);
+        assert_eq!(cost.path_distribution(&[e]).unwrap(), *cost.marginal(e));
+    }
+
+    #[test]
+    fn policies_differ_on_some_path() {
+        let (world, model) = setup();
+        let hybrid = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
+        let conv = HybridCost::from_ground_truth(&world, &model, CombinePolicy::AlwaysConvolve);
+        let est = HybridCost::from_ground_truth(&world, &model, CombinePolicy::AlwaysEstimate);
+        // Find a trajectory long enough that the policies diverge.
+        let mut any_diff = false;
+        for traj in world.trajectories.iter().take(20) {
+            if traj.edges.len() < 4 {
+                continue;
+            }
+            let edges = &traj.edges[..4];
+            let dc = conv.path_distribution(edges).unwrap();
+            let de = est.path_distribution(edges).unwrap();
+            let dh = hybrid.path_distribution(edges).unwrap();
+            if dc != de || dh != dc {
+                any_diff = true;
+                break;
+            }
+        }
+        assert!(any_diff, "policies never diverged");
+    }
+
+    #[test]
+    fn prob_within_is_monotone_in_budget() {
+        let (world, model) = setup();
+        let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
+        let traj = &world.trajectories[0];
+        let edges = &traj.edges[..traj.edges.len().min(5)];
+        let d = cost.path_distribution(edges).unwrap();
+        let budgets = [d.start(), d.mean(), d.end()];
+        let probs: Vec<f64> = budgets.iter().map(|&b| cost.prob_within(edges, b)).collect();
+        assert!(probs[0] <= probs[1] && probs[1] <= probs[2]);
+        assert!(probs[2] >= 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "one marginal per edge")]
+    fn mismatched_marginals_panic() {
+        let (world, model) = setup();
+        let _ = HybridCost::new(&world.graph, &model, vec![], CombinePolicy::Hybrid);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for the hybrid-routing core.
+
+use std::fmt;
+
+/// Errors produced by training and routing.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CoreError {
+    /// Not enough well-observed edge pairs to honour the training config.
+    InsufficientPairs { requested: usize, available: usize },
+    /// An underlying ML estimator failed.
+    Ml(srt_ml::MlError),
+    /// An underlying distribution operation failed.
+    Dist(srt_dist::DistError),
+    /// The routing query referenced a vertex outside the graph.
+    BadQuery(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InsufficientPairs { requested, available } => write!(
+                f,
+                "training requested {requested} edge pairs but only {available} have sufficient data"
+            ),
+            CoreError::Ml(e) => write!(f, "ml error: {e}"),
+            CoreError::Dist(e) => write!(f, "distribution error: {e}"),
+            CoreError::BadQuery(msg) => write!(f, "bad query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Ml(e) => Some(e),
+            CoreError::Dist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<srt_ml::MlError> for CoreError {
+    fn from(e: srt_ml::MlError) -> Self {
+        CoreError::Ml(e)
+    }
+}
+
+impl From<srt_dist::DistError> for CoreError {
+    fn from(e: srt_dist::DistError) -> Self {
+        CoreError::Dist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_and_conversions() {
+        let e: CoreError = srt_ml::MlError::EmptyDataset.into();
+        assert!(e.to_string().contains("ml error"));
+        let e: CoreError = srt_dist::DistError::NoSamples.into();
+        assert!(e.to_string().contains("distribution error"));
+        let e = CoreError::InsufficientPairs {
+            requested: 5000,
+            available: 12,
+        };
+        assert!(e.to_string().contains("5000"));
+        assert!(e.to_string().contains("12"));
+    }
+}

@@ -1,0 +1,50 @@
+//! # srt-core — hybrid learning + convolution stochastic routing
+//!
+//! The paper's contribution, end to end:
+//!
+//! * [`model`] — the **Hybrid Model**: a multi-output forest
+//!   *distribution estimator* that predicts the dependent joint cost of
+//!   traversing two consecutive edges, and a binary *dependence
+//!   classifier* that decides per intersection whether plain convolution
+//!   suffices; plus the training pipeline (4,000 train / 1,000 test edge
+//!   pairs, KL-divergence evaluation) mirroring the paper's protocol,
+//! * [`cost`] — iterative path-cost computation that treats the
+//!   path-so-far as a *virtual edge*, so the two-edge estimator scales to
+//!   arbitrary path lengths,
+//! * [`routing`] — **Probabilistic Budget Routing**: given `(source,
+//!   destination, budget)`, find the path maximizing on-time arrival
+//!   probability, with the paper's four prunings — (a) optimistic
+//!   remaining cost, (b) pivot path, (c) distribution cost shifting,
+//!   (d) stochastic-dominance label pruning — and the **anytime**
+//!   extension that returns the pivot when a wall-clock limit expires.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use srt_synth::{SyntheticWorld, WorldConfig, DistanceCategory, QueryGenerator};
+//! use srt_core::model::training::{train_hybrid, TrainingConfig};
+//! use srt_core::cost::{CombinePolicy, HybridCost};
+//! use srt_core::routing::{BudgetRouter, RouterConfig};
+//!
+//! let world = SyntheticWorld::build(WorldConfig::small());
+//! let (model, report) = train_hybrid(&world, &TrainingConfig::default()).unwrap();
+//! println!("hybrid KL = {:.4}", report.kl_hybrid_mean);
+//!
+//! let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
+//! let router = BudgetRouter::new(&cost, RouterConfig::default());
+//! let mut qg = QueryGenerator::new(1);
+//! let q = qg.generate(&world.graph, &world.model, DistanceCategory::OneToFive, 1)[0];
+//! let result = router.route(q.source, q.target, q.budget_s, None);
+//! println!("P(on time) = {:.3}", result.probability);
+//! ```
+
+pub mod cost;
+pub mod error;
+pub mod model;
+pub mod routing;
+
+pub use cost::{CombinePolicy, HybridCost};
+pub use error::CoreError;
+pub use model::hybrid::HybridModel;
+pub use model::training::{train_hybrid, TrainReport, TrainingConfig};
+pub use routing::{BudgetRouter, RouteResult, RouterConfig, SearchStats};

@@ -1,0 +1,239 @@
+//! The convolution-vs-estimation gate.
+//!
+//! "A binary classifier that determines if we should use convolution or
+//! estimation at a specific intersection." Labels come from the ground
+//! truth: a pair is positive (use estimation) when its true sum diverges
+//! from the convolution of its marginals. Two backends are provided: a
+//! random-forest classifier (default) and logistic regression over
+//! standardized features (cheaper, used in ablations).
+
+use crate::error::CoreError;
+use crate::model::features::FEATURE_COUNT;
+use serde::{Deserialize, Serialize};
+use srt_ml::dataset::Matrix;
+use srt_ml::forest::{ForestConfig, RandomForestClassifier};
+use srt_ml::linear::{LogisticConfig, LogisticRegression};
+use srt_ml::scaler::StandardScaler;
+
+/// Which learner backs the gate.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ClassifierBackend {
+    /// Random forest over raw features (default).
+    Forest,
+    /// Logistic regression over standardized features.
+    Logistic,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+enum Inner {
+    Forest(RandomForestClassifier),
+    Logistic {
+        scaler: StandardScaler,
+        model: LogisticRegression,
+    },
+}
+
+/// A fitted dependence classifier.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DependenceClassifier {
+    inner: Inner,
+    /// Decision threshold on `P(dependent)`.
+    pub threshold: f64,
+}
+
+impl DependenceClassifier {
+    /// Fits the gate on pair features and dependence labels
+    /// (`1` = dependent = use estimation).
+    pub fn fit(
+        features: &Matrix,
+        labels: &[usize],
+        backend: ClassifierBackend,
+        forest_cfg: &ForestConfig,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        if features.cols() != FEATURE_COUNT {
+            return Err(CoreError::Ml(srt_ml::MlError::FeatureMismatch {
+                expected: FEATURE_COUNT,
+                found: features.cols(),
+            }));
+        }
+        let inner = match backend {
+            ClassifierBackend::Forest => Inner::Forest(RandomForestClassifier::fit(
+                features, labels, 2, forest_cfg, seed,
+            )?),
+            ClassifierBackend::Logistic => {
+                let (scaler, scaled) = StandardScaler::fit_transform(features)?;
+                let model = LogisticRegression::fit(&scaled, labels, &LogisticConfig::default())?;
+                Inner::Logistic { scaler, model }
+            }
+        };
+        Ok(DependenceClassifier {
+            inner,
+            threshold: 0.5,
+        })
+    }
+
+    /// `P(dependent)` — probability that estimation should replace
+    /// convolution at this intersection.
+    pub fn prob_dependent(&self, features: &[f64]) -> f64 {
+        match &self.inner {
+            Inner::Forest(f) => f.predict_proba_row(features)[1],
+            Inner::Logistic { scaler, model } => {
+                let mut row = features.to_vec();
+                scaler.transform_row(&mut row);
+                model.predict_proba_row(&row)
+            }
+        }
+    }
+
+    /// The gate decision: `true` = use the estimation model.
+    pub fn use_estimation(&self, features: &[f64]) -> bool {
+        self.prob_dependent(features) >= self.threshold
+    }
+
+    /// The backend in use (diagnostic).
+    pub fn backend(&self) -> ClassifierBackend {
+        match &self.inner {
+            Inner::Forest(_) => ClassifierBackend::Forest,
+            Inner::Logistic { .. } => ClassifierBackend::Logistic,
+        }
+    }
+
+    /// Appends the binary snapshot of the gate to `buf`.
+    pub fn write_bytes(&self, buf: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        buf.put_f64_le(self.threshold);
+        match &self.inner {
+            Inner::Forest(f) => {
+                buf.put_u8(0);
+                f.write_bytes(buf);
+            }
+            Inner::Logistic { scaler, model } => {
+                buf.put_u8(1);
+                scaler.write_bytes(buf);
+                model.write_bytes(buf);
+            }
+        }
+    }
+
+    /// Decodes a gate written by [`DependenceClassifier::write_bytes`],
+    /// advancing `data`.
+    pub fn read_bytes(data: &mut &[u8]) -> Result<Self, CoreError> {
+        use bytes::Buf;
+        let corrupt = |msg: &str| CoreError::Ml(srt_ml::MlError::Corrupt(msg.into()));
+        if data.remaining() < 9 {
+            return Err(corrupt("truncated classifier header"));
+        }
+        let threshold = data.get_f64_le();
+        if !threshold.is_finite() {
+            return Err(corrupt("classifier threshold must be finite"));
+        }
+        let tag = data.get_u8();
+        let inner = match tag {
+            0 => Inner::Forest(RandomForestClassifier::read_bytes(data)?),
+            1 => {
+                let scaler = StandardScaler::read_bytes(data)?;
+                let model = LogisticRegression::read_bytes(data)?;
+                Inner::Logistic { scaler, model }
+            }
+            other => {
+                return Err(CoreError::Ml(srt_ml::MlError::Corrupt(format!(
+                    "unknown classifier backend tag {other}"
+                ))))
+            }
+        };
+        Ok(DependenceClassifier { inner, threshold })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dependence driven by the turn-angle feature (index 19).
+    fn toy_training(n: usize) -> (Matrix, Vec<usize>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let mut f = vec![0.0; FEATURE_COUNT];
+            let angle = (i % 18) as f64 * 10.0;
+            f[19] = angle;
+            f[0] = 50.0 + (i % 7) as f64;
+            xs.push(f);
+            ys.push(usize::from(angle > 80.0));
+        }
+        (Matrix::from_rows(&xs).unwrap(), ys)
+    }
+
+    fn forest_cfg() -> ForestConfig {
+        ForestConfig {
+            n_trees: 15,
+            ..ForestConfig::default()
+        }
+    }
+
+    #[test]
+    fn forest_backend_learns_the_gate() {
+        let (x, y) = toy_training(180);
+        let c =
+            DependenceClassifier::fit(&x, &y, ClassifierBackend::Forest, &forest_cfg(), 1).unwrap();
+        assert_eq!(c.backend(), ClassifierBackend::Forest);
+        let mut f = vec![0.0; FEATURE_COUNT];
+        f[19] = 170.0;
+        assert!(c.use_estimation(&f));
+        f[19] = 10.0;
+        assert!(!c.use_estimation(&f));
+    }
+
+    #[test]
+    fn logistic_backend_learns_the_gate() {
+        let (x, y) = toy_training(180);
+        let c =
+            DependenceClassifier::fit(&x, &y, ClassifierBackend::Logistic, &forest_cfg(), 1).unwrap();
+        assert_eq!(c.backend(), ClassifierBackend::Logistic);
+        let mut f = vec![0.0; FEATURE_COUNT];
+        f[19] = 170.0;
+        f[0] = 53.0;
+        assert!(c.use_estimation(&f));
+        f[19] = 0.0;
+        assert!(!c.use_estimation(&f));
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        let (x, y) = toy_training(100);
+        for backend in [ClassifierBackend::Forest, ClassifierBackend::Logistic] {
+            let c = DependenceClassifier::fit(&x, &y, backend, &forest_cfg(), 2).unwrap();
+            for i in 0..10 {
+                let mut f = vec![0.0; FEATURE_COUNT];
+                f[19] = i as f64 * 20.0;
+                let p = c.prob_dependent(&f);
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_shifts_the_decision() {
+        let (x, y) = toy_training(100);
+        let mut c =
+            DependenceClassifier::fit(&x, &y, ClassifierBackend::Forest, &forest_cfg(), 3).unwrap();
+        let mut f = vec![0.0; FEATURE_COUNT];
+        f[19] = 90.0;
+        // Threshold 0 accepts any probability; a threshold above 1 can
+        // never be met. Both exercise the gate semantics independent of
+        // how confident the trained forest happens to be.
+        c.threshold = 0.0;
+        assert!(c.use_estimation(&f));
+        c.threshold = 1.01;
+        assert!(!c.use_estimation(&f));
+    }
+
+    #[test]
+    fn wrong_width_is_rejected() {
+        let x = Matrix::from_rows(&vec![vec![0.0; 5]; 10]).unwrap();
+        let y = vec![0; 10];
+        assert!(DependenceClassifier::fit(&x, &y, ClassifierBackend::Forest, &forest_cfg(), 1)
+            .is_err());
+    }
+}

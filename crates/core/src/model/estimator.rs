@@ -1,0 +1,221 @@
+//! The distribution estimation model.
+//!
+//! A multi-output random-forest regressor mapping the 24 pair features to
+//! `B` bucket masses. The output *support* is not learned — it is known at
+//! inference time as `[pre.start + next.start, pre.end + next.end]` (travel
+//! times add), so the model only has to learn the *shape*, which is what
+//! makes a model trained on two-edge pairs transfer to virtual edges.
+
+use crate::error::CoreError;
+use crate::model::features::FEATURE_COUNT;
+use serde::{Deserialize, Serialize};
+use srt_dist::Histogram;
+use srt_ml::dataset::Matrix;
+use srt_ml::forest::{ForestConfig, RandomForestRegressor};
+
+/// A fitted distribution estimator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DistributionEstimator {
+    forest: RandomForestRegressor,
+    bins: usize,
+}
+
+impl DistributionEstimator {
+    /// Fits the estimator.
+    ///
+    /// `features` is `n x FEATURE_COUNT`; `targets` is `n x bins`, each row
+    /// a ground-truth pair-sum histogram re-binned onto the pair's known
+    /// support.
+    pub fn fit(
+        features: &Matrix,
+        targets: &Matrix,
+        bins: usize,
+        cfg: &ForestConfig,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        if features.cols() != FEATURE_COUNT {
+            return Err(CoreError::Ml(srt_ml::MlError::FeatureMismatch {
+                expected: FEATURE_COUNT,
+                found: features.cols(),
+            }));
+        }
+        if targets.cols() != bins {
+            return Err(CoreError::Ml(srt_ml::MlError::FeatureMismatch {
+                expected: bins,
+                found: targets.cols(),
+            }));
+        }
+        let forest = RandomForestRegressor::fit(features, targets, cfg, seed)?;
+        Ok(DistributionEstimator { forest, bins })
+    }
+
+    /// Number of output buckets.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Predicts the bucket-mass vector (clipped to non-negative and
+    /// renormalized to unit mass).
+    pub fn predict_masses(&self, features: &[f64]) -> Vec<f64> {
+        let mut masses = self.forest.predict_row(features);
+        let mut total = 0.0;
+        for m in &mut masses {
+            if !m.is_finite() || *m < 0.0 {
+                *m = 0.0;
+            }
+            total += *m;
+        }
+        if total <= 0.0 {
+            // Degenerate prediction: fall back to uniform.
+            let u = 1.0 / masses.len() as f64;
+            masses.iter_mut().for_each(|m| *m = u);
+        } else {
+            masses.iter_mut().for_each(|m| *m /= total);
+        }
+        masses
+    }
+
+    /// Appends the binary snapshot of the estimator to `buf`.
+    pub fn write_bytes(&self, buf: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        buf.put_u32_le(self.bins as u32);
+        self.forest.write_bytes(buf);
+    }
+
+    /// Decodes an estimator written by
+    /// [`DistributionEstimator::write_bytes`], advancing `data`.
+    pub fn read_bytes(data: &mut &[u8]) -> Result<Self, CoreError> {
+        use bytes::Buf;
+        if data.remaining() < 4 {
+            return Err(CoreError::Ml(srt_ml::MlError::Corrupt(
+                "truncated estimator header".into(),
+            )));
+        }
+        let bins = data.get_u32_le() as usize;
+        let forest = RandomForestRegressor::read_bytes(data)?;
+        if forest.n_outputs() != bins {
+            return Err(CoreError::Ml(srt_ml::MlError::Corrupt(format!(
+                "estimator bins {bins} disagree with forest outputs {}",
+                forest.n_outputs()
+            ))));
+        }
+        Ok(DistributionEstimator { forest, bins })
+    }
+
+    /// Split-count feature importances of the underlying forest
+    /// (aligned with [`crate::model::features::FEATURE_NAMES`]).
+    pub fn feature_importances(&self) -> Vec<f64> {
+        self.forest.feature_importances()
+    }
+
+    /// Predicts the joint distribution over the known support
+    /// `[support_lo, support_hi)`.
+    ///
+    /// # Panics
+    /// Panics if `support_hi <= support_lo` (caller passes histogram
+    /// bounds, which are always ordered).
+    pub fn predict(&self, features: &[f64], support_lo: f64, support_hi: f64) -> Histogram {
+        assert!(
+            support_hi > support_lo,
+            "estimator support must be non-degenerate"
+        );
+        let masses = self.predict_masses(features);
+        let width = (support_hi - support_lo) / self.bins as f64;
+        Histogram::new(support_lo, width, masses)
+            .expect("clipped, normalized masses form a valid histogram")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srt_ml::tree::TreeConfig;
+
+    /// Synthetic task: features [m, s] -> triangular masses centred by m.
+    fn toy_training(n: usize) -> (Matrix, Matrix) {
+        let bins = 4;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let m = (i % 10) as f64 / 10.0;
+            let mut f = vec![0.0; FEATURE_COUNT];
+            f[0] = m; // pre_mean drives the shape
+            f[1] = 0.1;
+            xs.push(f);
+            let mut t = vec![0.0; bins];
+            let peak = ((m * bins as f64) as usize).min(bins - 1);
+            t[peak] = 0.7;
+            t[(peak + 1).min(bins - 1)] += 0.3;
+            ys.push(t);
+        }
+        (Matrix::from_rows(&xs).unwrap(), Matrix::from_rows(&ys).unwrap())
+    }
+
+    fn cfg() -> ForestConfig {
+        ForestConfig {
+            n_trees: 10,
+            tree: TreeConfig {
+                max_depth: 6,
+                ..TreeConfig::default()
+            },
+            ..ForestConfig::default()
+        }
+    }
+
+    #[test]
+    fn fit_and_predict_round_trip() {
+        let (x, y) = toy_training(100);
+        let est = DistributionEstimator::fit(&x, &y, 4, &cfg(), 1).unwrap();
+        assert_eq!(est.bins(), 4);
+        let mut f = vec![0.0; FEATURE_COUNT];
+        f[0] = 0.05;
+        f[1] = 0.1;
+        let h = est.predict(&f, 100.0, 200.0);
+        assert_eq!(h.num_bins(), 4);
+        assert_eq!(h.start(), 100.0);
+        assert!((h.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Low pre_mean -> early peak.
+        assert!(h.probs()[0] > 0.4, "probs {:?}", h.probs());
+    }
+
+    #[test]
+    fn prediction_mass_is_always_normalized() {
+        let (x, y) = toy_training(60);
+        let est = DistributionEstimator::fit(&x, &y, 4, &cfg(), 2).unwrap();
+        for i in 0..10 {
+            let mut f = vec![0.0; FEATURE_COUNT];
+            f[0] = i as f64 / 10.0;
+            let masses = est.predict_masses(&f);
+            assert!((masses.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(masses.iter().all(|&m| m >= 0.0));
+        }
+    }
+
+    #[test]
+    fn wrong_feature_width_is_rejected() {
+        let x = Matrix::from_rows(&vec![vec![0.0; 3]; 10]).unwrap();
+        let y = Matrix::from_rows(&vec![vec![0.25; 4]; 10]).unwrap();
+        assert!(matches!(
+            DistributionEstimator::fit(&x, &y, 4, &cfg(), 1),
+            Err(CoreError::Ml(srt_ml::MlError::FeatureMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn wrong_target_width_is_rejected() {
+        let (x, y) = toy_training(10);
+        assert!(matches!(
+            DistributionEstimator::fit(&x, &y, 9, &cfg(), 1),
+            Err(CoreError::Ml(srt_ml::MlError::FeatureMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-degenerate")]
+    fn degenerate_support_panics() {
+        let (x, y) = toy_training(20);
+        let est = DistributionEstimator::fit(&x, &y, 4, &cfg(), 1).unwrap();
+        let f = vec![0.0; FEATURE_COUNT];
+        let _ = est.predict(&f, 10.0, 10.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Feature extraction for (virtual-edge, next-edge) pairs.
+//!
+//! The same 24-dimensional vector serves training (where the "virtual
+//! edge" is a real edge's marginal) and inference (where it is the
+//! distribution of the path so far). Everything is derivable from the
+//! pre-distribution, the next edge's marginal and static road/junction
+//! attributes — no quantity that only exists at training time leaks in.
+
+use srt_dist::Histogram;
+use srt_graph::{EdgeId, RoadGraph};
+
+/// Dimension of the pair feature vector.
+pub const FEATURE_COUNT: usize = 24;
+
+/// Human-readable feature names (aligned with [`pair_features`] output).
+pub const FEATURE_NAMES: [&str; FEATURE_COUNT] = [
+    "pre_mean",
+    "pre_std",
+    "pre_min",
+    "pre_max",
+    "pre_span",
+    "pre_entropy",
+    "pre_mode_mass",
+    "pre_q25",
+    "pre_q50",
+    "pre_q75",
+    "next_mean",
+    "next_std",
+    "next_min",
+    "next_max",
+    "next_span",
+    "next_length_m",
+    "next_speed_kmh",
+    "next_freeflow_s",
+    "next_category",
+    "turn_angle_deg",
+    "junction_out_degree",
+    "junction_in_degree",
+    "mean_ratio",
+    "span_ratio",
+];
+
+/// Extracts the feature vector for combining `pre` (the distribution of
+/// the path so far, whose last edge is `prev_edge`) with `next_edge`.
+///
+/// `next_marginal` is the travel-time marginal of `next_edge`.
+pub fn pair_features(
+    g: &RoadGraph,
+    pre: &Histogram,
+    prev_edge: EdgeId,
+    next_edge: EdgeId,
+    next_marginal: &Histogram,
+) -> [f64; FEATURE_COUNT] {
+    let attrs = g.attrs(next_edge);
+    let junction = g.edge_source(next_edge);
+    let turn = g.turn_angle(prev_edge, next_edge).unwrap_or(0.0);
+
+    let pre_span = pre.end() - pre.start();
+    let next_span = next_marginal.end() - next_marginal.start();
+
+    [
+        pre.mean(),
+        pre.std_dev(),
+        pre.start(),
+        pre.end(),
+        pre_span,
+        pre.entropy(),
+        pre.max_prob(),
+        pre.quantile(0.25),
+        pre.quantile(0.50),
+        pre.quantile(0.75),
+        next_marginal.mean(),
+        next_marginal.std_dev(),
+        next_marginal.start(),
+        next_marginal.end(),
+        next_span,
+        attrs.length_m,
+        attrs.speed_limit_kmh,
+        attrs.freeflow_time_s(),
+        attrs.category.as_index() as f64,
+        turn,
+        g.out_degree(junction) as f64,
+        g.in_degree(junction) as f64,
+        if next_marginal.mean() > 0.0 {
+            pre.mean() / next_marginal.mean()
+        } else {
+            0.0
+        },
+        if next_span > 0.0 { pre_span / next_span } else { 0.0 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srt_graph::{EdgeAttrs, GraphBuilder, Point, RoadCategory};
+
+    fn tiny() -> (RoadGraph, EdgeId, EdgeId) {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(10.0, 56.0));
+        let c = b.add_node(Point::new(10.01, 56.0));
+        let d = b.add_node(Point::new(10.01, 56.01));
+        let e1 = b.add_edge(a, c, EdgeAttrs::new(700.0, RoadCategory::Primary, 80.0));
+        let e2 = b.add_edge(c, d, EdgeAttrs::new(400.0, RoadCategory::Residential, 50.0));
+        (b.build(), e1, e2)
+    }
+
+    #[test]
+    fn feature_vector_has_documented_shape() {
+        let (g, e1, e2) = tiny();
+        let pre = Histogram::new(30.0, 5.0, vec![0.25; 4]).unwrap();
+        let nm = Histogram::new(25.0, 5.0, vec![0.5, 0.5]).unwrap();
+        let f = pair_features(&g, &pre, e1, e2, &nm);
+        assert_eq!(f.len(), FEATURE_COUNT);
+        assert_eq!(FEATURE_NAMES.len(), FEATURE_COUNT);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn features_reflect_their_sources() {
+        let (g, e1, e2) = tiny();
+        let pre = Histogram::new(30.0, 5.0, vec![0.25; 4]).unwrap();
+        let nm = Histogram::new(25.0, 5.0, vec![0.5, 0.5]).unwrap();
+        let f = pair_features(&g, &pre, e1, e2, &nm);
+        assert!((f[0] - pre.mean()).abs() < 1e-12);
+        assert!((f[2] - 30.0).abs() < 1e-12);
+        assert!((f[10] - nm.mean()).abs() < 1e-12);
+        assert!((f[15] - 400.0).abs() < 1e-12);
+        assert!((f[18] - RoadCategory::Residential.as_index() as f64).abs() < 1e-12);
+        // Right-angle turn at the junction.
+        assert!(f[19] > 45.0 && f[19] <= 180.0);
+    }
+
+    #[test]
+    fn virtual_edge_changes_only_pre_features() {
+        let (g, e1, e2) = tiny();
+        let nm = Histogram::new(25.0, 5.0, vec![0.5, 0.5]).unwrap();
+        let pre_a = Histogram::new(30.0, 5.0, vec![0.25; 4]).unwrap();
+        let pre_b = Histogram::new(300.0, 10.0, vec![0.5, 0.5]).unwrap();
+        let fa = pair_features(&g, &pre_a, e1, e2, &nm);
+        let fb = pair_features(&g, &pre_b, e1, e2, &nm);
+        // Next-edge/static features (10..22) identical.
+        for i in 10..22 {
+            assert!((fa[i] - fb[i]).abs() < 1e-12, "feature {i} changed");
+        }
+        // Pre features differ.
+        assert!((fa[0] - fb[0]).abs() > 1.0);
+    }
+
+    #[test]
+    fn degenerate_distributions_do_not_produce_nan() {
+        let (g, e1, e2) = tiny();
+        let pre = Histogram::point_mass(10.0, 1e-6).unwrap();
+        let nm = Histogram::point_mass(5.0, 1e-6).unwrap();
+        let f = pair_features(&g, &pre, e1, e2, &nm);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+}

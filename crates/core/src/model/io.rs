@@ -1,0 +1,184 @@
+//! Binary snapshot format for trained [`HybridModel`]s.
+//!
+//! Train once, ship the model: a versioned, magic-tagged container around
+//! the estimator forest and the gate classifier, suitable for embedding
+//! next to a serialized road network (`srt_graph::io`). No serde format
+//! crate exists in this dependency set, so the layout is hand-rolled on
+//! `bytes` with bounds-checked decoding throughout.
+//!
+//! ```text
+//! magic   u32   0x53524D4F ("SRMO")
+//! version u32   1
+//! bins    u32
+//! estimator  (see DistributionEstimator::write_bytes)
+//! classifier (see DependenceClassifier::write_bytes)
+//! ```
+
+use crate::error::CoreError;
+use crate::model::classifier::DependenceClassifier;
+use crate::model::estimator::DistributionEstimator;
+use crate::model::hybrid::HybridModel;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: u32 = 0x5352_4D4F;
+const VERSION: u32 = 1;
+
+/// Serializes a trained hybrid model.
+pub fn to_bytes(model: &HybridModel) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 << 16);
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(model.bins as u32);
+    model.estimator.write_bytes(&mut buf);
+    model.classifier.write_bytes(&mut buf);
+    buf.freeze()
+}
+
+/// Deserializes a hybrid model snapshot.
+///
+/// # Errors
+/// [`CoreError::Ml`] wrapping a `Corrupt` error on malformed payloads.
+pub fn from_bytes(mut data: &[u8]) -> Result<HybridModel, CoreError> {
+    let corrupt = |msg: String| CoreError::Ml(srt_ml::MlError::Corrupt(msg));
+    if data.remaining() < 12 {
+        return Err(corrupt("truncated model header".into()));
+    }
+    let magic = data.get_u32_le();
+    if magic != MAGIC {
+        return Err(corrupt(format!("bad magic 0x{magic:08x}")));
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(corrupt(format!("unsupported model version {version}")));
+    }
+    let bins = data.get_u32_le() as usize;
+    let estimator = DistributionEstimator::read_bytes(&mut data)?;
+    let classifier = DependenceClassifier::read_bytes(&mut data)?;
+    if estimator.bins() != bins {
+        return Err(corrupt(format!(
+            "container bins {bins} disagree with estimator bins {}",
+            estimator.bins()
+        )));
+    }
+    if !data.is_empty() {
+        return Err(corrupt(format!("{} trailing bytes", data.len())));
+    }
+    Ok(HybridModel {
+        estimator,
+        classifier,
+        bins,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::classifier::ClassifierBackend;
+    use crate::model::training::{train_hybrid, TrainingConfig};
+    use srt_ml::forest::ForestConfig;
+    use srt_synth::{SyntheticWorld, WorldConfig};
+    use std::sync::OnceLock;
+
+    fn world() -> &'static SyntheticWorld {
+        static W: OnceLock<SyntheticWorld> = OnceLock::new();
+        W.get_or_init(|| SyntheticWorld::build(WorldConfig::tiny()))
+    }
+
+    fn training(backend: ClassifierBackend) -> TrainingConfig {
+        TrainingConfig {
+            train_pairs: 120,
+            test_pairs: 40,
+            min_obs: 5,
+            bins: 10,
+            classifier_backend: backend,
+            forest: ForestConfig {
+                n_trees: 6,
+                ..ForestConfig::default()
+            },
+            ..TrainingConfig::default()
+        }
+    }
+
+    #[test]
+    fn forest_backed_model_round_trips() {
+        let (model, _) = train_hybrid(world(), &training(ClassifierBackend::Forest)).unwrap();
+        let bytes = to_bytes(&model);
+        let model2 = from_bytes(&bytes).unwrap();
+        assert_eq!(model2.bins, model.bins);
+
+        // Identical predictions on a probe feature vector.
+        let mut f = vec![0.0; crate::model::features::FEATURE_COUNT];
+        f[0] = 60.0;
+        f[10] = 30.0;
+        assert_eq!(
+            model.estimator.predict_masses(&f),
+            model2.estimator.predict_masses(&f)
+        );
+        assert_eq!(
+            model.classifier.prob_dependent(&f),
+            model2.classifier.prob_dependent(&f)
+        );
+    }
+
+    #[test]
+    fn logistic_backed_model_round_trips() {
+        let (model, _) = train_hybrid(world(), &training(ClassifierBackend::Logistic)).unwrap();
+        let model2 = from_bytes(&to_bytes(&model)).unwrap();
+        let mut f = vec![0.0; crate::model::features::FEATURE_COUNT];
+        f[19] = 120.0;
+        assert_eq!(
+            model.classifier.prob_dependent(&f),
+            model2.classifier.prob_dependent(&f)
+        );
+        assert_eq!(model2.classifier.backend(), ClassifierBackend::Logistic);
+    }
+
+    #[test]
+    fn corrupt_payloads_are_rejected() {
+        let (model, _) = train_hybrid(world(), &training(ClassifierBackend::Forest)).unwrap();
+        let bytes = to_bytes(&model);
+
+        // Bad magic.
+        let mut bad = bytes.to_vec();
+        bad[0] ^= 0xFF;
+        assert!(from_bytes(&bad).is_err());
+
+        // Bad version.
+        let mut bad = bytes.to_vec();
+        bad[4] = 99;
+        assert!(from_bytes(&bad).is_err());
+
+        // Truncations at many offsets.
+        for cut in [0, 8, 16, bytes.len() / 2, bytes.len() - 1] {
+            assert!(from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+
+        // Trailing garbage.
+        let mut bad = bytes.to_vec();
+        bad.push(0);
+        assert!(from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn routed_answers_survive_the_round_trip() {
+        use crate::cost::{CombinePolicy, HybridCost};
+        use crate::routing::{BudgetRouter, RouterConfig};
+        use srt_synth::{DistanceCategory, QueryGenerator};
+
+        let (model, _) = train_hybrid(world(), &training(ClassifierBackend::Forest)).unwrap();
+        let model2 = from_bytes(&to_bytes(&model)).unwrap();
+
+        let w = world();
+        let cost1 = HybridCost::from_ground_truth(w, &model, CombinePolicy::Hybrid);
+        let cost2 = HybridCost::from_ground_truth(w, &model2, CombinePolicy::Hybrid);
+        let r1 = BudgetRouter::new(&cost1, RouterConfig::default());
+        let r2 = BudgetRouter::new(&cost2, RouterConfig::default());
+
+        let mut qg = QueryGenerator::new(31);
+        for q in qg.generate(&w.graph, &w.model, DistanceCategory::ZeroToOne, 4) {
+            let a = r1.route(q.source, q.target, q.budget_s, None);
+            let b = r2.route(q.source, q.target, q.budget_s, None);
+            assert_eq!(a.probability, b.probability);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! The Hybrid Model: pair features, distribution estimator, dependence
+//! classifier, and the training pipeline.
+
+pub mod classifier;
+pub mod estimator;
+pub mod features;
+pub mod hybrid;
+pub mod io;
+pub mod training;
+
+pub use classifier::{ClassifierBackend, DependenceClassifier};
+pub use estimator::DistributionEstimator;
+pub use features::{pair_features, FEATURE_COUNT};
+pub use hybrid::HybridModel;

@@ -1,0 +1,767 @@
+//! The probabilistic budget-routing search.
+//!
+//! Label-correcting best-first search over partial-path labels
+//! `(vertex, travel-time distribution)`, with the paper's four prunings:
+//!
+//! * **(a) optimistic remaining cost** — one backward Dijkstra over
+//!   minimal edge times gives `tmin(v)`; a label at `v` can reach the
+//!   destination within budget `t` with probability at most
+//!   `P(D <= t - tmin(v))`, which both orders the search (best-first on
+//!   the bound) and prunes against the incumbent,
+//! * **(b) pivot path** — the best complete candidate so far, initialized
+//!   with the expected-time path so pruning bites immediately and the
+//!   *anytime* variant always has an answer to return,
+//! * **(c) distribution cost shifting** — labels store
+//!   `(scalar offset, zero-anchored histogram)`, keeping supports small
+//!   and aligned,
+//! * **(d) stochastic-dominance pruning** — per-vertex Pareto sets under
+//!   first-order dominance; dominated labels are dropped.
+//!
+//! The anytime extension takes a wall-clock deadline `x` and returns the
+//! pivot if the search has not terminated in time.
+
+use crate::cost::HybridCost;
+use crate::routing::baseline::ExpectedTimeBaseline;
+use srt_dist::Histogram;
+use srt_graph::algo::Path;
+use srt_graph::bounds::OptimisticBounds;
+use srt_graph::{EdgeId, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// Search configuration. Each pruning is independently switchable so the
+/// ablation experiments can quantify its contribution.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct RouterConfig {
+    /// Cap on label-histogram buckets during search.
+    pub max_bins: usize,
+    /// Pruning (a): optimistic-bound pruning against the incumbent.
+    pub use_bound_pruning: bool,
+    /// Pruning (b): initialize the pivot with the expected-time path.
+    pub use_pivot_init: bool,
+    /// Pruning (c): anchor label histograms at zero, carry scalar offsets.
+    pub use_cost_shifting: bool,
+    /// Pruning (d): per-vertex stochastic-dominance Pareto sets.
+    pub use_dominance: bool,
+    /// Hard cap on created labels (safety valve for ablation runs).
+    pub max_labels: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            max_bins: 20,
+            use_bound_pruning: true,
+            use_pivot_init: true,
+            use_cost_shifting: true,
+            use_dominance: true,
+            max_labels: 300_000,
+        }
+    }
+}
+
+/// Search counters and outcome flags.
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub struct SearchStats {
+    /// Labels created (including the implicit source expansions).
+    pub labels_created: usize,
+    /// Labels expanded from the queue.
+    pub labels_expanded: usize,
+    /// Labels discarded by the optimistic-bound / pivot pruning.
+    pub pruned_bound: usize,
+    /// Labels discarded (or retired) by dominance.
+    pub pruned_dominance: usize,
+    /// `true` iff the search ran to exhaustion (result is exact within the
+    /// cost model); `false` when the deadline or label cap intervened.
+    pub completed: bool,
+    /// Wall-clock duration of the search.
+    pub elapsed: Duration,
+}
+
+/// The answer to a budget query.
+#[derive(Clone, Debug)]
+pub struct RouteResult {
+    /// Best path found (`None` only when the target is unreachable).
+    pub path: Option<Path>,
+    /// Its full travel-time distribution under the cost model.
+    pub distribution: Option<Histogram>,
+    /// `P(travel time <= budget)` of the returned path.
+    pub probability: f64,
+    /// Search counters.
+    pub stats: SearchStats,
+}
+
+struct Label {
+    vertex: NodeId,
+    parent: u32,
+    edge: EdgeId,
+    offset: f64,
+    hist: Histogram,
+    alive: bool,
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+#[derive(Copy, Clone, PartialEq)]
+struct QueueEntry {
+    ub: f64,
+    id: u32,
+}
+
+impl Eq for QueueEntry {}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on the probability upper bound.
+        self.ub
+            .partial_cmp(&other.ub)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// First-order dominance with explicit offsets (avoids cloning the shifted
+/// histograms): does `a` (at `oa`) dominate `b` (at `ob`)?
+fn dominates_with_offset(a: &Histogram, oa: f64, b: &Histogram, ob: f64) -> bool {
+    const EPS: f64 = 1e-9;
+    // Quick reject on supports: if a's worst case is not better than b's
+    // best case anywhere, full comparison is needed; if a starts after b
+    // ends, a can't dominate.
+    if oa + a.start() >= ob + b.end() - EPS {
+        // a is entirely later than b (or equal-degenerate): dominance only
+        // possible if the distributions coincide; handle via full check.
+        if oa + a.start() > ob + b.end() {
+            return false;
+        }
+    }
+    let mut b_strictly_better = false;
+    let mut check = |x: f64| -> bool {
+        let ca = a.cdf(x - oa);
+        let cb = b.cdf(x - ob);
+        if cb > ca + EPS {
+            b_strictly_better = true;
+        }
+        !b_strictly_better
+    };
+    for i in 0..=a.num_bins() {
+        if !check(oa + a.start() + i as f64 * a.width()) {
+            return false;
+        }
+    }
+    for i in 0..=b.num_bins() {
+        if !check(ob + b.start() + i as f64 * b.width()) {
+            return false;
+        }
+    }
+    true
+}
+
+enum Incumbent {
+    None,
+    Pivot(ExpectedTimeBaseline),
+    Label(u32),
+}
+
+/// The budget router over a fixed cost oracle.
+pub struct BudgetRouter<'a> {
+    cost: &'a HybridCost<'a>,
+    cfg: RouterConfig,
+}
+
+impl<'a> BudgetRouter<'a> {
+    /// Creates a router.
+    pub fn new(cost: &'a HybridCost<'a>, cfg: RouterConfig) -> Self {
+        BudgetRouter { cost, cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RouterConfig {
+        &self.cfg
+    }
+
+    /// Solves one budget query. `deadline` enables the anytime variant:
+    /// when it expires the incumbent (pivot) is returned and
+    /// `stats.completed` is `false`.
+    pub fn route(
+        &self,
+        source: NodeId,
+        target: NodeId,
+        budget_s: f64,
+        deadline: Option<Duration>,
+    ) -> RouteResult {
+        let start_time = Instant::now();
+        let g = self.cost.graph();
+        let mut stats = SearchStats::default();
+
+        // Degenerate budgets: nothing arrives within a non-positive or
+        // non-finite budget, but the query is still answered (probability
+        // 0 on the expected-time path when one exists).
+        if !budget_s.is_finite() || budget_s < 0.0 {
+            stats.completed = true;
+            stats.elapsed = start_time.elapsed();
+            let baseline = ExpectedTimeBaseline::solve(self.cost, source, target, 0.0);
+            return RouteResult {
+                probability: 0.0,
+                path: baseline.as_ref().map(|b| b.path.clone()),
+                distribution: baseline.and_then(|b| b.distribution),
+                stats,
+            };
+        }
+
+        if source == target {
+            stats.completed = true;
+            stats.elapsed = start_time.elapsed();
+            return RouteResult {
+                path: Some(Path {
+                    nodes: vec![source],
+                    edges: vec![],
+                }),
+                distribution: None,
+                probability: 1.0,
+                stats,
+            };
+        }
+
+        // Pruning (a): optimistic remaining cost to the target, under the
+        // smallest support value every marginal can realize.
+        let bounds = OptimisticBounds::compute(g, target, |e| {
+            self.cost.marginal(e).start().max(0.0)
+        });
+        if !bounds.reachable(source) {
+            stats.completed = true;
+            stats.elapsed = start_time.elapsed();
+            return RouteResult {
+                path: None,
+                distribution: None,
+                probability: 0.0,
+                stats,
+            };
+        }
+
+        // Pruning (b): pivot initialization from the expected-time path.
+        let mut best_prob = 0.0;
+        let mut incumbent = Incumbent::None;
+        if self.cfg.use_pivot_init {
+            if let Some(baseline) = ExpectedTimeBaseline::solve(self.cost, source, target, budget_s)
+            {
+                best_prob = baseline.probability;
+                incumbent = Incumbent::Pivot(baseline);
+            }
+        }
+
+        let mut arena: Vec<Label> = Vec::new();
+        let mut pareto: Vec<Vec<u32>> = vec![Vec::new(); g.num_nodes()];
+        let mut heap: BinaryHeap<QueueEntry> = BinaryHeap::new();
+
+        // Seed with the out-edges of the source.
+        for (e, head) in g.out_edges(source) {
+            if !bounds.reachable(head) {
+                continue;
+            }
+            let dist = self.cost.marginal(e).clone();
+            self.push_label(
+                &mut arena,
+                &mut pareto,
+                &mut heap,
+                &bounds,
+                budget_s,
+                &mut best_prob,
+                &mut incumbent,
+                &mut stats,
+                NO_PARENT,
+                e,
+                head,
+                dist,
+                target,
+            );
+        }
+
+        let mut pops = 0usize;
+        while let Some(QueueEntry { ub, id }) = heap.pop() {
+            pops += 1;
+            if pops.is_multiple_of(64) {
+                if let Some(limit) = deadline {
+                    if start_time.elapsed() >= limit {
+                        stats.completed = false;
+                        stats.elapsed = start_time.elapsed();
+                        return self.finish(incumbent, best_prob, &arena, stats, budget_s);
+                    }
+                }
+            }
+            if self.cfg.use_bound_pruning && ub <= best_prob {
+                // Best-first order: every remaining bound is no better.
+                break;
+            }
+            let label = &arena[id as usize];
+            if !label.alive {
+                continue;
+            }
+            if stats.labels_created >= self.cfg.max_labels {
+                stats.completed = false;
+                stats.elapsed = start_time.elapsed();
+                return self.finish(incumbent, best_prob, &arena, stats, budget_s);
+            }
+            stats.labels_expanded += 1;
+
+            let vertex = label.vertex;
+            let offset = label.offset;
+            // Reconstruct the actual (unshifted) distribution for combining.
+            let pre_actual = if offset != 0.0 {
+                label.hist.shift(offset)
+            } else {
+                label.hist.clone()
+            };
+            let prev_edge = label.edge;
+            let prev_vertex = if label.parent == NO_PARENT {
+                source
+            } else {
+                arena[label.parent as usize].vertex
+            };
+
+            for (e, head) in g.out_edges(vertex) {
+                if head == prev_vertex {
+                    continue; // skip immediate U-turns
+                }
+                if !bounds.reachable(head) {
+                    continue;
+                }
+                let mut dist = self.cost.combine(&pre_actual, prev_edge, e);
+                if dist.num_bins() > self.cfg.max_bins {
+                    dist = dist
+                        .with_bins(self.cfg.max_bins)
+                        .expect("bin cap is positive");
+                }
+                self.push_label(
+                    &mut arena,
+                    &mut pareto,
+                    &mut heap,
+                    &bounds,
+                    budget_s,
+                    &mut best_prob,
+                    &mut incumbent,
+                    &mut stats,
+                    id,
+                    e,
+                    head,
+                    dist,
+                    target,
+                );
+            }
+        }
+
+        stats.completed = true;
+        stats.elapsed = start_time.elapsed();
+        self.finish(incumbent, best_prob, &arena, stats, budget_s)
+    }
+
+    /// Creates, prunes and enqueues one candidate label.
+    #[allow(clippy::too_many_arguments)]
+    fn push_label(
+        &self,
+        arena: &mut Vec<Label>,
+        pareto: &mut [Vec<u32>],
+        heap: &mut BinaryHeap<QueueEntry>,
+        bounds: &OptimisticBounds,
+        budget_s: f64,
+        best_prob: &mut f64,
+        incumbent: &mut Incumbent,
+        stats: &mut SearchStats,
+        parent: u32,
+        edge: EdgeId,
+        head: NodeId,
+        dist_actual: Histogram,
+        target: NodeId,
+    ) {
+        // Pruning (c): anchor at zero, carry the offset.
+        let (offset, hist) = if self.cfg.use_cost_shifting {
+            dist_actual.shifted_to_zero()
+        } else {
+            (0.0, dist_actual)
+        };
+
+        if head == target {
+            // Complete path: candidate for the incumbent; never expanded
+            // further (any extension returns later, hence dominated).
+            let prob = hist.cdf(budget_s - offset);
+            stats.labels_created += 1;
+            arena.push(Label {
+                vertex: head,
+                parent,
+                edge,
+                offset,
+                hist,
+                alive: false,
+            });
+            if prob > *best_prob || matches!(incumbent, Incumbent::None) {
+                *best_prob = prob.max(*best_prob);
+                *incumbent = Incumbent::Label(arena.len() as u32 - 1);
+            }
+            return;
+        }
+
+        // Pruning (a)+(b): probability upper bound via the optimistic
+        // remaining cost, checked against the incumbent.
+        let remaining = bounds.remaining(head);
+        let ub = hist.cdf(budget_s - remaining - offset);
+        if self.cfg.use_bound_pruning && ub <= *best_prob {
+            stats.pruned_bound += 1;
+            return;
+        }
+
+        // Pruning (d): dominance against the Pareto set at `head`.
+        if self.cfg.use_dominance {
+            // Compact: drop entries retired by earlier insertions.
+            pareto[head.index()].retain(|&oid| arena[oid as usize].alive);
+            // A dominated newcomer is discarded outright.
+            for &other_id in pareto[head.index()].iter() {
+                let other = &arena[other_id as usize];
+                if dominates_with_offset(&other.hist, other.offset, &hist, offset) {
+                    stats.pruned_dominance += 1;
+                    return;
+                }
+            }
+            // Retire incumbents the newcomer dominates.
+            let mut i = 0;
+            while i < pareto[head.index()].len() {
+                let other_id = pareto[head.index()][i];
+                let dominated = {
+                    let other = &arena[other_id as usize];
+                    dominates_with_offset(&hist, offset, &other.hist, other.offset)
+                };
+                if dominated {
+                    arena[other_id as usize].alive = false;
+                    pareto[head.index()].swap_remove(i);
+                    stats.pruned_dominance += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        let id = arena.len() as u32;
+        stats.labels_created += 1;
+        arena.push(Label {
+            vertex: head,
+            parent,
+            edge,
+            offset,
+            hist,
+            alive: true,
+        });
+        if self.cfg.use_dominance {
+            pareto[head.index()].push(id);
+        }
+        heap.push(QueueEntry { ub, id });
+    }
+
+    fn finish(
+        &self,
+        incumbent: Incumbent,
+        best_prob: f64,
+        arena: &[Label],
+        stats: SearchStats,
+        budget_s: f64,
+    ) -> RouteResult {
+        match incumbent {
+            Incumbent::None => RouteResult {
+                path: None,
+                distribution: None,
+                probability: 0.0,
+                stats,
+            },
+            Incumbent::Pivot(b) => RouteResult {
+                probability: b.probability,
+                path: Some(b.path),
+                distribution: b.distribution,
+                stats,
+            },
+            Incumbent::Label(id) => {
+                // Walk parents to reconstruct the path.
+                let mut edges = Vec::new();
+                let mut cur = id;
+                loop {
+                    let l = &arena[cur as usize];
+                    edges.push(l.edge);
+                    if l.parent == NO_PARENT {
+                        break;
+                    }
+                    cur = l.parent;
+                }
+                edges.reverse();
+                let g = self.cost.graph();
+                let mut nodes = Vec::with_capacity(edges.len() + 1);
+                nodes.push(g.edge_source(edges[0]));
+                for &e in &edges {
+                    nodes.push(g.edge_target(e));
+                }
+                let label = &arena[id as usize];
+                let dist = label.hist.shift(label.offset);
+                debug_assert!((dist.prob_within(budget_s) - best_prob).abs() < 1e-6);
+                RouteResult {
+                    path: Some(Path { nodes, edges }),
+                    distribution: Some(dist),
+                    probability: best_prob,
+                    stats,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CombinePolicy;
+    use crate::model::training::{train_hybrid, TrainingConfig};
+    use crate::HybridModel;
+    use srt_ml::forest::ForestConfig;
+    use srt_synth::{DistanceCategory, QueryGenerator, SyntheticWorld, WorldConfig};
+
+    fn setup() -> (SyntheticWorld, HybridModel) {
+        let world = SyntheticWorld::build(WorldConfig::tiny());
+        let cfg = TrainingConfig {
+            train_pairs: 120,
+            test_pairs: 40,
+            min_obs: 5,
+            bins: 10,
+            forest: ForestConfig {
+                n_trees: 6,
+                ..ForestConfig::default()
+            },
+            ..TrainingConfig::default()
+        };
+        let (model, _) = train_hybrid(&world, &cfg).unwrap();
+        (world, model)
+    }
+
+    fn queries(world: &SyntheticWorld, n: usize) -> Vec<srt_synth::Query> {
+        let mut qg = QueryGenerator::new(77);
+        qg.generate(&world.graph, &world.model, DistanceCategory::ZeroToOne, n)
+    }
+
+    #[test]
+    fn router_finds_a_valid_path() {
+        let (world, model) = setup();
+        let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
+        let router = BudgetRouter::new(&cost, RouterConfig::default());
+        for q in queries(&world, 5) {
+            let r = router.route(q.source, q.target, q.budget_s, None);
+            let path = r.path.expect("path exists");
+            path.validate(&world.graph).unwrap();
+            assert_eq!(path.source(), q.source);
+            assert_eq!(path.target(), q.target);
+            assert!((0.0..=1.0).contains(&r.probability));
+            assert!(r.stats.completed);
+        }
+    }
+
+    #[test]
+    fn router_beats_or_matches_the_baseline() {
+        let (world, model) = setup();
+        let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
+        let router = BudgetRouter::new(&cost, RouterConfig::default());
+        for q in queries(&world, 8) {
+            let r = router.route(q.source, q.target, q.budget_s, None);
+            let base = ExpectedTimeBaseline::solve(&cost, q.source, q.target, q.budget_s)
+                .expect("baseline exists");
+            assert!(
+                r.probability >= base.probability - 1e-9,
+                "PBR {} < baseline {}",
+                r.probability,
+                base.probability
+            );
+        }
+    }
+
+    #[test]
+    fn returned_probability_matches_its_path() {
+        let (world, model) = setup();
+        let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
+        let router = BudgetRouter::new(&cost, RouterConfig::default());
+        for q in queries(&world, 5) {
+            let r = router.route(q.source, q.target, q.budget_s, None);
+            let path = r.path.unwrap();
+            if path.is_empty() {
+                continue;
+            }
+            // Recompute the path's probability with the same bin cap the
+            // search used.
+            let recomputed = recompute_capped(&cost, &path.edges, q.budget_s, 20);
+            assert!(
+                (recomputed - r.probability).abs() < 1e-6,
+                "probability mismatch: {} vs {}",
+                recomputed,
+                r.probability
+            );
+        }
+    }
+
+    fn recompute_capped(
+        cost: &HybridCost<'_>,
+        edges: &[srt_graph::EdgeId],
+        budget: f64,
+        cap: usize,
+    ) -> f64 {
+        let mut dist = cost.marginal(edges[0]).clone();
+        let mut prev = edges[0];
+        for &e in &edges[1..] {
+            dist = cost.combine(&dist, prev, e);
+            if dist.num_bins() > cap {
+                dist = dist.with_bins(cap).unwrap();
+            }
+            prev = e;
+        }
+        dist.prob_within(budget)
+    }
+
+    #[test]
+    fn source_equals_target() {
+        let (world, model) = setup();
+        let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
+        let router = BudgetRouter::new(&cost, RouterConfig::default());
+        let r = router.route(NodeId(4), NodeId(4), 10.0, None);
+        assert_eq!(r.probability, 1.0);
+        assert!(r.path.unwrap().is_empty());
+        assert!(r.stats.completed);
+    }
+
+    #[test]
+    fn anytime_deadline_still_returns_the_pivot() {
+        let (world, model) = setup();
+        let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
+        let router = BudgetRouter::new(&cost, RouterConfig::default());
+        let q = queries(&world, 1)[0];
+        // Zero deadline: must bail out immediately with the pivot.
+        let r = router.route(q.source, q.target, q.budget_s, Some(Duration::ZERO));
+        assert!(r.path.is_some(), "anytime must return the pivot");
+        assert!(r.probability > 0.0);
+    }
+
+    #[test]
+    fn anytime_never_beats_exhaustive() {
+        let (world, model) = setup();
+        let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
+        let router = BudgetRouter::new(&cost, RouterConfig::default());
+        for q in queries(&world, 5) {
+            let full = router.route(q.source, q.target, q.budget_s, None);
+            let quick = router.route(q.source, q.target, q.budget_s, Some(Duration::ZERO));
+            assert!(quick.probability <= full.probability + 1e-9);
+        }
+    }
+
+    #[test]
+    fn disabling_prunings_does_not_change_the_answer() {
+        let (world, model) = setup();
+        let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
+        let full = BudgetRouter::new(&cost, RouterConfig::default());
+        let no_dom = BudgetRouter::new(
+            &cost,
+            RouterConfig {
+                use_dominance: false,
+                ..RouterConfig::default()
+            },
+        );
+        let no_shift = BudgetRouter::new(
+            &cost,
+            RouterConfig {
+                use_cost_shifting: false,
+                ..RouterConfig::default()
+            },
+        );
+        for q in queries(&world, 3) {
+            let a = full.route(q.source, q.target, q.budget_s, None);
+            let b = no_dom.route(q.source, q.target, q.budget_s, None);
+            let c = no_shift.route(q.source, q.target, q.budget_s, None);
+            // Dominance is sound (weak dominance keeps an equivalent
+            // label), so probabilities agree to numerical tolerance.
+            assert!((a.probability - b.probability).abs() < 1e-6);
+            assert!((a.probability - c.probability).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_work() {
+        let (world, model) = setup();
+        let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
+        let full = BudgetRouter::new(&cost, RouterConfig::default());
+        let naive = BudgetRouter::new(
+            &cost,
+            RouterConfig {
+                use_bound_pruning: false,
+                use_pivot_init: false,
+                use_dominance: true, // keep termination sane
+                max_labels: 50_000,
+                ..RouterConfig::default()
+            },
+        );
+        let q = queries(&world, 1)[0];
+        let a = full.route(q.source, q.target, q.budget_s, None);
+        let b = naive.route(q.source, q.target, q.budget_s, None);
+        assert!(
+            a.stats.labels_created <= b.stats.labels_created,
+            "pruned {} vs naive {}",
+            a.stats.labels_created,
+            b.stats.labels_created
+        );
+    }
+
+    #[test]
+    fn unreachable_target_reports_zero_probability() {
+        // Build a 2-node graph with a single one-way edge.
+        use srt_graph::{EdgeAttrs, GraphBuilder, Point, RoadCategory};
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_node(Point::new(0.0, 0.0));
+        let c = gb.add_node(Point::new(0.01, 0.0));
+        gb.add_edge(a, c, EdgeAttrs::new(100.0, RoadCategory::Residential, 50.0));
+        let g = gb.build();
+
+        let (world, model) = setup();
+        let _ = &world;
+        let marginals: Vec<Histogram> = g
+            .edge_ids()
+            .map(|_| Histogram::new(10.0, 1.0, vec![1.0]).unwrap())
+            .collect();
+        let cost = HybridCost::new(&g, &model, marginals, CombinePolicy::AlwaysConvolve);
+        let router = BudgetRouter::new(&cost, RouterConfig::default());
+        let r = router.route(c, a, 1000.0, None);
+        assert_eq!(r.probability, 0.0);
+        assert!(r.path.is_none());
+        assert!(r.stats.completed);
+    }
+
+    #[test]
+    fn degenerate_budgets_answer_with_zero_probability() {
+        let (world, model) = setup();
+        let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
+        let router = BudgetRouter::new(&cost, RouterConfig::default());
+        let q = queries(&world, 1)[0];
+        for bad in [f64::NAN, f64::INFINITY, -5.0] {
+            let r = router.route(q.source, q.target, bad, None);
+            assert_eq!(r.probability, 0.0, "budget {bad}");
+            assert!(r.stats.completed);
+            // A usable path is still reported when one exists.
+            assert!(r.path.is_some());
+        }
+    }
+
+    #[test]
+    fn dominance_with_offsets_agrees_with_direct_dominance() {
+        let a = Histogram::new(0.0, 1.0, vec![0.6, 0.4]).unwrap();
+        let b = Histogram::new(0.0, 1.0, vec![0.4, 0.6]).unwrap();
+        // a at offset 10 vs b at offset 10: a dominates.
+        assert!(dominates_with_offset(&a, 10.0, &b, 10.0));
+        assert!(!dominates_with_offset(&b, 10.0, &a, 10.0));
+        // Same shape, a shifted later: b dominates.
+        assert!(dominates_with_offset(&a, 5.0, &a, 9.0));
+        assert!(!dominates_with_offset(&a, 9.0, &a, 5.0));
+        // Identical: weak dominance both ways.
+        assert!(dominates_with_offset(&a, 3.0, &a, 3.0));
+    }
+}

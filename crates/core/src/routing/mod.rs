@@ -1,0 +1,13 @@
+//! Probabilistic Budget Routing.
+//!
+//! Given `(source, destination, budget t)`, find the path that maximizes
+//! `P(travel time <= t)`, using the hybrid cost model for path
+//! distributions. [`budget`] implements the label-correcting search with
+//! the paper's prunings (a)-(d) and the anytime deadline; [`baseline`]
+//! provides the deterministic expected-time comparison route.
+
+pub mod baseline;
+pub mod budget;
+
+pub use baseline::{expected_time_path, ExpectedTimeBaseline, KPathsBaseline};
+pub use budget::{BudgetRouter, RouteResult, RouterConfig, SearchStats};

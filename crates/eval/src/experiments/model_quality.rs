@@ -1,0 +1,101 @@
+//! E3 — the model-accuracy study.
+//!
+//! "The estimation model is trained on 4000 edge pairs with sufficient
+//! data ... we test the model with a set of 1000 edge pairs, measuring the
+//! KL-divergence between the output and ground truth trajectories."
+//!
+//! Reported: mean/median KL to ground truth for the hybrid model, the
+//! pure-convolution baseline and the pure-estimation ablation, plus the
+//! gate classifier's accuracy/F1. The reproduction target is the *order*:
+//! `KL(hybrid) <= KL(convolution)` and `KL(hybrid) <= KL(estimation)`.
+
+use crate::report::Table;
+use crate::setup::EvalContext;
+use srt_core::TrainReport;
+
+/// Runs E3 (reads the held-out evaluation carried in the context's
+/// training report).
+pub fn run(ctx: &EvalContext) -> (Table, TrainReport) {
+    let r = ctx.report.clone();
+    let mut table = Table::new(
+        format!(
+            "E3 — KL divergence to ground truth ({} train / {} test pairs)",
+            r.n_train, r.n_test
+        ),
+        &["Method", "Mean KL", "Median KL"],
+    );
+    table.push_row(vec![
+        "Hybrid (paper)".into(),
+        format!("{:.4}", r.kl_hybrid_mean),
+        format!("{:.4}", r.kl_hybrid_median),
+    ]);
+    table.push_row(vec![
+        "Convolution only".into(),
+        format!("{:.4}", r.kl_convolution_mean),
+        format!("{:.4}", r.kl_convolution_median),
+    ]);
+    table.push_row(vec![
+        "Estimation only".into(),
+        format!("{:.4}", r.kl_estimation_mean),
+        format!("{:.4}", r.kl_estimation_median),
+    ]);
+
+    let mut gate = Table::new(
+        "E3b — Dependence classifier (gate) quality",
+        &["Accuracy", "F1"],
+    );
+    gate.push_row(vec![
+        format!("{:.3}", r.classifier_accuracy),
+        format!("{:.3}", r.classifier_f1),
+    ]);
+
+    // Render both tables under one banner by merging rows is awkward;
+    // callers print both. Return the main one.
+    (table, r)
+}
+
+/// Renders the secondary classifier table for E3.
+pub fn gate_table(report: &TrainReport) -> Table {
+    let mut gate = Table::new(
+        "E3b — Dependence classifier (gate) quality",
+        &["Accuracy", "F1"],
+    );
+    gate.push_row(vec![
+        format!("{:.3}", report.classifier_accuracy),
+        format!("{:.3}", report.classifier_f1),
+    ]);
+    gate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{build_context, Scale};
+
+    #[test]
+    fn hybrid_is_no_worse_than_both_arms() {
+        let ctx = build_context(Scale::Tiny);
+        let (_, r) = run(&ctx);
+        assert!(
+            r.kl_hybrid_mean <= r.kl_convolution_mean * 1.1,
+            "hybrid {} vs convolution {}",
+            r.kl_hybrid_mean,
+            r.kl_convolution_mean
+        );
+        assert!(
+            r.kl_hybrid_mean <= r.kl_estimation_mean * 1.25,
+            "hybrid {} vs estimation {}",
+            r.kl_hybrid_mean,
+            r.kl_estimation_mean
+        );
+    }
+
+    #[test]
+    fn tables_render() {
+        let ctx = build_context(Scale::Tiny);
+        let (t, r) = run(&ctx);
+        assert_eq!(t.num_rows(), 3);
+        let g = gate_table(&r);
+        assert_eq!(g.num_rows(), 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! A3 — training-set size sweep.
+//!
+//! The paper fixes 4,000 training pairs without justification; this sweep
+//! shows how held-out KL of the hybrid model responds to the training-set
+//! size (expected: improves, then saturates — convolution stays flat as a
+//! data-free baseline).
+
+use crate::report::Table;
+use crate::setup::EvalContext;
+use srt_core::model::training::{train_hybrid, TrainingConfig};
+
+/// Result at one training-set size.
+#[derive(Clone, Debug)]
+pub struct TrainingSizeRow {
+    /// Requested training pairs.
+    pub requested: usize,
+    /// Pairs actually used (limited by availability).
+    pub used: usize,
+    /// Mean held-out KL of the hybrid model.
+    pub kl_hybrid: f64,
+    /// Gate classifier accuracy.
+    pub classifier_accuracy: f64,
+}
+
+/// Runs A3 for the given training sizes (test size fixed from the
+/// context's config).
+pub fn run(ctx: &EvalContext, sizes: &[usize]) -> (Table, Vec<TrainingSizeRow>) {
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "A3 — Training-set size sweep (held-out KL)",
+        &["Train pairs", "Used", "KL hybrid", "Gate accuracy"],
+    );
+    for &requested in sizes {
+        let cfg = TrainingConfig {
+            train_pairs: requested,
+            ..ctx.training
+        };
+        let (_, report) = train_hybrid(&ctx.world, &cfg).expect("size sweep trains");
+        table.push_row(vec![
+            format!("{requested}"),
+            format!("{}", report.n_train),
+            format!("{:.4}", report.kl_hybrid_mean),
+            format!("{:.3}", report.classifier_accuracy),
+        ]);
+        rows.push(TrainingSizeRow {
+            requested,
+            used: report.n_train,
+            kl_hybrid: report.kl_hybrid_mean,
+            classifier_accuracy: report.classifier_accuracy,
+        });
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{build_context, Scale};
+
+    #[test]
+    fn more_data_does_not_hurt_much() {
+        let ctx = build_context(Scale::Tiny);
+        let (t, rows) = run(&ctx, &[40, 150]);
+        assert_eq!(t.num_rows(), 2);
+        // The larger run must not be dramatically worse.
+        assert!(
+            rows[1].kl_hybrid <= rows[0].kl_hybrid * 1.5,
+            "KL degraded with more data: {} -> {}",
+            rows[0].kl_hybrid,
+            rows[1].kl_hybrid
+        );
+        assert!(rows[1].used >= rows[0].used);
+    }
+}

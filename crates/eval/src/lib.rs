@@ -1,0 +1,25 @@
+//! # srt-eval — experiment harness
+//!
+//! Reproduces every table and figure of the paper's evaluation, plus the
+//! ablations DESIGN.md commits to. Each experiment lives in its own
+//! module under [`experiments`] and renders a table matching the paper's
+//! layout; the `run_experiments` binary drives them all.
+//!
+//! | id | paper artefact | module |
+//! |----|----------------|--------|
+//! | E1 | intro airport table | [`experiments::intro`] |
+//! | E2 | motivating convolution-vs-ground-truth example | [`experiments::motivating`] |
+//! | E3 | 4000/1000-pair KL model study | [`experiments::model_quality`] |
+//! | E4 | "~75 % of edge pairs are dependent" | [`experiments::dependence`] |
+//! | E5 | Quality table (P∞/P1/P5/P10 by distance) | [`experiments::quality`] |
+//! | E6 | Efficiency table (mean seconds by distance) | [`experiments::efficiency`] |
+//! | A1 | pruning ablation | [`experiments::ablation`] |
+//! | A2 | bucket-count sweep | [`experiments::buckets`] |
+//! | A3 | training-size sweep | [`experiments::training_size`] |
+
+pub mod experiments;
+pub mod report;
+pub mod setup;
+
+pub use report::Table;
+pub use setup::{build_context, EvalContext, Scale};

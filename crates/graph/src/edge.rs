@@ -1,0 +1,166 @@
+//! Per-edge road attributes: functional road class, length, speed limit.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Functional road classification, mirroring the OSM highway hierarchy the
+/// paper's Danish network is built from.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum RoadCategory {
+    /// Grade-separated high-speed road (OSM `motorway`).
+    Motorway,
+    /// Major inter-city artery (OSM `primary`/`trunk`).
+    Primary,
+    /// Regional connector (OSM `secondary`).
+    Secondary,
+    /// Local collector (OSM `tertiary`).
+    Tertiary,
+    /// Residential / access street.
+    Residential,
+}
+
+impl RoadCategory {
+    /// All categories, ordered from fastest to slowest.
+    pub const ALL: [RoadCategory; 5] = [
+        RoadCategory::Motorway,
+        RoadCategory::Primary,
+        RoadCategory::Secondary,
+        RoadCategory::Tertiary,
+        RoadCategory::Residential,
+    ];
+
+    /// Default speed limit in km/h used when a segment has no posted limit
+    /// (Danish defaults: 130 motorway, 80 rural, 50 urban).
+    pub fn default_speed_kmh(self) -> f64 {
+        match self {
+            RoadCategory::Motorway => 130.0,
+            RoadCategory::Primary => 80.0,
+            RoadCategory::Secondary => 70.0,
+            RoadCategory::Tertiary => 60.0,
+            RoadCategory::Residential => 50.0,
+        }
+    }
+
+    /// Stable small integer code, usable as a categorical ML feature.
+    #[inline]
+    pub fn as_index(self) -> usize {
+        match self {
+            RoadCategory::Motorway => 0,
+            RoadCategory::Primary => 1,
+            RoadCategory::Secondary => 2,
+            RoadCategory::Tertiary => 3,
+            RoadCategory::Residential => 4,
+        }
+    }
+
+    /// Inverse of [`RoadCategory::as_index`].
+    pub fn from_index(i: usize) -> Option<Self> {
+        Self::ALL.get(i).copied()
+    }
+}
+
+impl fmt::Display for RoadCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RoadCategory::Motorway => "motorway",
+            RoadCategory::Primary => "primary",
+            RoadCategory::Secondary => "secondary",
+            RoadCategory::Tertiary => "tertiary",
+            RoadCategory::Residential => "residential",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static attributes of a directed road segment.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct EdgeAttrs {
+    /// Segment length in metres.
+    pub length_m: f64,
+    /// Functional road class.
+    pub category: RoadCategory,
+    /// Posted (or default) speed limit in km/h.
+    pub speed_limit_kmh: f64,
+}
+
+impl EdgeAttrs {
+    /// Creates attributes; a non-positive `speed_limit_kmh` falls back to
+    /// the category default.
+    pub fn new(length_m: f64, category: RoadCategory, speed_limit_kmh: f64) -> Self {
+        let speed = if speed_limit_kmh > 0.0 {
+            speed_limit_kmh
+        } else {
+            category.default_speed_kmh()
+        };
+        EdgeAttrs {
+            length_m,
+            category,
+            speed_limit_kmh: speed,
+        }
+    }
+
+    /// Creates attributes with the category's default speed limit.
+    pub fn with_default_speed(length_m: f64, category: RoadCategory) -> Self {
+        Self::new(length_m, category, category.default_speed_kmh())
+    }
+
+    /// Free-flow traversal time in seconds (length at the speed limit).
+    ///
+    /// This is the *minimal possible* travel time of the segment and the
+    /// edge weight used by the optimistic-bound pruning.
+    #[inline]
+    pub fn freeflow_time_s(&self) -> f64 {
+        self.length_m / (self.speed_limit_kmh / 3.6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_index_round_trips() {
+        for c in RoadCategory::ALL {
+            assert_eq!(RoadCategory::from_index(c.as_index()), Some(c));
+        }
+        assert_eq!(RoadCategory::from_index(99), None);
+    }
+
+    #[test]
+    fn default_speeds_decrease_down_the_hierarchy() {
+        let speeds: Vec<f64> = RoadCategory::ALL
+            .iter()
+            .map(|c| c.default_speed_kmh())
+            .collect();
+        for w in speeds.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn freeflow_time_is_length_over_speed() {
+        // 1 km at 36 km/h = 10 m/s -> 100 s.
+        let e = EdgeAttrs::new(1000.0, RoadCategory::Residential, 36.0);
+        assert!((e.freeflow_time_s() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_positive_speed_falls_back_to_default() {
+        let e = EdgeAttrs::new(500.0, RoadCategory::Primary, 0.0);
+        assert_eq!(e.speed_limit_kmh, 80.0);
+        let e = EdgeAttrs::new(500.0, RoadCategory::Primary, -3.0);
+        assert_eq!(e.speed_limit_kmh, 80.0);
+    }
+
+    #[test]
+    fn with_default_speed_matches_category() {
+        let e = EdgeAttrs::with_default_speed(100.0, RoadCategory::Motorway);
+        assert_eq!(e.speed_limit_kmh, 130.0);
+    }
+
+    #[test]
+    fn display_names_are_lowercase() {
+        assert_eq!(RoadCategory::Motorway.to_string(), "motorway");
+        assert_eq!(RoadCategory::Residential.to_string(), "residential");
+    }
+}

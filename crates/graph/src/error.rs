@@ -1,0 +1,61 @@
+//! Error type for graph construction and queries.
+
+use crate::ids::{EdgeId, NodeId};
+use std::fmt;
+
+/// Errors produced by the graph substrate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GraphError {
+    /// A node id referenced an index outside the graph.
+    InvalidNode(NodeId),
+    /// An edge id referenced an index outside the graph.
+    InvalidEdge(EdgeId),
+    /// An edge referenced a node that was never added to the builder.
+    DanglingEndpoint { edge_index: usize, node: NodeId },
+    /// No path exists between the requested endpoints.
+    NoPath { source: NodeId, target: NodeId },
+    /// A serialized graph payload was malformed.
+    Corrupt(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidNode(n) => write!(f, "node {n} is out of bounds"),
+            GraphError::InvalidEdge(e) => write!(f, "edge {e} is out of bounds"),
+            GraphError::DanglingEndpoint { edge_index, node } => {
+                write!(f, "edge #{edge_index} references unknown node {node}")
+            }
+            GraphError::NoPath { source, target } => {
+                write!(f, "no path from {source} to {target}")
+            }
+            GraphError::Corrupt(msg) => write!(f, "corrupt graph payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        assert_eq!(
+            GraphError::InvalidNode(NodeId(3)).to_string(),
+            "node n3 is out of bounds"
+        );
+        assert_eq!(
+            GraphError::NoPath {
+                source: NodeId(1),
+                target: NodeId(2)
+            }
+            .to_string(),
+            "no path from n1 to n2"
+        );
+        assert!(GraphError::Corrupt("truncated".into())
+            .to_string()
+            .contains("truncated"));
+    }
+}

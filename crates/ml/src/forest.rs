@@ -1,0 +1,440 @@
+//! Bagged random forests over CART trees.
+//!
+//! The multi-output regressor backs the paper's *distribution estimation
+//! model* (each output is one histogram bucket mass); the classifier backs
+//! the *convolution-vs-estimation* gate.
+
+use crate::codec::get_count;
+use crate::dataset::Matrix;
+use crate::error::MlError;
+use crate::tree::{argmax, ClassificationTree, RegressionTree, TreeConfig};
+use bytes::{BufMut, BytesMut};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Sanity cap for snapshot decoding.
+const MAX_TREES: usize = 1 << 16;
+
+/// Normalizes raw split counts into importances summing to 1 (all-zero
+/// counts — a forest of stumps — yield a uniform attribution).
+fn normalize_importances(mut counts: Vec<f64>) -> Vec<f64> {
+    let total: f64 = counts.iter().sum();
+    if total <= 0.0 {
+        let u = 1.0 / counts.len().max(1) as f64;
+        counts.iter_mut().for_each(|c| *c = u);
+    } else {
+        counts.iter_mut().for_each(|c| *c /= total);
+    }
+    counts
+}
+
+/// Forest hyper-parameters.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree configuration (feature subsampling defaults to sqrt for
+    /// classification and p/3 for regression when `max_features` is None).
+    pub tree: TreeConfig,
+    /// Bootstrap sample size as a fraction of the training set.
+    pub sample_fraction: f64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 30,
+            tree: TreeConfig::default(),
+            sample_fraction: 1.0,
+        }
+    }
+}
+
+fn bootstrap_indices<R: Rng>(n: usize, fraction: f64, rng: &mut R) -> Vec<usize> {
+    let k = ((n as f64 * fraction).round() as usize).max(1);
+    (0..k).map(|_| rng.gen_range(0..n)).collect()
+}
+
+/// Default `max_features` heuristics when the caller leaves it unset.
+fn effective_tree_cfg(cfg: &ForestConfig, n_features: usize, regression: bool) -> TreeConfig {
+    let mut t = cfg.tree;
+    if t.max_features.is_none() {
+        let k = if regression {
+            (n_features / 3).max(1)
+        } else {
+            (n_features as f64).sqrt().round() as usize
+        };
+        t.max_features = Some(k.clamp(1, n_features));
+    }
+    t
+}
+
+/// A random forest for (multi-output) regression.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RandomForestRegressor {
+    trees: Vec<RegressionTree>,
+    n_features: usize,
+    n_outputs: usize,
+}
+
+impl RandomForestRegressor {
+    /// Fits `cfg.n_trees` trees on bootstrap samples of `(x, y)`.
+    pub fn fit(x: &Matrix, y: &Matrix, cfg: &ForestConfig, seed: u64) -> Result<Self, MlError> {
+        if cfg.n_trees == 0 {
+            return Err(MlError::BadConfig("n_trees must be positive"));
+        }
+        if x.rows() != y.rows() {
+            return Err(MlError::LengthMismatch {
+                x_rows: x.rows(),
+                y_rows: y.rows(),
+            });
+        }
+        let tree_cfg = effective_tree_cfg(cfg, x.cols(), true);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut trees = Vec::with_capacity(cfg.n_trees);
+        for _ in 0..cfg.n_trees {
+            let idx = bootstrap_indices(x.rows(), cfg.sample_fraction, &mut rng);
+            trees.push(RegressionTree::fit_on(x, y, &idx, &tree_cfg, &mut rng)?);
+        }
+        Ok(RandomForestRegressor {
+            trees,
+            n_features: x.cols(),
+            n_outputs: y.cols(),
+        })
+    }
+
+    /// Mean prediction across trees for one feature row.
+    pub fn predict_row(&self, features: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            features.len(),
+            self.n_features,
+            "feature count mismatch in RandomForestRegressor::predict_row"
+        );
+        let mut out = vec![0.0; self.n_outputs];
+        for t in &self.trees {
+            for (o, v) in out.iter_mut().zip(t.predict_row(features)) {
+                *o += v;
+            }
+        }
+        let k = self.trees.len() as f64;
+        for o in &mut out {
+            *o /= k;
+        }
+        out
+    }
+
+    /// Predicts every row of `x`.
+    pub fn predict(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.n_outputs);
+        for i in 0..x.rows() {
+            let p = self.predict_row(x.row(i));
+            out.row_mut(i).copy_from_slice(&p);
+        }
+        out
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Number of outputs per prediction.
+    pub fn n_outputs(&self) -> usize {
+        self.n_outputs
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Split-count feature importances, normalized to sum to 1.
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let mut counts = vec![0.0; self.n_features];
+        for t in &self.trees {
+            t.add_split_counts(&mut counts);
+        }
+        normalize_importances(counts)
+    }
+
+    /// Appends the binary snapshot of the forest to `buf`.
+    pub fn write_bytes(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.trees.len() as u32);
+        buf.put_u32_le(self.n_features as u32);
+        buf.put_u32_le(self.n_outputs as u32);
+        for t in &self.trees {
+            t.write_bytes(buf);
+        }
+    }
+
+    /// Decodes a forest written by
+    /// [`RandomForestRegressor::write_bytes`], advancing `data`.
+    pub fn read_bytes(data: &mut &[u8]) -> Result<Self, MlError> {
+        let n_trees = get_count(data, MAX_TREES, "forest trees")?;
+        if n_trees == 0 {
+            return Err(MlError::Corrupt("forest has no trees".into()));
+        }
+        let n_features = get_count(data, usize::MAX >> 1, "forest n_features")?;
+        let n_outputs = get_count(data, usize::MAX >> 1, "forest n_outputs")?;
+        let mut trees = Vec::with_capacity(n_trees);
+        for i in 0..n_trees {
+            let t = RegressionTree::read_bytes(data)?;
+            if t.n_features() != n_features || t.n_outputs() != n_outputs {
+                return Err(MlError::Corrupt(format!("tree {i} shape mismatch")));
+            }
+            trees.push(t);
+        }
+        Ok(RandomForestRegressor {
+            trees,
+            n_features,
+            n_outputs,
+        })
+    }
+}
+
+/// A random forest classifier over dense labels `0..n_classes`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RandomForestClassifier {
+    trees: Vec<ClassificationTree>,
+    n_features: usize,
+    n_classes: usize,
+}
+
+impl RandomForestClassifier {
+    /// Fits `cfg.n_trees` trees on bootstrap samples of `(x, y)`.
+    pub fn fit(
+        x: &Matrix,
+        y: &[usize],
+        n_classes: usize,
+        cfg: &ForestConfig,
+        seed: u64,
+    ) -> Result<Self, MlError> {
+        if cfg.n_trees == 0 {
+            return Err(MlError::BadConfig("n_trees must be positive"));
+        }
+        if x.rows() != y.len() {
+            return Err(MlError::LengthMismatch {
+                x_rows: x.rows(),
+                y_rows: y.len(),
+            });
+        }
+        let tree_cfg = effective_tree_cfg(cfg, x.cols(), false);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut trees = Vec::with_capacity(cfg.n_trees);
+        for _ in 0..cfg.n_trees {
+            let idx = bootstrap_indices(x.rows(), cfg.sample_fraction, &mut rng);
+            trees.push(ClassificationTree::fit_on(
+                x, y, &idx, n_classes, &tree_cfg, &mut rng,
+            )?);
+        }
+        Ok(RandomForestClassifier {
+            trees,
+            n_features: x.cols(),
+            n_classes,
+        })
+    }
+
+    /// Mean class-probability vector across trees.
+    pub fn predict_proba_row(&self, features: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            features.len(),
+            self.n_features,
+            "feature count mismatch in RandomForestClassifier::predict_proba_row"
+        );
+        let mut out = vec![0.0; self.n_classes];
+        for t in &self.trees {
+            for (o, v) in out.iter_mut().zip(t.predict_proba_row(features)) {
+                *o += v;
+            }
+        }
+        let k = self.trees.len() as f64;
+        for o in &mut out {
+            *o /= k;
+        }
+        out
+    }
+
+    /// Most probable class.
+    pub fn predict_row(&self, features: &[f64]) -> usize {
+        argmax(&self.predict_proba_row(features))
+    }
+
+    /// Predicts every row of `x`.
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        (0..x.rows()).map(|i| self.predict_row(x.row(i))).collect()
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Split-count feature importances, normalized to sum to 1.
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let mut counts = vec![0.0; self.n_features];
+        for t in &self.trees {
+            t.add_split_counts(&mut counts);
+        }
+        normalize_importances(counts)
+    }
+
+    /// Appends the binary snapshot of the forest to `buf`.
+    pub fn write_bytes(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.trees.len() as u32);
+        buf.put_u32_le(self.n_features as u32);
+        buf.put_u32_le(self.n_classes as u32);
+        for t in &self.trees {
+            t.write_bytes(buf);
+        }
+    }
+
+    /// Decodes a forest written by
+    /// [`RandomForestClassifier::write_bytes`], advancing `data`.
+    pub fn read_bytes(data: &mut &[u8]) -> Result<Self, MlError> {
+        let n_trees = get_count(data, MAX_TREES, "forest trees")?;
+        if n_trees == 0 {
+            return Err(MlError::Corrupt("forest has no trees".into()));
+        }
+        let n_features = get_count(data, usize::MAX >> 1, "forest n_features")?;
+        let n_classes = get_count(data, usize::MAX >> 1, "forest n_classes")?;
+        let mut trees = Vec::with_capacity(n_trees);
+        for i in 0..n_trees {
+            let t = ClassificationTree::read_bytes(data)?;
+            if t.n_features() != n_features || t.n_classes() != n_classes {
+                return Err(MlError::Corrupt(format!("tree {i} shape mismatch")));
+            }
+            trees.push(t);
+        }
+        Ok(RandomForestClassifier {
+            trees,
+            n_features,
+            n_classes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Noisy step: y = 1 for x<20, 5 otherwise, plus deterministic jitter.
+    fn step_data() -> (Matrix, Matrix) {
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![i as f64, ((i * 7) % 13) as f64])
+            .collect();
+        let targets: Vec<Vec<f64>> = (0..60)
+            .map(|i| {
+                let base = if i < 30 { 1.0 } else { 5.0 };
+                vec![base + ((i % 3) as f64 - 1.0) * 0.1]
+            })
+            .collect();
+        (
+            Matrix::from_rows(&rows).unwrap(),
+            Matrix::from_rows(&targets).unwrap(),
+        )
+    }
+
+    #[test]
+    fn regressor_learns_step() {
+        let (x, y) = step_data();
+        let f = RandomForestRegressor::fit(&x, &y, &ForestConfig::default(), 1).unwrap();
+        assert!((f.predict_row(&[5.0, 0.0])[0] - 1.0).abs() < 0.5);
+        assert!((f.predict_row(&[50.0, 0.0])[0] - 5.0).abs() < 0.5);
+        assert_eq!(f.n_trees(), 30);
+    }
+
+    #[test]
+    fn regressor_is_deterministic_per_seed() {
+        let (x, y) = step_data();
+        let a = RandomForestRegressor::fit(&x, &y, &ForestConfig::default(), 9).unwrap();
+        let b = RandomForestRegressor::fit(&x, &y, &ForestConfig::default(), 9).unwrap();
+        assert_eq!(a.predict_row(&[12.0, 3.0]), b.predict_row(&[12.0, 3.0]));
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let (x, y) = step_data();
+        let a = RandomForestRegressor::fit(&x, &y, &ForestConfig::default(), 1).unwrap();
+        let b = RandomForestRegressor::fit(&x, &y, &ForestConfig::default(), 2).unwrap();
+        // Not a hard guarantee point-wise, but near the decision boundary
+        // bootstrap variation shows up.
+        let pa: f64 = (25..35).map(|i| a.predict_row(&[i as f64, 0.0])[0]).sum();
+        let pb: f64 = (25..35).map(|i| b.predict_row(&[i as f64, 0.0])[0]).sum();
+        assert!((pa - pb).abs() > 1e-12);
+    }
+
+    #[test]
+    fn predict_matrix_shape() {
+        let (x, y) = step_data();
+        let f = RandomForestRegressor::fit(&x, &y, &ForestConfig::default(), 1).unwrap();
+        let p = f.predict(&x);
+        assert_eq!(p.rows(), x.rows());
+        assert_eq!(p.cols(), 1);
+    }
+
+    #[test]
+    fn zero_trees_is_rejected() {
+        let (x, y) = step_data();
+        let cfg = ForestConfig {
+            n_trees: 0,
+            ..ForestConfig::default()
+        };
+        assert!(matches!(
+            RandomForestRegressor::fit(&x, &y, &cfg, 1),
+            Err(MlError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn classifier_learns_two_blobs() {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let (cx, cy, l) = if i % 2 == 0 { (0.0, 0.0, 0) } else { (10.0, 10.0, 1) };
+            rows.push(vec![cx + (i % 5) as f64 * 0.2, cy + (i % 7) as f64 * 0.2]);
+            labels.push(l);
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let f = RandomForestClassifier::fit(&x, &labels, 2, &ForestConfig::default(), 3).unwrap();
+        assert_eq!(f.predict_row(&[0.5, 0.5]), 0);
+        assert_eq!(f.predict_row(&[10.5, 10.5]), 1);
+        let p = f.predict_proba_row(&[0.5, 0.5]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p[0] > 0.8);
+    }
+
+    #[test]
+    fn classifier_predict_covers_all_rows() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![10.0], vec![11.0]]).unwrap();
+        let y = vec![0, 0, 1, 1];
+        let f = RandomForestClassifier::fit(&x, &y, 2, &ForestConfig::default(), 5).unwrap();
+        let preds = f.predict(&x);
+        assert_eq!(preds.len(), 4);
+    }
+
+    #[test]
+    fn length_mismatch_is_rejected() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        assert!(matches!(
+            RandomForestClassifier::fit(&x, &[0], 2, &ForestConfig::default(), 1),
+            Err(MlError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sample_fraction_below_one_still_works() {
+        let (x, y) = step_data();
+        let cfg = ForestConfig {
+            sample_fraction: 0.5,
+            ..ForestConfig::default()
+        };
+        let f = RandomForestRegressor::fit(&x, &y, &cfg, 1).unwrap();
+        assert!(f.predict_row(&[50.0, 0.0])[0] > 3.0);
+    }
+}

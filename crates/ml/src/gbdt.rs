@@ -1,0 +1,257 @@
+//! Gradient-boosted decision trees: squared-loss regression and
+//! logistic-loss binary classification.
+//!
+//! A second learned backend for the hybrid model's gate, and the subject of
+//! the estimator-backend ablation (forest vs GBDT vs kNN).
+
+use crate::dataset::Matrix;
+use crate::error::MlError;
+use crate::tree::{RegressionTree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Boosting hyper-parameters.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct GbdtConfig {
+    /// Number of boosting rounds.
+    pub n_rounds: usize,
+    /// Shrinkage applied to every tree's contribution.
+    pub learning_rate: f64,
+    /// Weak-learner configuration (depth is usually small, e.g. 3).
+    pub tree: TreeConfig,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        GbdtConfig {
+            n_rounds: 60,
+            learning_rate: 0.1,
+            tree: TreeConfig {
+                max_depth: 3,
+                ..TreeConfig::default()
+            },
+        }
+    }
+}
+
+/// Boosted-tree regressor (single output, squared loss).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GbdtRegressor {
+    base: f64,
+    trees: Vec<RegressionTree>,
+    learning_rate: f64,
+    n_features: usize,
+}
+
+impl GbdtRegressor {
+    /// Fits on single-column targets.
+    pub fn fit(x: &Matrix, y: &[f64], cfg: &GbdtConfig, seed: u64) -> Result<Self, MlError> {
+        if x.rows() == 0 {
+            return Err(MlError::EmptyDataset);
+        }
+        if x.rows() != y.len() {
+            return Err(MlError::LengthMismatch {
+                x_rows: x.rows(),
+                y_rows: y.len(),
+            });
+        }
+        if cfg.n_rounds == 0 || cfg.learning_rate <= 0.0 {
+            return Err(MlError::BadConfig("n_rounds and learning_rate must be positive"));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = y.iter().sum::<f64>() / y.len() as f64;
+        let mut pred: Vec<f64> = vec![base; y.len()];
+        let mut trees = Vec::with_capacity(cfg.n_rounds);
+
+        for _ in 0..cfg.n_rounds {
+            let residuals: Vec<Vec<f64>> = y
+                .iter()
+                .zip(&pred)
+                .map(|(t, p)| vec![t - p])
+                .collect();
+            let ry = Matrix::from_rows(&residuals)?;
+            let tree = RegressionTree::fit(x, &ry, &cfg.tree, &mut rng)?;
+            for (i, p) in pred.iter_mut().enumerate() {
+                *p += cfg.learning_rate * tree.predict_row(x.row(i))[0];
+            }
+            trees.push(tree);
+        }
+
+        Ok(GbdtRegressor {
+            base,
+            trees,
+            learning_rate: cfg.learning_rate,
+            n_features: x.cols(),
+        })
+    }
+
+    /// Predicts one row.
+    pub fn predict_row(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.n_features, "feature count mismatch");
+        self.base
+            + self.learning_rate
+                * self
+                    .trees
+                    .iter()
+                    .map(|t| t.predict_row(features)[0])
+                    .sum::<f64>()
+    }
+
+    /// Number of boosting rounds actually stored.
+    pub fn n_rounds(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+/// Boosted-tree binary classifier (logistic loss).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GbdtClassifier {
+    base_logit: f64,
+    trees: Vec<RegressionTree>,
+    learning_rate: f64,
+    n_features: usize,
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl GbdtClassifier {
+    /// Fits on labels in `{0, 1}`.
+    pub fn fit(x: &Matrix, y: &[usize], cfg: &GbdtConfig, seed: u64) -> Result<Self, MlError> {
+        if x.rows() == 0 {
+            return Err(MlError::EmptyDataset);
+        }
+        if x.rows() != y.len() {
+            return Err(MlError::LengthMismatch {
+                x_rows: x.rows(),
+                y_rows: y.len(),
+            });
+        }
+        if let Some(&bad) = y.iter().find(|&&l| l > 1) {
+            return Err(MlError::BadLabel(bad));
+        }
+        if cfg.n_rounds == 0 || cfg.learning_rate <= 0.0 {
+            return Err(MlError::BadConfig("n_rounds and learning_rate must be positive"));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pos = y.iter().filter(|&&l| l == 1).count() as f64;
+        let prior = (pos / y.len() as f64).clamp(1e-6, 1.0 - 1e-6);
+        let base_logit = (prior / (1.0 - prior)).ln();
+        let mut logits: Vec<f64> = vec![base_logit; y.len()];
+        let mut trees = Vec::with_capacity(cfg.n_rounds);
+
+        for _ in 0..cfg.n_rounds {
+            // Negative gradient of logistic loss: y - sigmoid(logit).
+            let grads: Vec<Vec<f64>> = y
+                .iter()
+                .zip(&logits)
+                .map(|(&t, &z)| vec![t as f64 - sigmoid(z)])
+                .collect();
+            let gy = Matrix::from_rows(&grads)?;
+            let tree = RegressionTree::fit(x, &gy, &cfg.tree, &mut rng)?;
+            for (i, z) in logits.iter_mut().enumerate() {
+                *z += cfg.learning_rate * tree.predict_row(x.row(i))[0];
+            }
+            trees.push(tree);
+        }
+
+        Ok(GbdtClassifier {
+            base_logit,
+            trees,
+            learning_rate: cfg.learning_rate,
+            n_features: x.cols(),
+        })
+    }
+
+    /// `P(label = 1)` for one feature row.
+    pub fn predict_proba_row(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.n_features, "feature count mismatch");
+        let z = self.base_logit
+            + self.learning_rate
+                * self
+                    .trees
+                    .iter()
+                    .map(|t| t.predict_row(features)[0])
+                    .sum::<f64>();
+        sigmoid(z)
+    }
+
+    /// Hard decision at threshold 0.5.
+    pub fn predict_row(&self, features: &[f64]) -> usize {
+        usize::from(self.predict_proba_row(features) >= 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regressor_fits_a_quadratic() {
+        let rows: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<f64> = (0..80).map(|i| (i as f64 / 10.0).powi(2)).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let m = GbdtRegressor::fit(&x, &y, &GbdtConfig::default(), 1).unwrap();
+        // Interior point: x=4 -> 16.
+        assert!((m.predict_row(&[4.0]) - 16.0).abs() < 3.0);
+        assert_eq!(m.n_rounds(), 60);
+    }
+
+    #[test]
+    fn regressor_beats_the_mean_predictor() {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..60).map(|i| if i < 30 { 0.0 } else { 10.0 }).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let m = GbdtRegressor::fit(&x, &y, &GbdtConfig::default(), 1).unwrap();
+        let preds: Vec<f64> = (0..60).map(|i| m.predict_row(&[i as f64])).collect();
+        let model_mse = crate::metrics::mse(&y, &preds);
+        let mean_preds = vec![5.0; 60];
+        let mean_mse = crate::metrics::mse(&y, &mean_preds);
+        assert!(model_mse < mean_mse / 4.0);
+    }
+
+    #[test]
+    fn classifier_learns_threshold() {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64]).collect();
+        let y: Vec<usize> = (0..60).map(|i| usize::from(i >= 30)).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let m = GbdtClassifier::fit(&x, &y, &GbdtConfig::default(), 2).unwrap();
+        assert_eq!(m.predict_row(&[5.0]), 0);
+        assert_eq!(m.predict_row(&[55.0]), 1);
+        let p = m.predict_proba_row(&[55.0]);
+        assert!(p > 0.8 && p <= 1.0);
+    }
+
+    #[test]
+    fn classifier_prior_matches_base_rate_with_no_signal() {
+        // Constant features: model can only learn the prior.
+        let rows = vec![vec![1.0]; 40];
+        let mut y = vec![0; 40];
+        for l in y.iter_mut().take(10) {
+            *l = 1;
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let m = GbdtClassifier::fit(&x, &y, &GbdtConfig::default(), 3).unwrap();
+        assert!((m.predict_proba_row(&[1.0]) - 0.25).abs() < 0.05);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert!(GbdtRegressor::fit(&x, &[1.0], &GbdtConfig::default(), 0).is_err());
+        assert!(GbdtClassifier::fit(&x, &[0, 2], &GbdtConfig::default(), 0).is_err());
+        let cfg = GbdtConfig {
+            n_rounds: 0,
+            ..GbdtConfig::default()
+        };
+        assert!(GbdtRegressor::fit(&x, &[1.0, 2.0], &cfg, 0).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Brute-force k-nearest-neighbour regression and classification.
+//!
+//! Used as the simple baseline the forest models are compared against in
+//! the ablation experiments; exact (no index) since training sets are a
+//! few thousand rows.
+
+use crate::dataset::Matrix;
+use crate::error::MlError;
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Indices of the `k` nearest training rows to `query`.
+fn nearest(x: &Matrix, query: &[f64], k: usize) -> Vec<usize> {
+    let mut dists: Vec<(f64, usize)> = (0..x.rows())
+        .map(|i| (squared_distance(x.row(i), query), i))
+        .collect();
+    let k = k.min(dists.len());
+    dists.select_nth_unstable_by(k - 1, |a, b| {
+        a.0.partial_cmp(&b.0).expect("finite distances")
+    });
+    dists.truncate(k);
+    dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+    dists.into_iter().map(|(_, i)| i).collect()
+}
+
+/// k-NN multi-output regressor.
+#[derive(Clone, Debug)]
+pub struct KnnRegressor {
+    x: Matrix,
+    y: Matrix,
+    k: usize,
+}
+
+impl KnnRegressor {
+    /// Stores the training data.
+    pub fn fit(x: Matrix, y: Matrix, k: usize) -> Result<Self, MlError> {
+        if x.rows() == 0 {
+            return Err(MlError::EmptyDataset);
+        }
+        if x.rows() != y.rows() {
+            return Err(MlError::LengthMismatch {
+                x_rows: x.rows(),
+                y_rows: y.rows(),
+            });
+        }
+        if k == 0 {
+            return Err(MlError::BadConfig("k must be positive"));
+        }
+        Ok(KnnRegressor { x, y, k })
+    }
+
+    /// Mean target of the `k` nearest neighbours.
+    pub fn predict_row(&self, query: &[f64]) -> Vec<f64> {
+        assert_eq!(query.len(), self.x.cols(), "feature count mismatch");
+        let ids = nearest(&self.x, query, self.k);
+        let mut out = vec![0.0; self.y.cols()];
+        for &i in &ids {
+            for (o, v) in out.iter_mut().zip(self.y.row(i)) {
+                *o += v;
+            }
+        }
+        for o in &mut out {
+            *o /= ids.len() as f64;
+        }
+        out
+    }
+}
+
+/// k-NN classifier (majority vote, ties to the smaller label).
+#[derive(Clone, Debug)]
+pub struct KnnClassifier {
+    x: Matrix,
+    y: Vec<usize>,
+    n_classes: usize,
+    k: usize,
+}
+
+impl KnnClassifier {
+    /// Stores the training data.
+    pub fn fit(x: Matrix, y: Vec<usize>, n_classes: usize, k: usize) -> Result<Self, MlError> {
+        if x.rows() == 0 || n_classes == 0 {
+            return Err(MlError::EmptyDataset);
+        }
+        if x.rows() != y.len() {
+            return Err(MlError::LengthMismatch {
+                x_rows: x.rows(),
+                y_rows: y.len(),
+            });
+        }
+        if k == 0 {
+            return Err(MlError::BadConfig("k must be positive"));
+        }
+        if let Some(&bad) = y.iter().find(|&&l| l >= n_classes) {
+            return Err(MlError::BadLabel(bad));
+        }
+        Ok(KnnClassifier { x, y, n_classes, k })
+    }
+
+    /// Vote distribution over classes among the `k` nearest neighbours.
+    pub fn predict_proba_row(&self, query: &[f64]) -> Vec<f64> {
+        assert_eq!(query.len(), self.x.cols(), "feature count mismatch");
+        let ids = nearest(&self.x, query, self.k);
+        let mut votes = vec![0.0; self.n_classes];
+        for &i in &ids {
+            votes[self.y[i]] += 1.0;
+        }
+        let total = ids.len() as f64;
+        for v in &mut votes {
+            *v /= total;
+        }
+        votes
+    }
+
+    /// Majority class.
+    pub fn predict_row(&self, query: &[f64]) -> usize {
+        let p = self.predict_proba_row(query);
+        let mut best = 0;
+        for (i, &v) in p.iter().enumerate() {
+            if v > p[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_data() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            let jitter = (i % 5) as f64 * 0.1;
+            if i % 2 == 0 {
+                rows.push(vec![0.0 + jitter, 0.0]);
+                labels.push(0);
+            } else {
+                rows.push(vec![10.0 + jitter, 10.0]);
+                labels.push(1);
+            }
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn classifier_separates_blobs() {
+        let (x, y) = blob_data();
+        let m = KnnClassifier::fit(x, y, 2, 3).unwrap();
+        assert_eq!(m.predict_row(&[0.2, 0.1]), 0);
+        assert_eq!(m.predict_row(&[10.3, 9.9]), 1);
+        let p = m.predict_proba_row(&[0.2, 0.1]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regressor_averages_neighbours() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![10.0]]).unwrap();
+        let y = Matrix::from_rows(&[vec![0.0], vec![2.0], vec![100.0]]).unwrap();
+        let m = KnnRegressor::fit(x, y, 2).unwrap();
+        // Neighbours of 0.5 are rows 0 and 1 -> mean 1.0.
+        assert!((m.predict_row(&[0.5])[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_uses_all_rows() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let y = Matrix::from_rows(&[vec![0.0], vec![10.0]]).unwrap();
+        let m = KnnRegressor::fit(x, y, 50).unwrap();
+        assert!((m.predict_row(&[0.0])[0] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_match_dominates_with_k1() {
+        let (x, y) = blob_data();
+        let m = KnnClassifier::fit(x, y, 2, 1).unwrap();
+        assert_eq!(m.predict_row(&[10.0, 10.0]), 1);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        let x = Matrix::from_rows(&[vec![0.0]]).unwrap();
+        assert!(KnnRegressor::fit(x.clone(), Matrix::from_rows(&[vec![0.0]]).unwrap(), 0).is_err());
+        assert!(KnnClassifier::fit(x.clone(), vec![3], 2, 1).is_err());
+        assert!(KnnClassifier::fit(x, vec![0, 1], 2, 1).is_err());
+    }
+}

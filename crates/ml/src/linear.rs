@@ -1,0 +1,247 @@
+//! Logistic regression via full-batch gradient descent with L2 weight decay.
+//!
+//! Serves as the lightweight alternative backend for the hybrid model's
+//! convolution-vs-estimation gate, and as a calibration-friendly baseline
+//! against the forest classifier.
+
+use crate::dataset::Matrix;
+use crate::error::MlError;
+use serde::{Deserialize, Serialize};
+
+/// Training hyper-parameters.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct LogisticConfig {
+    /// Gradient-descent steps.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 penalty on weights (not the bias).
+    pub l2: f64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        LogisticConfig {
+            epochs: 400,
+            learning_rate: 0.1,
+            l2: 1e-4,
+        }
+    }
+}
+
+/// A fitted binary logistic-regression model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl LogisticRegression {
+    /// Fits on labels in `{0, 1}`. Standardize features first
+    /// ([`crate::scaler::StandardScaler`]) for sane learning rates.
+    pub fn fit(x: &Matrix, y: &[usize], cfg: &LogisticConfig) -> Result<Self, MlError> {
+        if x.rows() == 0 {
+            return Err(MlError::EmptyDataset);
+        }
+        if x.rows() != y.len() {
+            return Err(MlError::LengthMismatch {
+                x_rows: x.rows(),
+                y_rows: y.len(),
+            });
+        }
+        if let Some(&bad) = y.iter().find(|&&l| l > 1) {
+            return Err(MlError::BadLabel(bad));
+        }
+        if cfg.epochs == 0 || cfg.learning_rate <= 0.0 {
+            return Err(MlError::BadConfig("epochs and learning_rate must be positive"));
+        }
+
+        let p = x.cols();
+        let n = x.rows() as f64;
+        let mut w = vec![0.0; p];
+        let mut b = 0.0;
+        let mut grad_w = vec![0.0; p];
+
+        for _ in 0..cfg.epochs {
+            grad_w.iter_mut().for_each(|g| *g = 0.0);
+            let mut grad_b = 0.0;
+            for (i, row) in x.iter_rows().enumerate() {
+                let z: f64 = b + w.iter().zip(row).map(|(wi, xi)| wi * xi).sum::<f64>();
+                let err = sigmoid(z) - y[i] as f64;
+                for (g, xi) in grad_w.iter_mut().zip(row) {
+                    *g += err * xi;
+                }
+                grad_b += err;
+            }
+            for (wi, g) in w.iter_mut().zip(&grad_w) {
+                *wi -= cfg.learning_rate * (g / n + cfg.l2 * *wi);
+            }
+            b -= cfg.learning_rate * grad_b / n;
+        }
+
+        Ok(LogisticRegression { weights: w, bias: b })
+    }
+
+    /// `P(label = 1)` for one feature row.
+    pub fn predict_proba_row(&self, features: &[f64]) -> f64 {
+        assert_eq!(
+            features.len(),
+            self.weights.len(),
+            "feature count mismatch in LogisticRegression::predict_proba_row"
+        );
+        let z: f64 = self.bias
+            + self
+                .weights
+                .iter()
+                .zip(features)
+                .map(|(w, x)| w * x)
+                .sum::<f64>();
+        sigmoid(z)
+    }
+
+    /// Hard decision at threshold 0.5.
+    pub fn predict_row(&self, features: &[f64]) -> usize {
+        usize::from(self.predict_proba_row(features) >= 0.5)
+    }
+
+    /// Predicts every row of `x`.
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        (0..x.rows()).map(|i| self.predict_row(x.row(i))).collect()
+    }
+
+    /// Learned weights (diagnostic).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Learned bias (diagnostic).
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Appends the binary snapshot of the model to `buf`.
+    pub fn write_bytes(&self, buf: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        buf.put_u32_le(self.weights.len() as u32);
+        for &w in &self.weights {
+            buf.put_f64_le(w);
+        }
+        buf.put_f64_le(self.bias);
+    }
+
+    /// Decodes a model written by [`LogisticRegression::write_bytes`],
+    /// advancing `data`.
+    pub fn read_bytes(data: &mut &[u8]) -> Result<Self, MlError> {
+        use crate::codec::{get_count, get_f64, get_f64_vec};
+        let p = get_count(data, 1 << 20, "logistic weights")?;
+        let weights = get_f64_vec(data, p, "logistic weight vector")?;
+        let bias = get_f64(data, "logistic bias")?;
+        Ok(LogisticRegression { weights, bias })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..50 {
+            let x0 = i as f64 / 10.0;
+            rows.push(vec![x0, 1.0 - x0 * 0.1]);
+            labels.push(usize::from(x0 > 2.5));
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn learns_a_separable_boundary() {
+        let (x, y) = separable();
+        let m = LogisticRegression::fit(&x, &y, &LogisticConfig::default()).unwrap();
+        assert_eq!(m.predict_row(&[0.5, 0.95]), 0);
+        assert_eq!(m.predict_row(&[4.5, 0.55]), 1);
+    }
+
+    #[test]
+    fn probabilities_are_monotone_along_the_feature() {
+        let (x, y) = separable();
+        let m = LogisticRegression::fit(&x, &y, &LogisticConfig::default()).unwrap();
+        let p_low = m.predict_proba_row(&[0.0, 1.0]);
+        let p_mid = m.predict_proba_row(&[2.5, 0.75]);
+        let p_high = m.predict_proba_row(&[5.0, 0.5]);
+        assert!(p_low < p_mid && p_mid < p_high);
+        assert!((0.0..=1.0).contains(&p_low));
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_binary_labels() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert!(matches!(
+            LogisticRegression::fit(&x, &[0, 3], &LogisticConfig::default()),
+            Err(MlError::BadLabel(3))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let cfg = LogisticConfig {
+            epochs: 0,
+            ..LogisticConfig::default()
+        };
+        assert!(matches!(
+            LogisticRegression::fit(&x, &[0, 1], &cfg),
+            Err(MlError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let (x, y) = separable();
+        let loose = LogisticRegression::fit(
+            &x,
+            &y,
+            &LogisticConfig {
+                l2: 0.0,
+                ..LogisticConfig::default()
+            },
+        )
+        .unwrap();
+        let tight = LogisticRegression::fit(
+            &x,
+            &y,
+            &LogisticConfig {
+                l2: 1.0,
+                ..LogisticConfig::default()
+            },
+        )
+        .unwrap();
+        let norm = |w: &[f64]| w.iter().map(|v| v * v).sum::<f64>();
+        assert!(norm(tight.weights()) < norm(loose.weights()));
+    }
+
+    #[test]
+    fn predict_covers_all_rows() {
+        let (x, y) = separable();
+        let m = LogisticRegression::fit(&x, &y, &LogisticConfig::default()).unwrap();
+        assert_eq!(m.predict(&x).len(), x.rows());
+    }
+}

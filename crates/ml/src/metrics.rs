@@ -1,0 +1,238 @@
+//! Evaluation metrics for regression and binary classification.
+
+/// Mean squared error over paired slices.
+///
+/// # Panics
+/// Panics on length mismatch or empty input (programming errors).
+pub fn mse(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "mse length mismatch");
+    assert!(!truth.is_empty(), "mse on empty slices");
+    truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(truth: &[f64], pred: &[f64]) -> f64 {
+    mse(truth, pred).sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "mae length mismatch");
+    assert!(!truth.is_empty(), "mae on empty slices");
+    truth.iter().zip(pred).map(|(t, p)| (t - p).abs()).sum::<f64>() / truth.len() as f64
+}
+
+/// Coefficient of determination R² (1 is perfect, 0 matches the mean
+/// predictor, negative is worse than the mean predictor).
+pub fn r2(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "r2 length mismatch");
+    assert!(!truth.is_empty(), "r2 on empty slices");
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = truth.iter().zip(pred).map(|(t, p)| (t - p) * (t - p)).sum();
+    if ss_tot <= 1e-12 {
+        if ss_res <= 1e-12 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Fraction of exact label matches.
+pub fn accuracy(truth: &[usize], pred: &[usize]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "accuracy length mismatch");
+    assert!(!truth.is_empty(), "accuracy on empty slices");
+    truth.iter().zip(pred).filter(|(t, p)| t == p).count() as f64 / truth.len() as f64
+}
+
+/// 2x2 confusion counts for binary labels.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct Confusion {
+    /// Truth 1, predicted 1.
+    pub tp: usize,
+    /// Truth 0, predicted 1.
+    pub fp: usize,
+    /// Truth 0, predicted 0.
+    pub tn: usize,
+    /// Truth 1, predicted 0.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tallies a binary confusion matrix.
+    pub fn from_labels(truth: &[usize], pred: &[usize]) -> Confusion {
+        assert_eq!(truth.len(), pred.len(), "confusion length mismatch");
+        let mut c = Confusion::default();
+        for (&t, &p) in truth.iter().zip(pred) {
+            match (t, p) {
+                (1, 1) => c.tp += 1,
+                (0, 1) => c.fp += 1,
+                (0, 0) => c.tn += 1,
+                (1, 0) => c.fn_ += 1,
+                _ => panic!("confusion matrix requires binary labels"),
+            }
+        }
+        c
+    }
+
+    /// Precision `tp / (tp + fp)`, 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`, 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 — harmonic mean of precision and recall, 0 when undefined.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+/// Binary cross-entropy of predicted `P(label = 1)` values, clamped away
+/// from 0/1 for numerical safety.
+pub fn log_loss(truth: &[usize], proba: &[f64]) -> f64 {
+    assert_eq!(truth.len(), proba.len(), "log_loss length mismatch");
+    assert!(!truth.is_empty(), "log_loss on empty slices");
+    let eps = 1e-12;
+    truth
+        .iter()
+        .zip(proba)
+        .map(|(&t, &p)| {
+            let p = p.clamp(eps, 1.0 - eps);
+            if t == 1 {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+/// Brier score (MSE of probabilities against outcomes).
+pub fn brier(truth: &[usize], proba: &[f64]) -> f64 {
+    assert_eq!(truth.len(), proba.len(), "brier length mismatch");
+    assert!(!truth.is_empty(), "brier on empty slices");
+    truth
+        .iter()
+        .zip(proba)
+        .map(|(&t, &p)| (p - t as f64) * (p - t as f64))
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_metrics_on_perfect_predictions() {
+        let t = [1.0, 2.0, 3.0];
+        assert_eq!(mse(&t, &t), 0.0);
+        assert_eq!(rmse(&t, &t), 0.0);
+        assert_eq!(mae(&t, &t), 0.0);
+        assert_eq!(r2(&t, &t), 1.0);
+    }
+
+    #[test]
+    fn mse_matches_hand_computation() {
+        let t = [0.0, 0.0];
+        let p = [1.0, 3.0];
+        assert!((mse(&t, &p) - 5.0).abs() < 1e-12);
+        assert!((mae(&t, &p) - 2.0).abs() < 1e-12);
+        assert!((rmse(&t, &p) - 5.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_of_mean_predictor_is_zero() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 2.0];
+        assert!(r2(&t, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]), 0.75);
+    }
+
+    #[test]
+    fn confusion_and_derived_scores() {
+        let truth = [1, 1, 1, 0, 0, 0, 1, 0];
+        let pred = [1, 1, 0, 0, 0, 1, 1, 0];
+        let c = Confusion::from_labels(&truth, &pred);
+        assert_eq!(c.tp, 3);
+        assert_eq!(c.fn_, 1);
+        assert_eq!(c.fp, 1);
+        assert_eq!(c.tn, 3);
+        assert!((c.precision() - 0.75).abs() < 1e-12);
+        assert!((c.recall() - 0.75).abs() < 1e-12);
+        assert!((c.f1() - 0.75).abs() < 1e-12);
+        assert!((c.accuracy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_confusion_is_zero_not_nan() {
+        let c = Confusion::from_labels(&[0, 0], &[0, 0]);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn log_loss_rewards_confident_correct_predictions() {
+        let good = log_loss(&[1, 0], &[0.99, 0.01]);
+        let bad = log_loss(&[1, 0], &[0.6, 0.4]);
+        let terrible = log_loss(&[1, 0], &[0.01, 0.99]);
+        assert!(good < bad && bad < terrible);
+        // Extreme probabilities don't produce infinities.
+        assert!(log_loss(&[1], &[0.0]).is_finite());
+    }
+
+    #[test]
+    fn brier_is_bounded() {
+        assert_eq!(brier(&[1, 0], &[1.0, 0.0]), 0.0);
+        assert_eq!(brier(&[1, 0], &[0.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = mse(&[1.0], &[1.0, 2.0]);
+    }
+}

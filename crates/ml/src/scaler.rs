@@ -1,0 +1,154 @@
+//! Feature standardization (zero mean, unit variance).
+
+use crate::dataset::Matrix;
+use crate::error::MlError;
+use serde::{Deserialize, Serialize};
+
+/// A fitted per-column standardizer. Constant columns keep their mean but
+/// scale by 1 so they transform to exactly zero instead of NaN.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Computes column means and standard deviations of `x`.
+    pub fn fit(x: &Matrix) -> Result<Self, MlError> {
+        if x.rows() == 0 {
+            return Err(MlError::EmptyDataset);
+        }
+        let means = x.column_means();
+        let n = x.rows() as f64;
+        let mut stds = vec![0.0; x.cols()];
+        for row in x.iter_rows() {
+            for (j, v) in row.iter().enumerate() {
+                let d = v - means[j];
+                stds[j] += d * d;
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        Ok(StandardScaler { means, stds })
+    }
+
+    /// Standardizes a matrix (columns must match the fitted shape).
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix, MlError> {
+        if x.cols() != self.means.len() {
+            return Err(MlError::FeatureMismatch {
+                expected: self.means.len(),
+                found: x.cols(),
+            });
+        }
+        let mut out = x.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (*v - self.means[j]) / self.stds[j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Standardizes one row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.means.len(), "feature count mismatch");
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = (*v - self.means[j]) / self.stds[j];
+        }
+    }
+
+    /// Fit + transform in one step.
+    pub fn fit_transform(x: &Matrix) -> Result<(Self, Matrix), MlError> {
+        let s = Self::fit(x)?;
+        let t = s.transform(x)?;
+        Ok((s, t))
+    }
+
+    /// Fitted means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Fitted standard deviations.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Appends the binary snapshot of the scaler to `buf`.
+    pub fn write_bytes(&self, buf: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        buf.put_u32_le(self.means.len() as u32);
+        for &m in &self.means {
+            buf.put_f64_le(m);
+        }
+        for &s in &self.stds {
+            buf.put_f64_le(s);
+        }
+    }
+
+    /// Decodes a scaler written by [`StandardScaler::write_bytes`],
+    /// advancing `data`.
+    pub fn read_bytes(data: &mut &[u8]) -> Result<Self, MlError> {
+        use crate::codec::{get_count, get_f64_vec};
+        let p = get_count(data, 1 << 20, "scaler columns")?;
+        let means = get_f64_vec(data, p, "scaler means")?;
+        let stds = get_f64_vec(data, p, "scaler stds")?;
+        if stds.iter().any(|&s| s <= 0.0) {
+            return Err(MlError::Corrupt("scaler std must be positive".into()));
+        }
+        Ok(StandardScaler { means, stds })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transform_centres_and_scales() {
+        let x = Matrix::from_rows(&[vec![0.0, 10.0], vec![2.0, 20.0], vec![4.0, 30.0]]).unwrap();
+        let (s, t) = StandardScaler::fit_transform(&x).unwrap();
+        assert_eq!(s.means(), &[2.0, 20.0]);
+        // Column means of the transform are ~0, variances ~1.
+        let means = t.column_means();
+        assert!(means.iter().all(|m| m.abs() < 1e-12));
+        let var: f64 = (0..3).map(|i| t.get(i, 0) * t.get(i, 0)).sum::<f64>() / 3.0;
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_columns_map_to_zero() {
+        let x = Matrix::from_rows(&[vec![5.0], vec![5.0], vec![5.0]]).unwrap();
+        let (_, t) = StandardScaler::fit_transform(&x).unwrap();
+        for i in 0..3 {
+            assert_eq!(t.get(i, 0), 0.0);
+        }
+    }
+
+    #[test]
+    fn transform_rejects_wrong_width() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let s = StandardScaler::fit(&x).unwrap();
+        let bad = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        assert!(matches!(
+            s.transform(&bad),
+            Err(MlError::FeatureMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn transform_row_matches_matrix_transform() {
+        let x = Matrix::from_rows(&[vec![0.0, 1.0], vec![4.0, 3.0]]).unwrap();
+        let s = StandardScaler::fit(&x).unwrap();
+        let t = s.transform(&x).unwrap();
+        let mut row = [0.0, 1.0];
+        s.transform_row(&mut row);
+        assert!((row[0] - t.get(0, 0)).abs() < 1e-12);
+        assert!((row[1] - t.get(0, 1)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,128 @@
+//! Train/test splitting and k-fold cross-validation.
+
+use crate::error::MlError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Shuffles `0..n` and splits into `(train, test)` index sets with
+/// `test_fraction` of the rows (at least one row each side).
+pub fn train_test_split(
+    n: usize,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<(Vec<usize>, Vec<usize>), MlError> {
+    if n < 2 {
+        return Err(MlError::EmptyDataset);
+    }
+    if !(0.0..1.0).contains(&test_fraction) || test_fraction <= 0.0 {
+        return Err(MlError::BadConfig("test_fraction must be in (0, 1)"));
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let n_test = ((n as f64 * test_fraction).round() as usize).clamp(1, n - 1);
+    let test = idx.split_off(n - n_test);
+    Ok((idx, test))
+}
+
+/// K-fold cross-validation index generator.
+#[derive(Clone, Debug)]
+pub struct KFold {
+    folds: Vec<Vec<usize>>,
+}
+
+impl KFold {
+    /// Shuffles `0..n` into `k` near-equal folds.
+    pub fn new(n: usize, k: usize, seed: u64) -> Result<Self, MlError> {
+        if k < 2 || k > n {
+            return Err(MlError::BadConfig("need 2 <= k <= n"));
+        }
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(&mut StdRng::seed_from_u64(seed));
+        let mut folds = vec![Vec::with_capacity(n / k + 1); k];
+        for (i, v) in idx.into_iter().enumerate() {
+            folds[i % k].push(v);
+        }
+        Ok(KFold { folds })
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// Iterates `(train_indices, test_indices)` per fold.
+    pub fn splits(&self) -> impl Iterator<Item = (Vec<usize>, &[usize])> + '_ {
+        (0..self.folds.len()).map(move |f| {
+            let test = &self.folds[f];
+            let train: Vec<usize> = self
+                .folds
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != f)
+                .flat_map(|(_, fold)| fold.iter().copied())
+                .collect();
+            (train, test.as_slice())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_partitions_all_indices() {
+        let (train, test) = train_test_split(100, 0.2, 7).unwrap();
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        let all: HashSet<usize> = train.iter().chain(&test).copied().collect();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let a = train_test_split(50, 0.3, 1).unwrap();
+        let b = train_test_split(50, 0.3, 1).unwrap();
+        assert_eq!(a, b);
+        let c = train_test_split(50, 0.3, 2).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn split_rejects_degenerate_inputs() {
+        assert!(train_test_split(1, 0.5, 0).is_err());
+        assert!(train_test_split(10, 0.0, 0).is_err());
+        assert!(train_test_split(10, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn tiny_split_keeps_one_row_each_side() {
+        let (train, test) = train_test_split(2, 0.01, 0).unwrap();
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 1);
+    }
+
+    #[test]
+    fn kfold_covers_everything_once() {
+        let kf = KFold::new(23, 5, 3).unwrap();
+        assert_eq!(kf.k(), 5);
+        let mut seen = [0usize; 23];
+        for (train, test) in kf.splits() {
+            assert_eq!(train.len() + test.len(), 23);
+            for &t in test {
+                seen[t] += 1;
+            }
+            let train_set: HashSet<usize> = train.iter().copied().collect();
+            assert!(test.iter().all(|t| !train_set.contains(t)));
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn kfold_rejects_bad_k() {
+        assert!(KFold::new(10, 1, 0).is_err());
+        assert!(KFold::new(3, 4, 0).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! # srt-synth — synthetic data substrate
+//!
+//! The paper evaluates on the Danish road network (667,950 vertices /
+//! 1,647,724 edges built from OpenStreetMap) with fleet GPS trajectories —
+//! neither of which is available offline. This crate builds the closest
+//! synthetic equivalent that exercises the same code paths:
+//!
+//! * [`network`] — a parametric road-network generator (perturbed grid,
+//!   arterial hierarchy, motorway ring, random thinning, largest-SCC
+//!   extraction) whose statistical shape mirrors a Scandinavian city
+//!   region at configurable scale,
+//! * [`congestion`] — the *spatially dependent* travel-time process:
+//!   per-edge lognormal congestion with an AR(1) chain across dependent
+//!   junctions, so that consecutive edges are correlated exactly the way
+//!   the paper motivates ("approximately 75% of all edge pairs with data
+//!   are dependent" — the flag probability is a config knob targeted at
+//!   that number),
+//! * [`trajectory`] — trip simulation producing per-edge travel-time
+//!   observations, the synthetic stand-in for GPS trajectories,
+//! * [`ground_truth`] — marginal/joint histograms from observations, the
+//!   model-based oracle sampler, and the dependence labelling used to
+//!   train the paper's binary classifier,
+//! * [`queries`] — budget-routing workloads by distance category
+//!   (`[0,1)`, `[1,5)`, `[5,10)` km, as in the paper's tables).
+//!
+//! Because we own the generative model, "ground truth" for any edge pair is
+//! obtainable to arbitrary precision by Monte-Carlo — something the paper
+//! could only approximate with data density. Every sampler is seeded and
+//! deterministic.
+
+pub mod congestion;
+pub mod ground_truth;
+pub mod network;
+pub mod queries;
+pub mod trajectory;
+pub mod world;
+
+pub use congestion::{CongestionConfig, CongestionModel};
+pub use ground_truth::{DependenceLabel, GroundTruth, PairKey};
+pub use network::{generate_network, NetworkConfig};
+pub use queries::{DistanceCategory, Query, QueryGenerator};
+pub use trajectory::{ObservationStore, Trajectory, TrajectoryConfig};
+pub use world::{SyntheticWorld, WorldConfig};

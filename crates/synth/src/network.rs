@@ -1,0 +1,272 @@
+//! Parametric synthetic road-network generator.
+//!
+//! Layout: a `width x height` grid of intersections with jittered
+//! coordinates (cells ~`cell_size_m` apart), bidirectional residential
+//! streets between neighbours, every `arterial_every`-th row/column
+//! upgraded to a primary arterial, the outer boundary upgraded to a
+//! motorway ring, and a fraction of residential segments removed to break
+//! the regular structure. The result is restricted to its largest strongly
+//! connected component so every query is routable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use srt_graph::algo::largest_scc;
+use srt_graph::{EdgeAttrs, GraphBuilder, NodeId, Point, RoadCategory, RoadGraph};
+
+/// Geometry/topology knobs of the generator.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct NetworkConfig {
+    /// Grid columns (intersections per row).
+    pub width: usize,
+    /// Grid rows.
+    pub height: usize,
+    /// Nominal spacing between adjacent intersections, metres.
+    pub cell_size_m: f64,
+    /// Coordinate jitter as a fraction of the cell size.
+    pub jitter: f64,
+    /// Every n-th row/column becomes a primary arterial.
+    pub arterial_every: usize,
+    /// Probability of *removing* each residential street (both directions).
+    pub thinning: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            width: 24,
+            height: 24,
+            cell_size_m: 220.0,
+            jitter: 0.25,
+            arterial_every: 4,
+            thinning: 0.12,
+            seed: 0xDA_2020,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// Rough diameter of the generated region in km (corner to corner).
+    pub fn span_km(&self) -> f64 {
+        let w = (self.width - 1) as f64 * self.cell_size_m;
+        let h = (self.height - 1) as f64 * self.cell_size_m;
+        (w * w + h * h).sqrt() / 1000.0
+    }
+
+    /// A config scaled so the region spans at least `km` kilometres
+    /// corner-to-corner (keeps cell size, grows the grid).
+    pub fn with_span_km(mut self, km: f64) -> Self {
+        let side_m = km * 1000.0 / std::f64::consts::SQRT_2;
+        let cells = (side_m / self.cell_size_m).ceil() as usize + 1;
+        self.width = self.width.max(cells);
+        self.height = self.height.max(cells);
+        self
+    }
+}
+
+/// Reference latitude for the metre->degree projection (Jutland, 57 N).
+const REF_LAT: f64 = 57.0;
+
+fn metres_to_lon(m: f64) -> f64 {
+    m / (111_320.0 * REF_LAT.to_radians().cos())
+}
+
+fn metres_to_lat(m: f64) -> f64 {
+    m / 110_574.0
+}
+
+/// Generates the network described by `cfg`.
+///
+/// # Panics
+/// Panics if the grid is smaller than 2x2.
+pub fn generate_network(cfg: &NetworkConfig) -> RoadGraph {
+    assert!(cfg.width >= 2 && cfg.height >= 2, "grid must be at least 2x2");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n_nodes = cfg.width * cfg.height;
+    let mut b = GraphBuilder::with_capacity(n_nodes, n_nodes * 4);
+
+    // Nodes with jittered positions; coordinates tracked locally for
+    // length computation during construction.
+    let mut points = Vec::with_capacity(n_nodes);
+    let mut ids = Vec::with_capacity(n_nodes);
+    for y in 0..cfg.height {
+        for x in 0..cfg.width {
+            let jx = (rng.gen::<f64>() - 0.5) * 2.0 * cfg.jitter * cfg.cell_size_m;
+            let jy = (rng.gen::<f64>() - 0.5) * 2.0 * cfg.jitter * cfg.cell_size_m;
+            let mx = x as f64 * cfg.cell_size_m + jx;
+            let my = y as f64 * cfg.cell_size_m + jy;
+            let p = Point::new(9.8 + metres_to_lon(mx), 56.8 + metres_to_lat(my));
+            points.push(p);
+            ids.push(b.add_node(p));
+        }
+    }
+    let at = |x: usize, y: usize| y * cfg.width + x;
+
+    let add_segment = |b: &mut GraphBuilder,
+                           rng: &mut StdRng,
+                           ai: usize,
+                           ci: usize,
+                           arterial: bool,
+                           ring: bool| {
+        if !ring && !arterial && rng.gen::<f64>() < cfg.thinning {
+            return;
+        }
+        let category = if ring {
+            RoadCategory::Motorway
+        } else if arterial {
+            RoadCategory::Primary
+        } else if rng.gen::<f64>() < 0.25 {
+            RoadCategory::Secondary
+        } else {
+            RoadCategory::Residential
+        };
+        // Geometric length with a mild curvature factor so free-flow times
+        // vary even on the regular grid.
+        let geo = points[ai].haversine_m(&points[ci]).max(30.0);
+        let curviness = 1.0 + rng.gen::<f64>() * 0.15;
+        b.add_bidirectional(
+            ids[ai],
+            ids[ci],
+            EdgeAttrs::with_default_speed(geo * curviness, category),
+        );
+    };
+
+    for y in 0..cfg.height {
+        for x in 0..cfg.width {
+            let on_ring_row = y == 0 || y == cfg.height - 1;
+            let on_ring_col = x == 0 || x == cfg.width - 1;
+            if x + 1 < cfg.width {
+                let arterial = y % cfg.arterial_every == 0;
+                add_segment(&mut b, &mut rng, at(x, y), at(x + 1, y), arterial, on_ring_row);
+            }
+            if y + 1 < cfg.height {
+                let arterial = x % cfg.arterial_every == 0;
+                add_segment(&mut b, &mut rng, at(x, y), at(x, y + 1), arterial, on_ring_col);
+            }
+        }
+    }
+
+    let full = b.build();
+    restrict_to_largest_scc(&full)
+}
+
+/// Rebuilds `g` restricted to its largest strongly connected component,
+/// remapping node ids densely.
+pub fn restrict_to_largest_scc(g: &RoadGraph) -> RoadGraph {
+    let keep = largest_scc(g);
+    let mut remap = vec![u32::MAX; g.num_nodes()];
+    let mut b = GraphBuilder::with_capacity(keep.len(), g.num_edges());
+    for &v in &keep {
+        remap[v.index()] = b.add_node(g.point(v)).0;
+    }
+    for e in g.edge_ids() {
+        let (from, to) = g.edge_endpoints(e);
+        let (rf, rt) = (remap[from.index()], remap[to.index()]);
+        if rf != u32::MAX && rt != u32::MAX {
+            b.add_edge(NodeId(rf), NodeId(rt), *g.attrs(e));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srt_graph::algo::dijkstra;
+
+    #[test]
+    fn default_network_is_strongly_connected_and_sized() {
+        let g = generate_network(&NetworkConfig::default());
+        // Thinning + SCC can drop a few nodes, but most of the 24x24 grid
+        // must survive.
+        assert!(g.num_nodes() > 500, "nodes: {}", g.num_nodes());
+        assert!(g.num_edges() > 1500, "edges: {}", g.num_edges());
+        assert_eq!(largest_scc(&g).len(), g.num_nodes());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_network(&NetworkConfig::default());
+        let b = generate_network(&NetworkConfig::default());
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_edges(), b.num_edges());
+        for e in a.edge_ids().take(50) {
+            assert_eq!(a.edge_endpoints(e), b.edge_endpoints(e));
+            assert_eq!(a.attrs(e), b.attrs(e));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_networks() {
+        let a = generate_network(&NetworkConfig::default());
+        let b = generate_network(&NetworkConfig {
+            seed: 7,
+            ..NetworkConfig::default()
+        });
+        // Same construction recipe, different thinning -> different sizes
+        // with overwhelming probability.
+        assert!(a.num_edges() != b.num_edges() || a.num_nodes() != b.num_nodes());
+    }
+
+    #[test]
+    fn network_has_the_full_road_hierarchy() {
+        let g = generate_network(&NetworkConfig::default());
+        let mut seen = [false; 5];
+        for e in g.edge_ids() {
+            seen[g.attrs(e).category.as_index()] = true;
+        }
+        assert!(seen[RoadCategory::Motorway.as_index()], "no motorway ring");
+        assert!(seen[RoadCategory::Primary.as_index()], "no arterials");
+        assert!(seen[RoadCategory::Residential.as_index()], "no local streets");
+    }
+
+    #[test]
+    fn all_pairs_are_routable() {
+        let g = generate_network(&NetworkConfig {
+            width: 8,
+            height: 8,
+            ..NetworkConfig::default()
+        });
+        let w = |e: srt_graph::EdgeId| g.attrs(e).freeflow_time_s();
+        let sp = dijkstra(&g, NodeId(0), None, w);
+        for v in g.node_ids() {
+            assert!(sp.distance(v).is_finite(), "{v} unreachable");
+        }
+    }
+
+    #[test]
+    fn span_grows_with_grid() {
+        let small = NetworkConfig {
+            width: 8,
+            height: 8,
+            ..NetworkConfig::default()
+        };
+        let big = NetworkConfig::default();
+        assert!(big.span_km() > small.span_km());
+    }
+
+    #[test]
+    fn with_span_km_reaches_requested_distance() {
+        let cfg = NetworkConfig::default().with_span_km(12.0);
+        assert!(cfg.span_km() >= 12.0);
+    }
+
+    #[test]
+    fn edge_lengths_are_plausible() {
+        let cfg = NetworkConfig::default();
+        let g = generate_network(&cfg);
+        for e in g.edge_ids() {
+            let len = g.attrs(e).length_m;
+            assert!(len > 25.0 && len < cfg.cell_size_m * 3.0, "length {len}");
+        }
+    }
+
+    #[test]
+    fn scc_restriction_is_idempotent() {
+        let g = generate_network(&NetworkConfig::default());
+        let g2 = restrict_to_largest_scc(&g);
+        assert_eq!(g.num_nodes(), g2.num_nodes());
+        assert_eq!(g.num_edges(), g2.num_edges());
+    }
+}

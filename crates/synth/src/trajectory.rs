@@ -1,0 +1,285 @@
+//! Trip simulation: the synthetic stand-in for GPS trajectory data.
+//!
+//! Trips follow free-flow shortest paths between random origin/destination
+//! pairs (drivers mostly take fast routes, which concentrates observations
+//! on arterials — the same "edges with sufficient data" skew the paper
+//! handles). Travel times along each trip come from
+//! [`crate::CongestionModel::simulate_path`], so consecutive-edge
+//! dependence is baked into every observation.
+
+use crate::congestion::CongestionModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use srt_graph::algo::dijkstra_all;
+use srt_graph::{EdgeId, NodeId, RoadGraph};
+use std::collections::HashMap;
+
+/// Trip-simulation knobs.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct TrajectoryConfig {
+    /// Total trips to simulate.
+    pub num_trips: usize,
+    /// Trips shorter than this many edges are discarded.
+    pub min_edges: usize,
+    /// Trips are truncated to this many edges.
+    pub max_edges: usize,
+    /// Number of distinct origins (trips per origin =
+    /// `num_trips / num_sources`); origins are reused so one Dijkstra
+    /// serves many trips.
+    pub num_sources: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TrajectoryConfig {
+    fn default() -> Self {
+        TrajectoryConfig {
+            num_trips: 4000,
+            min_edges: 3,
+            max_edges: 40,
+            num_sources: 64,
+            seed: 0x7121,
+        }
+    }
+}
+
+/// One simulated trip: the edges travelled and the time spent on each.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Trajectory {
+    /// Edges in travel order.
+    pub edges: Vec<EdgeId>,
+    /// Seconds spent on each edge (`times.len() == edges.len()`).
+    pub times: Vec<f64>,
+}
+
+impl Trajectory {
+    /// Total trip duration in seconds.
+    pub fn total_time(&self) -> f64 {
+        self.times.iter().sum()
+    }
+}
+
+/// Aggregated per-edge and per-edge-pair observations.
+#[derive(Clone, Debug, Default)]
+pub struct ObservationStore {
+    edge_samples: Vec<Vec<f64>>,
+    pair_samples: HashMap<(EdgeId, EdgeId), Vec<(f64, f64)>>,
+    num_trajectories: usize,
+}
+
+impl ObservationStore {
+    /// An empty store sized for `num_edges` edges.
+    pub fn new(num_edges: usize) -> Self {
+        ObservationStore {
+            edge_samples: vec![Vec::new(); num_edges],
+            pair_samples: HashMap::new(),
+            num_trajectories: 0,
+        }
+    }
+
+    /// Records every edge and consecutive-pair observation of `traj`.
+    pub fn record(&mut self, traj: &Trajectory) {
+        self.num_trajectories += 1;
+        for (i, (&e, &t)) in traj.edges.iter().zip(&traj.times).enumerate() {
+            self.edge_samples[e.index()].push(t);
+            if i > 0 {
+                let prev = traj.edges[i - 1];
+                self.pair_samples
+                    .entry((prev, e))
+                    .or_default()
+                    .push((traj.times[i - 1], t));
+            }
+        }
+    }
+
+    /// All recorded travel times of edge `e`.
+    pub fn edge_samples(&self, e: EdgeId) -> &[f64] {
+        &self.edge_samples[e.index()]
+    }
+
+    /// `(t1, t2)` observations of the consecutive pair `e1 -> e2`.
+    pub fn pair_samples(&self, e1: EdgeId, e2: EdgeId) -> &[(f64, f64)] {
+        self.pair_samples
+            .get(&(e1, e2))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Pairs with at least `min_obs` observations ("edge pairs with
+    /// sufficient data"), in deterministic order.
+    pub fn pairs_with_at_least(&self, min_obs: usize) -> Vec<(EdgeId, EdgeId)> {
+        let mut pairs: Vec<(EdgeId, EdgeId)> = self
+            .pair_samples
+            .iter()
+            .filter(|(_, v)| v.len() >= min_obs)
+            .map(|(&k, _)| k)
+            .collect();
+        pairs.sort_unstable();
+        pairs
+    }
+
+    /// Number of edges with at least `min_obs` observations.
+    pub fn edges_with_at_least(&self, min_obs: usize) -> usize {
+        self.edge_samples
+            .iter()
+            .filter(|v| v.len() >= min_obs)
+            .count()
+    }
+
+    /// Number of recorded trajectories.
+    pub fn num_trajectories(&self) -> usize {
+        self.num_trajectories
+    }
+
+    /// Total number of per-edge observations.
+    pub fn num_observations(&self) -> usize {
+        self.edge_samples.iter().map(Vec::len).sum()
+    }
+}
+
+/// Simulates `cfg.num_trips` trips and aggregates their observations.
+///
+/// Origins are sampled once; a single one-to-all Dijkstra per origin
+/// serves all trips from it (cheap coverage of realistic routes).
+pub fn simulate_trajectories(
+    g: &RoadGraph,
+    model: &CongestionModel,
+    cfg: &TrajectoryConfig,
+) -> (Vec<Trajectory>, ObservationStore) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut store = ObservationStore::new(g.num_edges());
+    let mut out = Vec::with_capacity(cfg.num_trips);
+    if g.num_nodes() == 0 {
+        return (out, store);
+    }
+
+    let num_sources = cfg.num_sources.clamp(1, g.num_nodes());
+    let trips_per_source = cfg.num_trips.div_ceil(num_sources);
+    let weight = |e: EdgeId| g.attrs(e).freeflow_time_s();
+
+    'outer: for _ in 0..num_sources {
+        let source = NodeId(rng.gen_range(0..g.num_nodes() as u32));
+        let sp = dijkstra_all(g, source, weight);
+        for _ in 0..trips_per_source {
+            if out.len() >= cfg.num_trips {
+                break 'outer;
+            }
+            let target = NodeId(rng.gen_range(0..g.num_nodes() as u32));
+            let Some(path) = sp.extract_path(target) else {
+                continue;
+            };
+            if path.edges.len() < cfg.min_edges {
+                continue;
+            }
+            let mut edges = path.edges;
+            edges.truncate(cfg.max_edges);
+            let times = model.simulate_path(g, &edges, &mut rng);
+            let traj = Trajectory { edges, times };
+            store.record(&traj);
+            out.push(traj);
+        }
+    }
+
+    (out, store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::congestion::CongestionConfig;
+    use crate::network::{generate_network, NetworkConfig};
+
+    fn world() -> (RoadGraph, CongestionModel) {
+        let g = generate_network(&NetworkConfig {
+            width: 10,
+            height: 10,
+            ..NetworkConfig::default()
+        });
+        let m = CongestionModel::new(&g, CongestionConfig::default());
+        (g, m)
+    }
+
+    fn small_cfg() -> TrajectoryConfig {
+        TrajectoryConfig {
+            num_trips: 200,
+            num_sources: 8,
+            ..TrajectoryConfig::default()
+        }
+    }
+
+    #[test]
+    fn trips_have_aligned_edges_and_times() {
+        let (g, m) = world();
+        let (trips, _) = simulate_trajectories(&g, &m, &small_cfg());
+        assert!(!trips.is_empty());
+        for t in &trips {
+            assert_eq!(t.edges.len(), t.times.len());
+            assert!(t.edges.len() >= 3);
+            assert!(t.total_time() > 0.0);
+            // Consecutive edges connect.
+            for w in t.edges.windows(2) {
+                assert_eq!(g.edge_target(w[0]), g.edge_source(w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn store_counts_match_trips() {
+        let (g, m) = world();
+        let (trips, store) = simulate_trajectories(&g, &m, &small_cfg());
+        assert_eq!(store.num_trajectories(), trips.len());
+        let expected_obs: usize = trips.iter().map(|t| t.edges.len()).sum();
+        assert_eq!(store.num_observations(), expected_obs);
+    }
+
+    #[test]
+    fn pair_samples_are_recorded_for_consecutive_edges() {
+        let (g, m) = world();
+        let (trips, store) = simulate_trajectories(&g, &m, &small_cfg());
+        let t = &trips[0];
+        let (e1, e2) = (t.edges[0], t.edges[1]);
+        assert!(!store.pair_samples(e1, e2).is_empty());
+        // Unseen pair yields the empty slice, not a panic.
+        assert!(store.pair_samples(EdgeId(0), EdgeId(0)).is_empty());
+    }
+
+    #[test]
+    fn pairs_with_sufficient_data_exist_and_are_sorted() {
+        let (g, m) = world();
+        let (_, store) = simulate_trajectories(&g, &m, &small_cfg());
+        let pairs = store.pairs_with_at_least(5);
+        assert!(!pairs.is_empty(), "no well-observed pairs");
+        for w in pairs.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // Higher threshold selects fewer pairs.
+        assert!(store.pairs_with_at_least(20).len() <= pairs.len());
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let (g, m) = world();
+        let (a, _) = simulate_trajectories(&g, &m, &small_cfg());
+        let (b, _) = simulate_trajectories(&g, &m, &small_cfg());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0], b[0]);
+    }
+
+    #[test]
+    fn max_edges_truncates() {
+        let (g, m) = world();
+        let cfg = TrajectoryConfig {
+            max_edges: 5,
+            ..small_cfg()
+        };
+        let (trips, _) = simulate_trajectories(&g, &m, &cfg);
+        assert!(trips.iter().all(|t| t.edges.len() <= 5));
+    }
+
+    #[test]
+    fn well_observed_edges_accumulate_many_samples() {
+        let (g, m) = world();
+        let (_, store) = simulate_trajectories(&g, &m, &small_cfg());
+        assert!(store.edges_with_at_least(10) > 0);
+    }
+}

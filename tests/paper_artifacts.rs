@@ -1,0 +1,55 @@
+//! The paper's concrete numbers, verified through the experiment harness.
+
+use stochastic_routing::eval::experiments::{intro, motivating};
+use stochastic_routing::eval::setup::{build_context, Scale};
+
+#[test]
+fn e1_airport_table_is_exact() {
+    let (_, r) = intro::run();
+    // Paper: P1 gives 0.9 within 60 min, P2 gives 0.8; means 53 vs 51.
+    assert!((r.p1_on_time - 0.9).abs() < 1e-12);
+    assert!((r.p2_on_time - 0.8).abs() < 1e-12);
+    assert!((r.p1_mean - 53.0).abs() < 1e-9);
+    assert!((r.p2_mean - 51.0).abs() < 1e-9);
+    assert_eq!(r.probabilistic_choice(), "P1");
+    assert_eq!(r.mean_choice(), "P2");
+}
+
+#[test]
+fn e2_motivating_example_is_exact() {
+    let (_, r) = motivating::run();
+    // Paper: convolution {30: .25, 35: .50, 40: .25}; truth {30: .5, 40: .5}.
+    assert!((r.convolved.prob(0) - 0.25).abs() < 1e-12);
+    assert!((r.convolved.prob(1) - 0.50).abs() < 1e-12);
+    assert!((r.convolved.prob(2) - 0.25).abs() < 1e-12);
+    assert!((r.ground_truth.prob(0) - 0.5).abs() < 1e-12);
+    assert!(r.kl > 0.0);
+}
+
+#[test]
+fn e3_to_e6_shapes_hold_at_tiny_scale() {
+    use stochastic_routing::eval::experiments::{dependence, efficiency, model_quality, quality};
+
+    let ctx = build_context(Scale::Tiny);
+
+    // E3: hybrid no worse than convolution.
+    let (_, report) = model_quality::run(&ctx);
+    assert!(report.kl_hybrid_mean <= report.kl_convolution_mean * 1.1);
+
+    // E4: dependence rate in the paper's neighbourhood.
+    let (_, dep) = dependence::run(&ctx, 150);
+    assert!((0.4..=0.95).contains(&dep.labelled_fraction));
+
+    // E5: anytime never beats exhaustive.
+    let (_, rows) = quality::run(&ctx, 6);
+    for row in &rows {
+        for &w in &row.win_rates[1..] {
+            assert!(w <= row.win_rates[0] + 1e-9);
+        }
+    }
+
+    // E6: search effort grows with query distance.
+    let (_, eff) = efficiency::run(&ctx, 6);
+    assert!(eff.len() >= 2);
+    assert!(eff.last().unwrap().mean_labels >= eff.first().unwrap().mean_labels);
+}
