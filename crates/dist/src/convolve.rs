@@ -1,0 +1,222 @@
+//! Convolution of travel-time histograms — the independence-assuming
+//! combination step and the hot inner loop of both path-cost computation
+//! and routing-label expansion.
+//!
+//! "Assuming independence, the distribution of the travel time of a path
+//! is computed by convolving the travel time distributions of the edges in
+//! the path." The motivating example's table is reproduced verbatim by
+//! [`convolve`]; [`convolve_bounded`] additionally caps the output bucket
+//! count so search labels stay small (see `RouterConfig::max_bins` in
+//! `srt-core`).
+
+use crate::error::DistError;
+use crate::histogram::{redistribute, Histogram};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Scratch buffer for the capped convolution: the full product grid is
+    /// accumulated here and re-bucketed into the (single) output
+    /// allocation, keeping the hot path free of intermediate allocations.
+    static SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Accumulates the aligned (equal-width) convolution of `a` and `b` into
+/// `out`, which must hold `a.num_bins() + b.num_bins() - 1` zeros.
+fn accumulate_aligned(a: &Histogram, b: &Histogram, out: &mut [f64]) {
+    for (i, &pa) in a.probs().iter().enumerate() {
+        if pa == 0.0 {
+            continue;
+        }
+        for (j, &pb) in b.probs().iter().enumerate() {
+            out[i + j] += pa * pb;
+        }
+    }
+}
+
+/// Convolution of two histograms with the same bucket width: bucket-index
+/// sums, exactly the paper's discrete treatment. `{10: .5, 15: .5}`
+/// convolved with `{20: .5, 25: .5}` gives `{30: .25, 35: .5, 40: .25}`.
+fn convolve_aligned(a: &Histogram, b: &Histogram) -> Histogram {
+    let mut out = vec![0.0; a.num_bins() + b.num_bins() - 1];
+    accumulate_aligned(a, b, &mut out);
+    Histogram::new(a.start() + b.start(), a.width(), out)
+        .expect("convolution of valid histograms is valid")
+}
+
+/// Travel-time distribution of the sum of two independent histograms.
+///
+/// Histograms with equal bucket widths convolve exactly on the shared
+/// lattice (`na + nb - 1` output buckets anchored at the sum of the
+/// supports' left edges). Mismatched widths are first projected onto the
+/// finer of the two widths, then convolved on that lattice.
+///
+/// ```
+/// use srt_dist::{convolve, Histogram};
+///
+/// // The paper's motivating example: marginals H1 = {10: .5, 15: .5} and
+/// // H2 = {20: .5, 25: .5} convolve to {30: .25, 35: .50, 40: .25}.
+/// let h1 = Histogram::from_point_masses(&[(10.0, 0.5), (15.0, 0.5)], 5.0).unwrap();
+/// let h2 = Histogram::from_point_masses(&[(20.0, 0.5), (25.0, 0.5)], 5.0).unwrap();
+/// let sum = convolve(&h1, &h2);
+/// assert_eq!(sum.num_bins(), 3);
+/// assert!((sum.prob(1) - 0.50).abs() < 1e-12);
+/// assert_eq!(sum.start(), 30.0);
+/// ```
+pub fn convolve(a: &Histogram, b: &Histogram) -> Histogram {
+    if a.width() == b.width() {
+        return convolve_aligned(a, b);
+    }
+    // Mismatched widths: project both onto the finer lattice (anchored at
+    // each histogram's own start), then convolve aligned.
+    let w = a.width().min(b.width());
+    let fine = |h: &Histogram| -> Histogram {
+        if h.width() == w {
+            return h.clone();
+        }
+        let span = h.end() - h.start();
+        let nbins = ((span / w) - 1e-9).ceil().max(1.0) as usize;
+        h.rebin_onto(h.start(), w, nbins)
+            .expect("finer grid over the same support is valid")
+    };
+    convolve_aligned(&fine(a), &fine(b))
+}
+
+/// [`convolve`] with a cap on the number of output buckets — the pruning
+/// (c) workhorse: zero-anchored label histograms stay at most `max_bins`
+/// wide no matter how long the path grows.
+///
+/// When the exact result exceeds `max_bins` buckets it is re-bucketed onto
+/// `max_bins` equal buckets over the same support (mass split by interval
+/// overlap). The intermediate product grid lives in a reused thread-local
+/// buffer, so the only allocation on the hot path is the returned
+/// histogram itself.
+///
+/// # Errors
+/// [`DistError::ZeroBins`] when `max_bins == 0`.
+pub fn convolve_bounded(
+    a: &Histogram,
+    b: &Histogram,
+    max_bins: usize,
+) -> Result<Histogram, DistError> {
+    if max_bins == 0 {
+        return Err(DistError::ZeroBins);
+    }
+    if a.width() != b.width() {
+        // Cold path: mismatched widths go through the projecting convolve.
+        let full = convolve(a, b);
+        if full.num_bins() <= max_bins {
+            return Ok(full);
+        }
+        return full.with_bins(max_bins);
+    }
+    let n = a.num_bins() + b.num_bins() - 1;
+    if n <= max_bins {
+        return Ok(convolve_aligned(a, b));
+    }
+    SCRATCH.with(|scratch| {
+        let mut buf = scratch.borrow_mut();
+        buf.clear();
+        buf.resize(n, 0.0);
+        accumulate_aligned(a, b, &mut buf);
+        let start = a.start() + b.start();
+        let span = a.width() * n as f64;
+        let width = span / max_bins as f64;
+        let out = redistribute(start, a.width(), &buf, start, width, max_bins);
+        Histogram::new(start, width, out)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(start: f64, width: f64, probs: &[f64]) -> Histogram {
+        Histogram::new(start, width, probs.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn paper_motivating_example_is_exact() {
+        let h1 = Histogram::from_point_masses(&[(10.0, 0.5), (15.0, 0.5)], 5.0).unwrap();
+        let h2 = Histogram::from_point_masses(&[(20.0, 0.5), (25.0, 0.5)], 5.0).unwrap();
+        let c = convolve(&h1, &h2);
+        assert_eq!(c.num_bins(), 3);
+        assert_eq!(c.start(), 30.0);
+        assert!((c.prob(0) - 0.25).abs() < 1e-15);
+        assert!((c.prob(1) - 0.50).abs() < 1e-15);
+        assert!((c.prob(2) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn convolution_is_commutative() {
+        let a = h(0.0, 2.0, &[0.2, 0.5, 0.3]);
+        let b = h(10.0, 2.0, &[0.7, 0.3]);
+        assert_eq!(convolve(&a, &b), convolve(&b, &a));
+    }
+
+    #[test]
+    fn support_is_the_sum_of_supports() {
+        let a = h(5.0, 1.0, &[0.5, 0.5]);
+        let b = h(7.0, 1.0, &[0.25, 0.25, 0.5]);
+        let c = convolve(&a, &b);
+        assert_eq!(c.start(), 12.0);
+        assert_eq!(c.num_bins(), 4);
+        assert_eq!(c.end(), 16.0);
+    }
+
+    #[test]
+    fn mismatched_widths_are_projected_onto_the_finer_lattice() {
+        let a = h(30.0, 5.0, &[0.5, 0.5]);
+        let b = h(18.0, 4.0, &[0.25, 0.25, 0.25, 0.25]);
+        let c = convolve(&a, &b);
+        assert_eq!(c.width(), 4.0);
+        assert_eq!(c.start(), 48.0);
+        assert!((c.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Mean additivity holds to within half the coarser bucket.
+        assert!((c.mean() - (a.mean() + b.mean())).abs() <= 2.5 + 1e-9);
+    }
+
+    #[test]
+    fn bounded_convolution_matches_full_when_it_fits() {
+        let a = h(0.0, 1.0, &[0.5, 0.5]);
+        let b = h(0.0, 1.0, &[0.25, 0.75]);
+        assert_eq!(convolve_bounded(&a, &b, 8).unwrap(), convolve(&a, &b));
+    }
+
+    #[test]
+    fn bounded_convolution_caps_the_bucket_count() {
+        let a = h(10.0, 2.0, &[0.1; 10]);
+        let b = h(20.0, 2.0, &[0.05; 20]);
+        let c = convolve_bounded(&a, &b, 12).unwrap();
+        assert_eq!(c.num_bins(), 12);
+        assert_eq!(c.start(), 30.0);
+        // Same support as the exact result (10 + 20 - 1 buckets of 2s).
+        assert!((c.end() - (30.0 + 29.0 * 2.0)).abs() < 1e-9);
+        assert!((c.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // The cap only re-buckets; the CDF stays close to the exact one.
+        let full = convolve(&a, &b);
+        for i in 0..=12 {
+            let x = 30.0 + i as f64 * c.width();
+            assert!((c.cdf(x) - full.cdf(x)).abs() < 0.08, "x={x}");
+        }
+    }
+
+    #[test]
+    fn bounded_convolution_rejects_a_zero_cap() {
+        let a = h(0.0, 1.0, &[1.0]);
+        assert_eq!(convolve_bounded(&a, &a, 0), Err(DistError::ZeroBins));
+    }
+
+    #[test]
+    fn repeated_bounded_convolution_keeps_labels_small() {
+        // The routing loop's usage pattern: fold a path, cap at each step.
+        let edge = h(10.0, 2.5, &[0.1, 0.3, 0.4, 0.2]);
+        let mut acc = edge.clone();
+        for _ in 0..30 {
+            acc = convolve_bounded(&acc, &edge, 20).unwrap();
+            assert!(acc.num_bins() <= 20);
+            assert!((acc.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        // 31 edges, each at least 10s: the support floor must track it.
+        assert!(acc.start() >= 309.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! First-order stochastic dominance — pruning (d)'s order on labels.
+//!
+//! Distribution `A` *dominates* `B` when `A`'s CDF is everywhere at least
+//! `B`'s: for every deadline, `A` arrives on time at least as probably as
+//! `B`. Dominated partial paths can never become part of an optimal
+//! answer, so the budget router keeps only a Pareto set per vertex.
+//!
+//! Both CDFs are piecewise linear, so comparing them at every bucket
+//! boundary of *either* histogram decides the relation exactly.
+
+use crate::histogram::Histogram;
+
+/// Outcome of a first-order dominance comparison.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Dominance {
+    /// The left distribution dominates (arrives earlier in the CDF order).
+    Dominates,
+    /// The right distribution dominates.
+    DominatedBy,
+    /// The CDFs coincide everywhere.
+    Equivalent,
+    /// The CDFs cross: neither dominates.
+    Incomparable,
+}
+
+/// Tolerance below which CDF differences count as ties, absorbing
+/// floating-point noise from evaluating two lattices against each other.
+const EPS: f64 = 1e-12;
+
+/// Visits the union of both histograms' bucket boundaries in ascending
+/// order (a two-pointer merge; no allocation).
+pub(crate) fn for_each_breakpoint(a: &Histogram, b: &Histogram, mut f: impl FnMut(f64)) {
+    let (mut i, mut j) = (0usize, 0usize);
+    let na = a.num_bins() + 1;
+    let nb = b.num_bins() + 1;
+    while i < na || j < nb {
+        let xa = if i < na {
+            a.start() + i as f64 * a.width()
+        } else {
+            f64::INFINITY
+        };
+        let xb = if j < nb {
+            b.start() + j as f64 * b.width()
+        } else {
+            f64::INFINITY
+        };
+        if xa <= xb {
+            f(xa);
+            i += 1;
+            if xa == xb {
+                j += 1;
+            }
+        } else {
+            f(xb);
+            j += 1;
+        }
+    }
+}
+
+/// Compares `a` and `b` under first-order stochastic dominance.
+pub fn compare(a: &Histogram, b: &Histogram) -> Dominance {
+    let mut a_better = false;
+    let mut b_better = false;
+    for_each_breakpoint(a, b, |x| {
+        let d = a.cdf(x) - b.cdf(x);
+        if d > EPS {
+            a_better = true;
+        } else if d < -EPS {
+            b_better = true;
+        }
+    });
+    match (a_better, b_better) {
+        (true, true) => Dominance::Incomparable,
+        (true, false) => Dominance::Dominates,
+        (false, true) => Dominance::DominatedBy,
+        (false, false) => Dominance::Equivalent,
+    }
+}
+
+/// `true` when `a` weakly dominates `b` (dominates or is equivalent) —
+/// the predicate the router's Pareto sets prune with.
+pub fn dominates(a: &Histogram, b: &Histogram) -> bool {
+    matches!(compare(a, b), Dominance::Dominates | Dominance::Equivalent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(start: f64, width: f64, probs: &[f64]) -> Histogram {
+        Histogram::new(start, width, probs.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn earlier_mass_dominates() {
+        let fast = h(0.0, 1.0, &[0.6, 0.4]);
+        let slow = h(0.0, 1.0, &[0.4, 0.6]);
+        assert_eq!(compare(&fast, &slow), Dominance::Dominates);
+        assert_eq!(compare(&slow, &fast), Dominance::DominatedBy);
+        assert!(dominates(&fast, &slow));
+        assert!(!dominates(&slow, &fast));
+    }
+
+    #[test]
+    fn a_shifted_copy_is_dominated() {
+        let base = h(10.0, 2.0, &[0.25; 4]);
+        let later = base.shift(5.0);
+        assert_eq!(compare(&base, &later), Dominance::Dominates);
+        assert_eq!(compare(&later, &base), Dominance::DominatedBy);
+    }
+
+    #[test]
+    fn identical_distributions_are_equivalent() {
+        let a = h(3.0, 1.5, &[0.2, 0.5, 0.3]);
+        assert_eq!(compare(&a, &a.clone()), Dominance::Equivalent);
+        assert!(dominates(&a, &a));
+    }
+
+    #[test]
+    fn crossing_cdfs_are_incomparable() {
+        // x concentrates early AND late; y concentrates in the middle:
+        // the CDFs cross.
+        let x = h(0.0, 1.0, &[0.5, 0.0, 0.5]);
+        let y = h(0.0, 1.0, &[0.0, 1.0, 0.0]);
+        assert_eq!(compare(&x, &y), Dominance::Incomparable);
+        assert_eq!(compare(&y, &x), Dominance::Incomparable);
+        assert!(!dominates(&x, &y));
+        assert!(!dominates(&y, &x));
+    }
+
+    #[test]
+    fn different_lattices_compare_correctly() {
+        // Same shape on different grids: the finer one loses nothing.
+        let coarse = h(0.0, 2.0, &[0.5, 0.5]);
+        let fine = h(0.0, 1.0, &[0.25, 0.25, 0.25, 0.25]);
+        assert_eq!(compare(&fine, &coarse), Dominance::Equivalent);
+        // Shift the coarse one later: the fine one dominates.
+        assert_eq!(compare(&fine, &coarse.shift(0.5)), Dominance::Dominates);
+    }
+
+    #[test]
+    fn disjoint_supports_order_by_position() {
+        let early = h(0.0, 1.0, &[1.0]);
+        let late = h(100.0, 1.0, &[1.0]);
+        assert_eq!(compare(&early, &late), Dominance::Dominates);
+    }
+}

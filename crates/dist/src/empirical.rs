@@ -1,0 +1,108 @@
+//! Fitting histograms from observed travel times.
+//!
+//! "The travel time distribution of an edge is instantiated from the
+//! travel times of the trajectories that traversed the edge." This module
+//! is the bridge from raw samples (synthetic trajectories in `srt-synth`,
+//! GPS observations in the paper) to the [`Histogram`] algebra.
+
+use crate::error::DistError;
+use crate::histogram::Histogram;
+
+/// Fits an equi-width histogram with exactly `bins` buckets spanning
+/// `[min, max]` of the samples. The largest sample lands in the last
+/// bucket (the support's right edge is inclusive for it), so the fitted
+/// CDF reaches one exactly at `max`.
+///
+/// Identical samples (zero range) produce a near-degenerate support of
+/// `bins` hair-width buckets with all mass in the first, preserving the
+/// requested bucket count.
+///
+/// # Errors
+/// * [`DistError::NoSamples`] for an empty slice,
+/// * [`DistError::ZeroBins`] when `bins == 0`,
+/// * [`DistError::NonFinite`] when any sample is NaN or infinite.
+pub fn from_samples(samples: &[f64], bins: usize) -> Result<Histogram, DistError> {
+    if samples.is_empty() {
+        return Err(DistError::NoSamples);
+    }
+    if bins == 0 {
+        return Err(DistError::ZeroBins);
+    }
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &x in samples {
+        if !x.is_finite() {
+            return Err(DistError::NonFinite);
+        }
+        min = min.min(x);
+        max = max.max(x);
+    }
+    let range = max - min;
+    let width = if range > 0.0 {
+        range / bins as f64
+    } else {
+        // Degenerate sample set: keep the bucket count, shrink the width.
+        (min.abs() * 1e-12).max(1e-9)
+    };
+    let mut counts = vec![0.0; bins];
+    for &x in samples {
+        let idx = (((x - min) / width) as usize).min(bins - 1);
+        counts[idx] += 1.0;
+    }
+    Histogram::new(min, width, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_the_requested_bucket_count_and_support() {
+        let samples: Vec<f64> = (0..100).map(|i| 10.0 + i as f64 * 0.9).collect();
+        let h = from_samples(&samples, 20).unwrap();
+        assert_eq!(h.num_bins(), 20);
+        assert_eq!(h.start(), 10.0);
+        assert!((h.end() - (10.0 + 99.0 * 0.9)).abs() < 1e-9);
+        assert!((h.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_mean_is_recovered_within_a_bucket() {
+        let samples: Vec<f64> = (0..1000).map(|i| 50.0 + (i % 97) as f64).collect();
+        let h = from_samples(&samples, 24).unwrap();
+        let sample_mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((h.mean() - sample_mean).abs() <= h.width());
+    }
+
+    #[test]
+    fn cdf_reaches_one_at_the_maximum_sample() {
+        let samples = [3.0, 9.0, 4.5, 7.25, 6.0];
+        let h = from_samples(&samples, 4).unwrap();
+        assert_eq!(h.cdf(9.0), 1.0);
+        assert_eq!(h.cdf(2.9), 0.0);
+    }
+
+    #[test]
+    fn identical_samples_yield_a_degenerate_support() {
+        let h = from_samples(&[42.0; 50], 10).unwrap();
+        assert_eq!(h.num_bins(), 10);
+        assert_eq!(h.prob(0), 1.0);
+        assert!((h.mean() - 42.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_and_invalid_inputs_are_rejected() {
+        assert_eq!(from_samples(&[], 5), Err(DistError::NoSamples));
+        assert_eq!(from_samples(&[1.0], 0), Err(DistError::ZeroBins));
+        assert_eq!(from_samples(&[1.0, f64::NAN], 5), Err(DistError::NonFinite));
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let samples: Vec<f64> = (0..500).map(|i| ((i * 37) % 113) as f64).collect();
+        assert_eq!(
+            from_samples(&samples, 16).unwrap(),
+            from_samples(&samples, 16).unwrap()
+        );
+    }
+}

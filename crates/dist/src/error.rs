@@ -1,0 +1,58 @@
+//! Error type for the distribution algebra.
+
+use std::fmt;
+
+/// Errors produced by histogram construction and transformation.
+#[derive(Clone, PartialEq, Debug)]
+pub enum DistError {
+    /// An empirical fit was requested over an empty sample set.
+    NoSamples,
+    /// A histogram needs at least one bucket.
+    EmptyHistogram,
+    /// A bucket count of zero was requested for a rebin/convolution cap.
+    ZeroBins,
+    /// The bucket width must be finite and strictly positive.
+    InvalidWidth(f64),
+    /// A support anchor, sample or mass was NaN or infinite.
+    NonFinite,
+    /// A bucket was assigned negative mass.
+    NegativeMass(f64),
+    /// The total mass was zero, so the histogram cannot be normalized.
+    ZeroMass,
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::NoSamples => write!(f, "no samples to fit a histogram from"),
+            DistError::EmptyHistogram => write!(f, "histogram needs at least one bucket"),
+            DistError::ZeroBins => write!(f, "requested bucket count must be positive"),
+            DistError::InvalidWidth(w) => {
+                write!(f, "bucket width must be finite and positive, got {w}")
+            }
+            DistError::NonFinite => write!(f, "encountered a non-finite value"),
+            DistError::NegativeMass(m) => write!(f, "bucket mass must be non-negative, got {m}"),
+            DistError::ZeroMass => write!(f, "total mass is zero, cannot normalize"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(DistError::NoSamples.to_string().contains("no samples"));
+        assert!(DistError::InvalidWidth(-1.0).to_string().contains("-1"));
+        assert!(DistError::NegativeMass(-0.5).to_string().contains("-0.5"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(DistError::ZeroMass);
+        assert!(e.to_string().contains("zero"));
+    }
+}

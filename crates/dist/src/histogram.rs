@@ -1,0 +1,472 @@
+//! The equi-width travel-time histogram.
+//!
+//! "We use histograms to represent travel time distributions. A histogram
+//! covers a time interval that is partitioned into buckets of equal width,
+//! and each bucket is associated with the probability mass that falls into
+//! it." Within a bucket the mass is treated as uniformly distributed, so
+//! the CDF is piecewise linear and the mean sits at the bucket centre.
+
+use crate::error::DistError;
+use serde::{Deserialize, Serialize};
+
+/// An equi-width histogram over travel-time buckets.
+///
+/// Bucket `i` covers `[start + i*width, start + (i+1)*width)` and carries
+/// probability mass `probs[i]`; masses are normalized to sum to one at
+/// construction. All operations treat mass as uniform within its bucket.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    start: f64,
+    width: f64,
+    probs: Vec<f64>,
+}
+
+impl Histogram {
+    /// Builds a histogram from a support anchor, bucket width and bucket
+    /// masses. Masses may be unnormalized counts; they are scaled to sum
+    /// to one.
+    ///
+    /// # Errors
+    /// * [`DistError::EmptyHistogram`] for an empty mass vector,
+    /// * [`DistError::InvalidWidth`] for a non-finite or non-positive width,
+    /// * [`DistError::NonFinite`] for a non-finite anchor or mass,
+    /// * [`DistError::NegativeMass`] for a negative mass,
+    /// * [`DistError::ZeroMass`] when all masses are zero.
+    pub fn new(start: f64, width: f64, mut probs: Vec<f64>) -> Result<Self, DistError> {
+        if probs.is_empty() {
+            return Err(DistError::EmptyHistogram);
+        }
+        if !width.is_finite() || width <= 0.0 {
+            return Err(DistError::InvalidWidth(width));
+        }
+        if !start.is_finite() {
+            return Err(DistError::NonFinite);
+        }
+        let mut total = 0.0;
+        for &p in &probs {
+            if !p.is_finite() {
+                return Err(DistError::NonFinite);
+            }
+            if p < 0.0 {
+                return Err(DistError::NegativeMass(p));
+            }
+            total += p;
+        }
+        if total <= 0.0 {
+            return Err(DistError::ZeroMass);
+        }
+        if total != 1.0 {
+            for p in &mut probs {
+                *p /= total;
+            }
+        }
+        Ok(Histogram { start, width, probs })
+    }
+
+    /// A single-bucket histogram: all mass in `[value, value + width)`.
+    pub fn point_mass(value: f64, width: f64) -> Result<Self, DistError> {
+        Histogram::new(value, width, vec![1.0])
+    }
+
+    /// Builds a histogram from `(value, mass)` pairs, snapping each value
+    /// to the bucket lattice anchored at the smallest value. This is how
+    /// the paper's worked tables (e.g. `{30: .25, 35: .50, 40: .25}`)
+    /// become histograms.
+    ///
+    /// # Errors
+    /// [`DistError::NoSamples`] for an empty slice, plus the
+    /// [`Histogram::new`] conditions.
+    pub fn from_point_masses(points: &[(f64, f64)], width: f64) -> Result<Self, DistError> {
+        if points.is_empty() {
+            return Err(DistError::NoSamples);
+        }
+        if !width.is_finite() || width <= 0.0 {
+            return Err(DistError::InvalidWidth(width));
+        }
+        let mut start = f64::INFINITY;
+        for &(x, m) in points {
+            if !x.is_finite() || !m.is_finite() {
+                return Err(DistError::NonFinite);
+            }
+            if m < 0.0 {
+                return Err(DistError::NegativeMass(m));
+            }
+            start = start.min(x);
+        }
+        let index = |x: f64| ((x - start) / width + 0.5).floor() as usize;
+        let nbins = points.iter().map(|&(x, _)| index(x)).max().unwrap_or(0) + 1;
+        let mut probs = vec![0.0; nbins];
+        for &(x, m) in points {
+            probs[index(x)] += m;
+        }
+        Histogram::new(start, width, probs)
+    }
+
+    /// Left edge of the support.
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+
+    /// Right edge of the support (exclusive).
+    pub fn end(&self) -> f64 {
+        self.start + self.width * self.probs.len() as f64
+    }
+
+    /// Bucket width in the same unit as the support (seconds throughout
+    /// the stack).
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Number of buckets.
+    pub fn num_bins(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// The normalized bucket masses.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Mass of bucket `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= num_bins()`.
+    pub fn prob(&self, i: usize) -> f64 {
+        self.probs[i]
+    }
+
+    /// Expected value: masses sit at bucket centres.
+    pub fn mean(&self) -> f64 {
+        let centers: f64 = self
+            .probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i as f64 + 0.5) * p)
+            .sum();
+        self.start + self.width * centers
+    }
+
+    /// Variance under the uniform-within-bucket reading (includes the
+    /// `width^2 / 12` within-bucket term).
+    pub fn variance(&self) -> f64 {
+        let mean = self.mean();
+        let spread: f64 = self
+            .probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let c = self.start + (i as f64 + 0.5) * self.width;
+                p * (c - mean) * (c - mean)
+            })
+            .sum();
+        spread + self.width * self.width / 12.0
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().max(0.0).sqrt()
+    }
+
+    /// Shannon entropy of the bucket masses (nats). Zero buckets
+    /// contribute nothing.
+    pub fn entropy(&self) -> f64 {
+        -self
+            .probs
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.ln())
+            .sum::<f64>()
+    }
+
+    /// Largest single-bucket mass (the mode's mass).
+    pub fn max_prob(&self) -> f64 {
+        self.probs.iter().fold(0.0, |m, &p| m.max(p))
+    }
+
+    /// `P(X <= x)` under the piecewise-linear (uniform within bucket) CDF.
+    /// Zero below the support, one above it; `NaN` maps to zero.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if !x.is_finite() {
+            return if x == f64::INFINITY { 1.0 } else { 0.0 };
+        }
+        let t = (x - self.start) / self.width;
+        if t <= 0.0 {
+            return 0.0;
+        }
+        if t >= self.probs.len() as f64 {
+            return 1.0;
+        }
+        let full = t.floor() as usize;
+        let head: f64 = self.probs[..full].iter().sum();
+        (head + (t - full as f64) * self.probs[full]).clamp(0.0, 1.0)
+    }
+
+    /// On-time probability for budget `t`: an alias of [`Histogram::cdf`]
+    /// named for the routing use case.
+    pub fn prob_within(&self, t: f64) -> f64 {
+        self.cdf(t)
+    }
+
+    /// Inverse CDF. `q` is clamped to `[0, 1]`; returns `start()` for
+    /// `q <= 0` and `end()` for `q >= 1`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        if q <= 0.0 {
+            return self.start;
+        }
+        let mut cum = 0.0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            if p > 0.0 && cum + p >= q {
+                return self.start + self.width * (i as f64 + (q - cum) / p);
+            }
+            cum += p;
+        }
+        self.end()
+    }
+
+    /// The same distribution translated by `dt` seconds.
+    pub fn shift(&self, dt: f64) -> Histogram {
+        Histogram {
+            start: self.start + dt,
+            width: self.width,
+            probs: self.probs.clone(),
+        }
+    }
+
+    /// Splits the histogram into `(offset, zero-anchored shape)` — pruning
+    /// (c)'s label representation: `self == shape.shift(offset)`.
+    pub fn shifted_to_zero(&self) -> (f64, Histogram) {
+        (self.start, self.shift(-self.start))
+    }
+
+    /// Re-buckets onto `nbins` buckets over the same support, splitting
+    /// each bucket's mass by interval overlap.
+    ///
+    /// # Errors
+    /// [`DistError::ZeroBins`] when `nbins == 0`.
+    pub fn with_bins(&self, nbins: usize) -> Result<Histogram, DistError> {
+        if nbins == 0 {
+            return Err(DistError::ZeroBins);
+        }
+        if nbins == self.probs.len() {
+            return Ok(self.clone());
+        }
+        let span = self.end() - self.start;
+        self.rebin_onto(self.start, span / nbins as f64, nbins)
+    }
+
+    /// Projects the distribution onto an arbitrary target grid
+    /// `[lo, lo + width * nbins)`, splitting mass by interval overlap.
+    /// Mass outside the target support is clamped into the nearest edge
+    /// bucket, so total mass is preserved.
+    ///
+    /// # Errors
+    /// [`DistError::ZeroBins`], [`DistError::InvalidWidth`] or
+    /// [`DistError::NonFinite`] for a degenerate target grid.
+    pub fn rebin_onto(&self, lo: f64, width: f64, nbins: usize) -> Result<Histogram, DistError> {
+        if nbins == 0 {
+            return Err(DistError::ZeroBins);
+        }
+        if !width.is_finite() || width <= 0.0 {
+            return Err(DistError::InvalidWidth(width));
+        }
+        if !lo.is_finite() {
+            return Err(DistError::NonFinite);
+        }
+        let masses = redistribute(self.start, self.width, &self.probs, lo, width, nbins);
+        Histogram::new(lo, width, masses)
+    }
+}
+
+/// Overlap-splitting mass redistribution from one equi-width grid onto
+/// another. Mass outside the target grid clamps into the edge buckets, so
+/// the total is preserved exactly (up to rounding).
+pub(crate) fn redistribute(
+    src_start: f64,
+    src_width: f64,
+    src: &[f64],
+    lo: f64,
+    width: f64,
+    nbins: usize,
+) -> Vec<f64> {
+    let mut out = vec![0.0; nbins];
+    let hi = lo + width * nbins as f64;
+    for (i, &p) in src.iter().enumerate() {
+        if p <= 0.0 {
+            continue;
+        }
+        let l = src_start + i as f64 * src_width;
+        let r = l + src_width;
+        // Tails falling off the target grid clamp to the edge buckets.
+        let below = (lo - l).clamp(0.0, src_width);
+        let above = (r - hi).clamp(0.0, src_width);
+        if below > 0.0 {
+            out[0] += p * below / src_width;
+        }
+        if above > 0.0 {
+            out[nbins - 1] += p * above / src_width;
+        }
+        let ol = l.max(lo);
+        let or_ = r.min(hi);
+        if or_ <= ol {
+            continue;
+        }
+        let j0 = ((ol - lo) / width).floor().max(0.0) as usize;
+        let j1 = (((or_ - lo) / width).ceil() as usize).min(nbins);
+        for (j, slot) in out.iter_mut().enumerate().take(j1).skip(j0.min(nbins - 1)) {
+            let bl = lo + j as f64 * width;
+            let overlap = or_.min(bl + width) - ol.max(bl);
+            if overlap > 0.0 {
+                *slot += p * overlap / src_width;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_normalizes_counts() {
+        let h = Histogram::new(0.0, 1.0, vec![2.0, 6.0]).unwrap();
+        assert!((h.prob(0) - 0.25).abs() < 1e-12);
+        assert!((h.prob(1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn construction_rejects_degenerate_inputs() {
+        assert_eq!(
+            Histogram::new(0.0, 1.0, vec![]),
+            Err(DistError::EmptyHistogram)
+        );
+        assert_eq!(
+            Histogram::new(0.0, 0.0, vec![1.0]),
+            Err(DistError::InvalidWidth(0.0))
+        );
+        assert_eq!(
+            Histogram::new(f64::NAN, 1.0, vec![1.0]),
+            Err(DistError::NonFinite)
+        );
+        assert_eq!(
+            Histogram::new(0.0, 1.0, vec![1.0, -0.5]),
+            Err(DistError::NegativeMass(-0.5))
+        );
+        assert_eq!(
+            Histogram::new(0.0, 1.0, vec![0.0, 0.0]),
+            Err(DistError::ZeroMass)
+        );
+    }
+
+    #[test]
+    fn paper_intro_table_moments() {
+        // "Travel Time Distributions of Two Paths to the Airport".
+        let p1 = Histogram::new(40.0, 10.0, vec![0.3, 0.6, 0.1]).unwrap();
+        let p2 = Histogram::new(40.0, 10.0, vec![0.6, 0.2, 0.2]).unwrap();
+        assert!((p1.mean() - 53.0).abs() < 1e-9);
+        assert!((p2.mean() - 51.0).abs() < 1e-9);
+        assert!((p1.prob_within(60.0) - 0.9).abs() < 1e-12);
+        assert!((p2.prob_within(60.0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_saturates() {
+        let h = Histogram::new(10.0, 2.0, vec![0.25; 4]).unwrap();
+        assert_eq!(h.cdf(9.0), 0.0);
+        assert_eq!(h.cdf(18.0), 1.0);
+        assert_eq!(h.cdf(f64::INFINITY), 1.0);
+        assert_eq!(h.cdf(f64::NEG_INFINITY), 0.0);
+        assert_eq!(h.cdf(f64::NAN), 0.0);
+        let mut last = -1.0;
+        for i in 0..=40 {
+            let c = h.cdf(9.0 + 0.25 * i as f64);
+            assert!(c >= last);
+            last = c;
+        }
+        // Halfway through the second bucket.
+        assert!((h.cdf(13.0) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_inverts_the_cdf() {
+        let h = Histogram::new(0.0, 4.0, vec![0.1, 0.4, 0.3, 0.2]).unwrap();
+        for q in [0.05, 0.25, 0.5, 0.75, 0.95] {
+            let x = h.quantile(q);
+            assert!((h.cdf(x) - q).abs() < 1e-9, "q={q} x={x}");
+        }
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 16.0);
+        assert_eq!(h.quantile(f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn point_masses_snap_to_the_lattice() {
+        let h = Histogram::from_point_masses(&[(30.0, 0.5), (40.0, 0.5)], 5.0).unwrap();
+        assert_eq!(h.num_bins(), 3);
+        assert_eq!(h.prob(0), 0.5);
+        assert_eq!(h.prob(1), 0.0);
+        assert_eq!(h.prob(2), 0.5);
+        assert_eq!(h.start(), 30.0);
+    }
+
+    #[test]
+    fn shift_and_shifted_to_zero_round_trip() {
+        let h = Histogram::new(30.0, 5.0, vec![0.5, 0.5]).unwrap();
+        let (offset, shape) = h.shifted_to_zero();
+        assert_eq!(offset, 30.0);
+        assert_eq!(shape.start(), 0.0);
+        assert_eq!(shape.shift(offset), h);
+        assert!((shape.mean() + offset - h.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebin_preserves_mass_and_roughly_the_mean() {
+        let h = Histogram::new(5.0, 1.0, vec![0.1, 0.2, 0.3, 0.25, 0.1, 0.05]).unwrap();
+        for n in [1usize, 2, 3, 4, 12] {
+            let r = h.with_bins(n).unwrap();
+            assert_eq!(r.num_bins(), n);
+            assert!((r.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!((r.mean() - h.mean()).abs() <= r.width() / 2.0 + 1e-12);
+            assert_eq!(r.start(), h.start());
+        }
+    }
+
+    #[test]
+    fn upsampling_splits_buckets_evenly() {
+        let h = Histogram::new(0.0, 2.0, vec![0.5, 0.5]).unwrap();
+        let r = h.with_bins(4).unwrap();
+        for i in 0..4 {
+            assert!((r.prob(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rebin_onto_clamps_outside_mass_to_the_edges() {
+        let h = Histogram::new(0.0, 1.0, vec![0.25; 4]).unwrap();
+        // Target grid covers only the middle half of the support.
+        let r = h.rebin_onto(1.0, 1.0, 2).unwrap();
+        assert!((r.prob(0) - 0.5).abs() < 1e-12);
+        assert!((r.prob(1) - 0.5).abs() < 1e-12);
+        assert!((r.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_and_max_prob_behave() {
+        let uniform = Histogram::new(0.0, 1.0, vec![0.25; 4]).unwrap();
+        let spike = Histogram::new(0.0, 1.0, vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!(uniform.entropy() > spike.entropy());
+        assert_eq!(spike.entropy(), 0.0);
+        assert_eq!(spike.max_prob(), 1.0);
+        assert_eq!(uniform.max_prob(), 0.25);
+    }
+
+    #[test]
+    fn variance_includes_the_within_bucket_term() {
+        let h = Histogram::point_mass(10.0, 6.0).unwrap();
+        // A single bucket is uniform on [10, 16): variance = 36 / 12 = 3.
+        assert!((h.variance() - 3.0).abs() < 1e-12);
+        assert!((h.std_dev() - 3.0f64.sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,66 @@
+//! # srt-dist — travel-time distribution algebra
+//!
+//! The probabilistic substrate of the hybrid stochastic-routing stack:
+//! equi-width [`Histogram`]s over travel-time buckets and the operations
+//! every layer above leans on.
+//!
+//! * [`convolve`] / [`convolve_bounded`] — the independence-assuming
+//!   combination step; the bounded variant caps output buckets so
+//!   routing labels stay small (pruning (c)'s zero-anchored shapes are
+//!   produced by [`Histogram::shifted_to_zero`]),
+//! * [`empirical`] — fitting histograms from observed travel times,
+//! * [`dominance`] — first-order stochastic dominance, the order behind
+//!   pruning (d)'s per-vertex Pareto sets,
+//! * [`kl_divergence`] / [`total_variation`] / [`wasserstein1`] — the
+//!   divergences used to label edge-pair dependence and score the
+//!   estimation model against ground truth.
+//!
+//! Semantics: bucket `i` of a histogram covers
+//! `[start + i*width, start + (i+1)*width)`; mass is uniform within a
+//! bucket, so the CDF is piecewise linear and the mean sits at bucket
+//! centres. Convolution follows the paper's discrete bucket-index
+//! treatment, which keeps its worked example exact.
+//!
+//! # Examples
+//!
+//! The paper's introductory airport table — the on-time probability of a
+//! path is one [`Histogram::cdf`] evaluation:
+//!
+//! ```
+//! use srt_dist::Histogram;
+//!
+//! // P1 from the intro: buckets of 10 minutes from 40, masses .3/.6/.1.
+//! let p1 = Histogram::new(40.0, 10.0, vec![0.3, 0.6, 0.1]).unwrap();
+//! assert!((p1.cdf(60.0) - 0.9).abs() < 1e-12); // P(arrive within 60 min)
+//! assert!((p1.mean() - 53.0).abs() < 1e-9);    // average travel time
+//! ```
+//!
+//! The motivating example's convolution — combining two edges under the
+//! independence assumption:
+//!
+//! ```
+//! use srt_dist::{convolve, Histogram};
+//!
+//! let h1 = Histogram::from_point_masses(&[(10.0, 0.5), (15.0, 0.5)], 5.0).unwrap();
+//! let h2 = Histogram::from_point_masses(&[(20.0, 0.5), (25.0, 0.5)], 5.0).unwrap();
+//! let path = convolve(&h1, &h2);
+//! assert_eq!(path.start(), 30.0);
+//! assert!((path.prob(0) - 0.25).abs() < 1e-12);
+//! assert!((path.prob(1) - 0.50).abs() < 1e-12);
+//! assert!((path.prob(2) - 0.25).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dominance;
+pub mod empirical;
+
+mod convolve;
+mod error;
+mod histogram;
+mod metrics;
+
+pub use convolve::{convolve, convolve_bounded};
+pub use error::DistError;
+pub use histogram::Histogram;
+pub use metrics::{kl_divergence, total_variation, wasserstein1};

@@ -1,0 +1,192 @@
+//! Divergences and distances between travel-time histograms.
+//!
+//! The paper's model study "measur[es] the KL-divergence between the
+//! output and ground truth trajectories"; dependence labelling thresholds
+//! `KL(truth ‖ convolution)`. Histograms on different lattices are first
+//! projected onto a shared grid (the union support at the finer width), so
+//! every metric is defined for any pair of histograms.
+
+use crate::histogram::{redistribute, Histogram};
+
+/// Additive smoothing applied to the reference distribution of the KL
+/// divergence, so empty buckets do not blow up to infinity.
+const SMOOTH_EPS: f64 = 1e-10;
+
+/// Cap on the shared-projection grid, bounding work for pathological
+/// width ratios.
+const MAX_PROJECTION_BINS: usize = 4096;
+
+/// `true` when the two histograms already live on the same lattice.
+fn aligned(p: &Histogram, q: &Histogram) -> bool {
+    p.start() == q.start() && p.width() == q.width() && p.num_bins() == q.num_bins()
+}
+
+/// Projects both histograms onto the union support at (roughly) the finer
+/// of the two widths, returning the two mass vectors.
+fn project(p: &Histogram, q: &Histogram) -> (Vec<f64>, Vec<f64>) {
+    let lo = p.start().min(q.start());
+    let hi = p.end().max(q.end());
+    let mut width = p.width().min(q.width());
+    let mut nbins = (((hi - lo) / width) - 1e-9).ceil().max(1.0) as usize;
+    if nbins > MAX_PROJECTION_BINS {
+        nbins = MAX_PROJECTION_BINS;
+        width = (hi - lo) / nbins as f64;
+    }
+    (
+        redistribute(p.start(), p.width(), p.probs(), lo, width, nbins),
+        redistribute(q.start(), q.width(), q.probs(), lo, width, nbins),
+    )
+}
+
+fn kl_of_masses(p: &[f64], q: &[f64]) -> f64 {
+    // Smooth + renormalize the reference so KL stays finite and >= 0.
+    let qt: f64 = q.iter().map(|&m| m + SMOOTH_EPS).sum();
+    let kl: f64 = p
+        .iter()
+        .zip(q)
+        .filter(|(&pm, _)| pm > 0.0)
+        .map(|(&pm, &qm)| pm * (pm / ((qm + SMOOTH_EPS) / qt)).ln())
+        .sum();
+    kl.max(0.0)
+}
+
+/// Kullback-Leibler divergence `KL(p ‖ q)` in nats.
+///
+/// The reference `q` is smoothed with a tiny additive floor, so the result
+/// is always finite; it is zero iff the bucket masses coincide on the
+/// shared grid.
+pub fn kl_divergence(p: &Histogram, q: &Histogram) -> f64 {
+    if aligned(p, q) {
+        return kl_of_masses(p.probs(), q.probs());
+    }
+    let (pm, qm) = project(p, q);
+    kl_of_masses(&pm, &qm)
+}
+
+/// Total-variation distance: half the L1 distance between bucket masses
+/// on the shared grid. Ranges over `[0, 1]`.
+pub fn total_variation(p: &Histogram, q: &Histogram) -> f64 {
+    let tv = if aligned(p, q) {
+        p.probs()
+            .iter()
+            .zip(q.probs())
+            .map(|(&a, &b)| (a - b).abs())
+            .sum::<f64>()
+    } else {
+        let (pm, qm) = project(p, q);
+        pm.iter().zip(&qm).map(|(&a, &b)| (a - b).abs()).sum()
+    };
+    (0.5 * tv).clamp(0.0, 1.0)
+}
+
+/// 1-Wasserstein (earth mover's) distance: the exact integral of
+/// `|F_p - F_q|` over the union support. Unlike KL, it is sensitive to
+/// *how far* mass moved, in seconds.
+pub fn wasserstein1(p: &Histogram, q: &Histogram) -> f64 {
+    // Both CDFs are piecewise linear with breakpoints only at their own
+    // bucket edges, so the difference is linear between merged
+    // breakpoints: integrate each segment exactly (splitting at a sign
+    // change).
+    let mut area = 0.0;
+    let mut prev_x = f64::NAN;
+    let mut prev_d = 0.0;
+    crate::dominance::for_each_breakpoint(p, q, |x| {
+        let d = p.cdf(x) - q.cdf(x);
+        if prev_x.is_finite() && x > prev_x {
+            let len = x - prev_x;
+            area += if prev_d * d >= 0.0 {
+                0.5 * (prev_d.abs() + d.abs()) * len
+            } else {
+                // Linear sign change at t in (0, 1).
+                let t = prev_d / (prev_d - d);
+                0.5 * (prev_d.abs() * t + d.abs() * (1.0 - t)) * len
+            };
+        }
+        prev_x = x;
+        prev_d = d;
+    });
+    area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(start: f64, width: f64, probs: &[f64]) -> Histogram {
+        Histogram::new(start, width, probs.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn kl_of_the_motivating_example_is_ln2() {
+        let truth = h(30.0, 5.0, &[0.5, 0.0, 0.5]);
+        let conv = h(30.0, 5.0, &[0.25, 0.5, 0.25]);
+        // .5 ln(.5/.25) + .5 ln(.5/.25) = ln 2, up to the smoothing floor.
+        assert!((kl_divergence(&truth, &conv) - 2.0f64.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kl_is_zero_on_identical_and_positive_on_different() {
+        let a = h(0.0, 1.0, &[0.3, 0.7]);
+        let b = h(0.0, 1.0, &[0.7, 0.3]);
+        assert!(kl_divergence(&a, &a.clone()) < 1e-9);
+        assert!(kl_divergence(&a, &b) > 0.1);
+    }
+
+    #[test]
+    fn kl_is_finite_when_the_reference_has_empty_buckets() {
+        let p = h(0.0, 1.0, &[0.5, 0.5]);
+        let q = h(0.0, 1.0, &[1.0, 0.0]);
+        let kl = kl_divergence(&p, &q);
+        assert!(kl.is_finite());
+        assert!(kl > 1.0, "missing mass must be punished hard, got {kl}");
+    }
+
+    #[test]
+    fn kl_projects_mismatched_lattices() {
+        let p = h(0.0, 1.0, &[0.25; 4]);
+        let q = h(0.5, 2.0, &[0.5, 0.5]);
+        let kl = kl_divergence(&p, &q);
+        assert!(kl.is_finite() && kl >= 0.0);
+        // Same shape, same lattice, different representation: ~zero.
+        let fine = h(0.0, 1.0, &[0.25; 4]);
+        let coarse = h(0.0, 2.0, &[0.5, 0.5]);
+        assert!(kl_divergence(&fine, &coarse) < 1e-9);
+    }
+
+    #[test]
+    fn total_variation_of_the_motivating_example() {
+        let truth = h(30.0, 5.0, &[0.5, 0.0, 0.5]);
+        let conv = h(30.0, 5.0, &[0.25, 0.5, 0.25]);
+        assert!((total_variation(&truth, &conv) - 0.5).abs() < 1e-12);
+        assert_eq!(total_variation(&truth, &truth.clone()), 0.0);
+    }
+
+    #[test]
+    fn wasserstein_measures_shift_distance() {
+        let a = h(0.0, 1.0, &[0.5, 0.5]);
+        // A pure translation by d has W1 exactly d.
+        for d in [0.25, 1.0, 7.5] {
+            assert!((wasserstein1(&a, &a.shift(d)) - d).abs() < 1e-9, "d={d}");
+        }
+        assert_eq!(wasserstein1(&a, &a.clone()), 0.0);
+    }
+
+    #[test]
+    fn wasserstein_is_symmetric_and_respects_crossings() {
+        let x = h(0.0, 1.0, &[0.5, 0.0, 0.5]);
+        let y = h(0.0, 1.0, &[0.0, 1.0, 0.0]);
+        let w = wasserstein1(&x, &y);
+        assert!((wasserstein1(&y, &x) - w).abs() < 1e-12);
+        assert!(w > 0.0);
+    }
+
+    #[test]
+    fn metrics_agree_that_closer_is_closer() {
+        let target = h(0.0, 1.0, &[0.1, 0.2, 0.4, 0.2, 0.1]);
+        let near = h(0.0, 1.0, &[0.12, 0.2, 0.38, 0.2, 0.1]);
+        let far = h(0.0, 1.0, &[0.4, 0.3, 0.1, 0.1, 0.1]);
+        assert!(kl_divergence(&target, &near) < kl_divergence(&target, &far));
+        assert!(total_variation(&target, &near) < total_variation(&target, &far));
+        assert!(wasserstein1(&target, &near) < wasserstein1(&target, &far));
+    }
+}

@@ -23,9 +23,13 @@ pub struct AblationRow {
     pub mean_labels: f64,
     /// Mean run time in seconds.
     pub mean_s: f64,
-    /// Mean absolute probability difference vs. the full configuration
-    /// (soundness check: ~0 for dominance/shifting; bound/pivot may only
-    /// *miss* wins when disabled mid-run via label caps).
+    /// Mean absolute probability difference vs. the full configuration.
+    /// Soundness check: ~0 for cost shifting (a pure re-parametrization).
+    /// Dominance is exact under pure convolution but only *approximately*
+    /// sound under the hybrid model — the learned estimator arm is not
+    /// monotone in first-order dominance, so dropping a dominated label
+    /// can shift the answer by a small amount. Bound/pivot may only
+    /// *miss* wins when disabled mid-run via label caps.
     pub mean_prob_delta: f64,
 }
 
@@ -146,9 +150,22 @@ mod tests {
         let ctx = build_context(Scale::Tiny);
         let (_, rows) = run(&ctx, 6);
         for row in &rows {
-            if row.name.contains("(c)") || row.name.contains("(d)") {
+            // Cost shifting is a pure re-parametrization: exact.
+            if row.name.contains("(c)") {
                 assert!(
                     row.mean_prob_delta < 1e-6,
+                    "{} changed probabilities by {}",
+                    row.name,
+                    row.mean_prob_delta
+                );
+            }
+            // Dominance is exact only for a monotone cost model; the
+            // hybrid's estimator arm is not monotone in first-order
+            // dominance, so allow the small drift it can introduce (see
+            // `AblationRow::mean_prob_delta`).
+            if row.name.contains("(d)") {
+                assert!(
+                    row.mean_prob_delta < 5e-3,
                     "{} changed probabilities by {}",
                     row.name,
                     row.mean_prob_delta

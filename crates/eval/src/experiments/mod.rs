@@ -16,9 +16,9 @@ use srt_core::HybridCost;
 use srt_synth::Query;
 use std::time::Duration;
 
-/// Routes a query batch in parallel (crossbeam scoped threads), preserving
+/// Routes a query batch in parallel (`std::thread::scope`), preserving
 /// input order. The cost oracle is shared immutably; each thread owns its
-/// router.
+/// router and writes into a disjoint chunk of the result buffer.
 pub(crate) fn route_queries(
     cost: &HybridCost<'_>,
     cfg: RouterConfig,
@@ -38,26 +38,18 @@ pub(crate) fn route_queries(
     }
 
     let chunk = queries.len().div_ceil(threads);
-    let results = parking_lot::Mutex::new(vec![None; queries.len()]);
-    crossbeam::thread::scope(|s| {
-        for (t, slice) in queries.chunks(chunk).enumerate() {
-            let results = &results;
-            s.spawn(move |_| {
+    let mut results: Vec<Option<RouteResult>> = vec![None; queries.len()];
+    std::thread::scope(|s| {
+        for (q_slice, r_slice) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            s.spawn(move || {
                 let router = BudgetRouter::new(cost, cfg);
-                let mut local = Vec::with_capacity(slice.len());
-                for q in slice {
-                    local.push(router.route(q.source, q.target, q.budget_s, deadline));
-                }
-                let mut out = results.lock();
-                for (i, r) in local.into_iter().enumerate() {
-                    out[t * chunk + i] = Some(r);
+                for (q, out) in q_slice.iter().zip(r_slice) {
+                    *out = Some(router.route(q.source, q.target, q.budget_s, deadline));
                 }
             });
         }
-    })
-    .expect("routing threads never panic");
+    });
     results
-        .into_inner()
         .into_iter()
         .map(|r| r.expect("every query routed"))
         .collect()

@@ -1,6 +1,8 @@
 //! The paper's introductory scenario: an autonomous taxi must reach the
-//! airport within a deadline. Reproduces the intro table exactly, then
-//! finds a live instance of the same phenomenon in a synthetic world.
+//! airport within a deadline. Reproduces the intro table exactly
+//! (P1: 0.9 on-time vs. P2: 0.8, even though P2 has the smaller mean),
+//! then searches a synthetic city for a live instance where the
+//! deadline-aware route beats the average-time route.
 //!
 //! ```sh
 //! cargo run --release --example airport_deadline

@@ -3,6 +3,10 @@
 //! pivot path whenever the limit expires, so answer quality degrades
 //! gracefully instead of the query failing.
 //!
+//! Prints one query answered under a ladder of deadlines (100 µs → ∞)
+//! with its probability, label counts and completion flag: probabilities
+//! are monotone in the allotted time.
+//!
 //! ```sh
 //! cargo run --release --example anytime_routing
 //! ```

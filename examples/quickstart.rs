@@ -1,6 +1,12 @@
 //! Quickstart: build a synthetic world, train the hybrid model, answer a
 //! probabilistic budget query.
 //!
+//! Demonstrates the minimal end-to-end path through the stack —
+//! `srt-synth` world → `srt-core` training → budget routing — and prints
+//! the held-out KL of the hybrid vs. plain convolution (the paper's
+//! headline: hybrid ≤ convolution) plus one routed query with its
+//! on-time probability against the expected-time baseline.
+//!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```

@@ -1,0 +1,206 @@
+//! Offline API-compatible subset of the
+//! [`proptest`](https://docs.rs/proptest) crate, vendored because this
+//! repository builds without network access.
+//!
+//! Provides the surface the stack's property tests use: the [`proptest!`]
+//! macro, [`Strategy`] with `prop_map`/`prop_flat_map`/`prop_filter`,
+//! range and tuple strategies, [`collection::vec`], [`any`], and the
+//! `prop_assert*`/`prop_assume!` macros. Each test runs a configurable
+//! number of deterministically seeded random cases (seeded from the test
+//! name, so failures reproduce run over run).
+//!
+//! Omitted relative to the real crate: shrinking (a failing case reports
+//! its case index and message but is not minimized), persisted failure
+//! regressions, and the full strategy combinator zoo.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, Just, Strategy};
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy for `Vec`s whose elements come from `element` and whose
+    /// length comes from `size` (a fixed `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Test-runner configuration (the subset the stack sets).
+pub mod test_runner {
+    /// Per-test configuration; construct with
+    /// [`ProptestConfig::with_cases`].
+    #[derive(Copy, Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of accepted random cases each test must pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the test panics with this message.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is not counted.
+    Reject(String),
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// FNV-1a over a test name: the deterministic per-test seed.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives one property test: repeatedly generates inputs with `gen_case`
+/// and runs `run_case` until `config.cases` cases are accepted. Panics on
+/// the first failing case; gives up if rejections swamp acceptances.
+pub fn run_property<V>(
+    name: &str,
+    config: test_runner::ProptestConfig,
+    mut gen_case: impl FnMut(&mut StdRng) -> V,
+    mut run_case: impl FnMut(V) -> Result<(), TestCaseError>,
+) {
+    let mut rng = StdRng::seed_from_u64(seed_for(name));
+    let mut accepted = 0u32;
+    let mut rejected = 0u64;
+    while accepted < config.cases {
+        let value = gen_case(&mut rng);
+        match run_case(value) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.cases as u64 * 64 + 4096 {
+                    panic!(
+                        "property `{name}`: prop_assume! rejected {rejected} cases \
+                         with only {accepted}/{} accepted — strategy too narrow",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property `{name}` failed at case {accepted}: {msg}");
+            }
+        }
+    }
+}
+
+/// Declares property tests: `fn name(pattern in strategy, ...) { body }`
+/// items, optionally preceded by
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::run_property(
+                    stringify!($name),
+                    config,
+                    |rng| ($($crate::strategy::Strategy::generate(&($strat), rng)),+ ,),
+                    |($($arg),+ ,)| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Fails the current case with an assertion message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?}` == `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{:?}` != `{:?}`", l, r
+        );
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not failed) unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -1,0 +1,22 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline `serde`
+//! stub (see `vendor/README.md`).
+//!
+//! The stack annotates model types with serde derives for downstream
+//! consumers, but all of its own persistence goes through hand-rolled
+//! binary codecs (`srt_ml::codec`, `srt_graph::io`, `srt_core::model::io`)
+//! — no serde serializer is ever invoked. These derives therefore expand
+//! to nothing: the attribute compiles, and no impls are generated.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; satisfies `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; satisfies `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
