@@ -1,0 +1,334 @@
+//! Offline API-compatible subset of the
+//! [`criterion`](https://docs.rs/criterion) benchmark harness, vendored
+//! because this repository builds without network access.
+//!
+//! Supports the harness surface the bench suite uses: `criterion_group!`,
+//! `criterion_main!`, [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], `bench_with_input`, [`BenchmarkId`],
+//! [`black_box`] and `sample_size`. Measurement is a deliberately simple
+//! adaptive loop (calibrate iteration count to ~`measurement_time / 5`,
+//! take `sample_size` samples, report mean ± sd and median); there is no
+//! HTML report, outlier analysis or comparison to saved baselines.
+//!
+//! `--test` (what `cargo bench -- --test` forwards) runs every benchmark
+//! body exactly once, as the real harness does, so CI can smoke-test the
+//! bench suite without paying for measurement.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark registry and runner, handed to each `criterion_group!` target.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let filter = args
+            .iter()
+            .skip(1)
+            .find(|a| !a.starts_with("--"))
+            .cloned();
+        Criterion {
+            test_mode: args.iter().any(|a| a == "--test"),
+            filter,
+            sample_size: 20,
+            measurement_time: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Target wall-clock spent measuring each benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let (n, t) = (self.sample_size, self.measurement_time);
+        self.run_one(id, n, t, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks. The group starts from
+    /// the current defaults; settings changed on the group stay scoped to
+    /// it, as in the real harness.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        let measurement_time = self.measurement_time;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size,
+            measurement_time,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        sample_size: usize,
+        measurement_time: Duration,
+        f: &mut F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            let mut b = Bencher {
+                mode: Mode::Once,
+                samples: Vec::new(),
+            };
+            f(&mut b);
+            println!("test {id} ... ok");
+            return;
+        }
+        // Calibrate the per-sample iteration count on a 1-iteration probe.
+        let mut probe = Bencher {
+            mode: Mode::Timed { iters: 1 },
+            samples: Vec::new(),
+        };
+        f(&mut probe);
+        let per_iter = probe.samples.first().copied().unwrap_or(Duration::ZERO);
+        let budget = measurement_time.as_secs_f64() / sample_size as f64;
+        let iters = if per_iter.is_zero() {
+            1000
+        } else {
+            ((budget / per_iter.as_secs_f64()).ceil() as u64).clamp(1, 10_000_000)
+        };
+
+        let mut b = Bencher {
+            mode: Mode::Timed { iters },
+            samples: Vec::with_capacity(sample_size),
+        };
+        for _ in 0..sample_size {
+            f(&mut b);
+        }
+        let per_iter: Vec<f64> = b
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() / iters as f64)
+            .collect();
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let var = per_iter
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / per_iter.len() as f64;
+        let mut sorted = per_iter.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let median = sorted[sorted.len() / 2];
+        println!(
+            "{id:<48} time: [mean {} ± {}  median {}]  ({} samples × {iters} iters)",
+            fmt_time(mean),
+            fmt_time(var.sqrt()),
+            fmt_time(median),
+            per_iter.len(),
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+enum Mode {
+    Once,
+    Timed { iters: u64 },
+}
+
+/// Times closures; handed to each benchmark body.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs the routine (once in `--test` mode, `iters` times when
+    /// measuring) and records the elapsed wall-clock.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Once => {
+                black_box(routine());
+            }
+            Mode::Timed { iters } => {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                self.samples.push(t0.elapsed());
+            }
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and (scoped)
+/// measurement settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Target wall-clock per benchmark in this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&full, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(
+            &full,
+            self.sample_size,
+            self.measurement_time,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name and/or parameter value.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Declares a benchmark group: a list of `fn(&mut Criterion)` targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(1u64) + 1));
+        let mut g = c.benchmark_group("smoke/group");
+        g.sample_size(3).measurement_time(Duration::from_millis(10));
+        g.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &n| {
+            b.iter(|| n * n)
+        });
+        g.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| 7u64 * 7));
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs_in_test_mode() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+            sample_size: 2,
+            measurement_time: Duration::from_millis(1),
+        };
+        target(&mut c);
+    }
+
+    #[test]
+    fn harness_runs_in_measure_mode() {
+        let mut c = Criterion {
+            test_mode: false,
+            filter: None,
+            sample_size: 2,
+            measurement_time: Duration::from_millis(5),
+        };
+        target(&mut c);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("conv", 8).to_string(), "conv/8");
+        assert_eq!(BenchmarkId::from_parameter(32).to_string(), "32");
+    }
+}
