@@ -7,7 +7,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use srt_bench::tiny_context;
 use srt_core::routing::baseline::ExpectedTimeBaseline;
-use srt_core::routing::{BudgetRouter, RouterConfig};
+use srt_core::routing::{BoundMode, BudgetRouter, DominanceMode, RouterConfig};
 use srt_core::{CombinePolicy, HybridCost};
 use srt_synth::{DistanceCategory, Query, QueryGenerator};
 use std::time::Duration;
@@ -81,7 +81,7 @@ fn bench_pruning_ablation(c: &mut Criterion) {
         (
             "no_bound",
             RouterConfig {
-                use_bound_pruning: false,
+                bound: BoundMode::Off,
                 max_labels: 30_000,
                 ..full
             },
@@ -103,7 +103,7 @@ fn bench_pruning_ablation(c: &mut Criterion) {
         (
             "no_dominance",
             RouterConfig {
-                use_dominance: false,
+                dominance: DominanceMode::Off,
                 max_labels: 30_000,
                 ..full
             },
@@ -114,6 +114,42 @@ fn bench_pruning_ablation(c: &mut Criterion) {
     g.sample_size(10);
     for (name, cfg) in variants {
         let router = BudgetRouter::new(&cost, cfg);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &queries, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    black_box(router.route(q.source, q.target, q.budget_s, None));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The dominance-mode cost spectrum: off, the legacy heuristic, the
+/// provably-exact convolution-gated mode, and the margin-calibrated mode
+/// the default configuration runs with.
+fn bench_dominance_modes(c: &mut Criterion) {
+    let ctx = tiny_context();
+    let cost = HybridCost::from_ground_truth(&ctx.world, &ctx.model, CombinePolicy::Hybrid);
+    let queries = queries_for(DistanceCategory::ZeroToOne, 4);
+
+    let modes: [(&str, DominanceMode); 4] = [
+        ("off", DominanceMode::Off),
+        ("first_order", DominanceMode::FirstOrder),
+        ("conv_gated", DominanceMode::ConvGated),
+        ("margin", DominanceMode::Margin { eps: None }),
+    ];
+    let mut g = c.benchmark_group("routing/dominance_modes");
+    g.sample_size(10);
+    for (name, mode) in modes {
+        let router = BudgetRouter::new(
+            &cost,
+            RouterConfig {
+                dominance: mode,
+                max_labels: 30_000,
+                ..RouterConfig::default()
+            },
+        );
         g.bench_with_input(BenchmarkId::from_parameter(name), &queries, |b, qs| {
             b.iter(|| {
                 for q in qs {
@@ -171,6 +207,7 @@ criterion_group!(
     bench_efficiency_table,
     bench_quality_anytime,
     bench_pruning_ablation,
+    bench_dominance_modes,
     bench_baseline,
     bench_path_cost
 );

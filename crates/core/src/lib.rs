@@ -17,6 +17,10 @@
 //!   remaining cost, (b) pivot path, (c) distribution cost shifting,
 //!   (d) stochastic-dominance label pruning — and the **anytime**
 //!   extension that returns the pivot when a wall-clock limit expires.
+//!   Prunings are composable [`routing::policy::PrunePolicy`] values
+//!   with provably sound modes (convolution-gated and margin-calibrated
+//!   dominance, the certified bound), certified differentially against
+//!   the exhaustive [`routing::OracleRouter`].
 //!
 //! # Quickstart
 //!
@@ -47,4 +51,6 @@ pub use cost::{CombinePolicy, HybridCost};
 pub use error::CoreError;
 pub use model::hybrid::HybridModel;
 pub use model::training::{train_hybrid, TrainReport, TrainingConfig};
-pub use routing::{BudgetRouter, RouteResult, RouterConfig, SearchStats};
+pub use routing::{
+    BoundMode, BudgetRouter, DominanceMode, OracleRouter, RouteResult, RouterConfig, SearchStats,
+};

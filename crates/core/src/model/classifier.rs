@@ -91,6 +91,37 @@ impl DependenceClassifier {
         self.prob_dependent(features) >= self.threshold
     }
 
+    /// Bounds on `P(dependent)` over *every* completion of the unknown
+    /// (`None`) features. For the forest backend the bounds come from an
+    /// interval walk of each tree
+    /// ([`srt_ml::forest::RandomForestClassifier::predict_proba_bounds_row`]);
+    /// the logistic backend has unbounded feature support, so any unknown
+    /// feature widens the bounds to `[0, 1]`.
+    pub fn prob_dependent_bounds(&self, features: &[Option<f64>]) -> (f64, f64) {
+        match &self.inner {
+            Inner::Forest(f) => {
+                let (lo, hi) = f.predict_proba_bounds_row(features);
+                (lo[1], hi[1])
+            }
+            Inner::Logistic { .. } => {
+                if features.iter().all(Option::is_some) {
+                    let row: Vec<f64> = features.iter().map(|f| f.unwrap()).collect();
+                    let p = self.prob_dependent(&row);
+                    (p, p)
+                } else {
+                    (0.0, 1.0)
+                }
+            }
+        }
+    }
+
+    /// `true` when the gate provably answers *convolution* no matter what
+    /// values the unknown features take — the per-pair certificate behind
+    /// the router's convolution-gated dominance pruning.
+    pub fn certifies_convolution(&self, features: &[Option<f64>]) -> bool {
+        self.prob_dependent_bounds(features).1 < self.threshold
+    }
+
     /// The backend in use (diagnostic).
     pub fn backend(&self) -> ClassifierBackend {
         match &self.inner {

@@ -90,6 +90,33 @@ pub fn pair_features(
     ]
 }
 
+/// Feature indices that depend on the pre-distribution (and therefore on
+/// the particular path prefix a router label carries): the ten `pre_*`
+/// statistics plus the two ratios against it.
+pub const PRE_DEPENDENT_FEATURES: [usize; 12] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 22, 23];
+
+/// The pair feature vector with the pre-distribution treated as unknown:
+/// static road/junction/next-edge features are concrete, every
+/// pre-dependent entry is `None`. This is the input to the classifier's
+/// interval bounds ([`crate::model::DependenceClassifier::prob_dependent_bounds`]),
+/// which quantify the gate decision over *all* possible path prefixes
+/// ending in `prev_edge`.
+pub fn pair_features_partial(
+    g: &RoadGraph,
+    prev_edge: EdgeId,
+    next_edge: EdgeId,
+    next_marginal: &Histogram,
+) -> [Option<f64>; FEATURE_COUNT] {
+    // Any valid placeholder works for the pre slot: its contributions are
+    // erased below.
+    let probe = pair_features(g, next_marginal, prev_edge, next_edge, next_marginal);
+    let mut out = probe.map(Some);
+    for i in PRE_DEPENDENT_FEATURES {
+        out[i] = None;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +172,30 @@ mod tests {
         }
         // Pre features differ.
         assert!((fa[0] - fb[0]).abs() > 1.0);
+    }
+
+    #[test]
+    fn partial_features_mask_exactly_the_pre_entries() {
+        let (g, e1, e2) = tiny();
+        let nm = Histogram::new(25.0, 5.0, vec![0.5, 0.5]).unwrap();
+        let partial = pair_features_partial(&g, e1, e2, &nm);
+        let concrete = pair_features(&g, &nm, e1, e2, &nm);
+        for (i, slot) in partial.iter().enumerate() {
+            if PRE_DEPENDENT_FEATURES.contains(&i) {
+                assert!(slot.is_none(), "feature {i} should be masked");
+            } else {
+                assert_eq!(*slot, Some(concrete[i]), "feature {i} should be static");
+            }
+        }
+        // Whatever the pre-distribution, the concrete vector agrees with
+        // the partial one on every known entry.
+        let other_pre = Histogram::new(300.0, 10.0, vec![0.5, 0.5]).unwrap();
+        let f = pair_features(&g, &other_pre, e1, e2, &nm);
+        for (i, slot) in partial.iter().enumerate() {
+            if let Some(v) = slot {
+                assert!((f[i] - v).abs() < 1e-12, "feature {i} drifted");
+            }
+        }
     }
 
     #[test]

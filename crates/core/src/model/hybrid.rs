@@ -1,6 +1,7 @@
 //! The Hybrid Model: classifier-gated combination of convolution and
 //! learned estimation.
 
+use crate::model::calibration::DominanceCalibration;
 use crate::model::classifier::DependenceClassifier;
 use crate::model::estimator::DistributionEstimator;
 use crate::model::features::pair_features;
@@ -19,6 +20,10 @@ pub struct HybridModel {
     pub classifier: DependenceClassifier,
     /// Bucket budget for combined distributions.
     pub bins: usize,
+    /// Measured dominance behaviour of the fitted combine operator
+    /// (`None` for models trained before calibration existed, e.g. v1
+    /// snapshots). Feeds the router's margin-dominance pruning.
+    pub calibration: Option<DominanceCalibration>,
 }
 
 impl HybridModel {
@@ -111,6 +116,7 @@ mod tests {
             estimator,
             classifier,
             bins,
+            calibration: None,
         }
     }
 

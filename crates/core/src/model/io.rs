@@ -8,20 +8,29 @@
 //!
 //! ```text
 //! magic   u32   0x53524D4F ("SRMO")
-//! version u32   1
+//! version u32   2
 //! bins    u32
 //! estimator  (see DistributionEstimator::write_bytes)
 //! classifier (see DependenceClassifier::write_bytes)
+//! calib_flag u8   (v2+) 0 = absent, 1 = present
+//! calibration     (v2+, if present; see DominanceCalibration::write_bytes)
 //! ```
+//!
+//! Version 1 snapshots (no calibration trailer) still decode; they yield
+//! a model with `calibration: None`, for which the router's margin
+//! dominance degenerates to its most conservative form.
 
 use crate::error::CoreError;
+use crate::model::calibration::DominanceCalibration;
 use crate::model::classifier::DependenceClassifier;
 use crate::model::estimator::DistributionEstimator;
 use crate::model::hybrid::HybridModel;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: u32 = 0x5352_4D4F;
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Oldest snapshot version this decoder still accepts.
+const MIN_VERSION: u32 = 1;
 
 /// Serializes a trained hybrid model.
 pub fn to_bytes(model: &HybridModel) -> Bytes {
@@ -31,10 +40,17 @@ pub fn to_bytes(model: &HybridModel) -> Bytes {
     buf.put_u32_le(model.bins as u32);
     model.estimator.write_bytes(&mut buf);
     model.classifier.write_bytes(&mut buf);
+    match &model.calibration {
+        Some(cal) => {
+            buf.put_u8(1);
+            cal.write_bytes(&mut buf);
+        }
+        None => buf.put_u8(0),
+    }
     buf.freeze()
 }
 
-/// Deserializes a hybrid model snapshot.
+/// Deserializes a hybrid model snapshot (current or v1 format).
 ///
 /// # Errors
 /// [`CoreError::Ml`] wrapping a `Corrupt` error on malformed payloads.
@@ -48,7 +64,7 @@ pub fn from_bytes(mut data: &[u8]) -> Result<HybridModel, CoreError> {
         return Err(corrupt(format!("bad magic 0x{magic:08x}")));
     }
     let version = data.get_u32_le();
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(corrupt(format!("unsupported model version {version}")));
     }
     let bins = data.get_u32_le() as usize;
@@ -60,6 +76,18 @@ pub fn from_bytes(mut data: &[u8]) -> Result<HybridModel, CoreError> {
             estimator.bins()
         )));
     }
+    let calibration = if version >= 2 {
+        if data.remaining() < 1 {
+            return Err(corrupt("truncated calibration flag".into()));
+        }
+        match data.get_u8() {
+            0 => None,
+            1 => Some(DominanceCalibration::read_bytes(&mut data)?),
+            flag => return Err(corrupt(format!("bad calibration flag {flag}"))),
+        }
+    } else {
+        None
+    };
     if !data.is_empty() {
         return Err(corrupt(format!("{} trailing bytes", data.len())));
     }
@@ -67,6 +95,7 @@ pub fn from_bytes(mut data: &[u8]) -> Result<HybridModel, CoreError> {
         estimator,
         classifier,
         bins,
+        calibration,
     })
 }
 
@@ -105,6 +134,9 @@ mod tests {
         let bytes = to_bytes(&model);
         let model2 = from_bytes(&bytes).unwrap();
         assert_eq!(model2.bins, model.bins);
+        // The dominance calibration (margin eps et al.) survives the trip.
+        assert!(model.calibration.is_some());
+        assert_eq!(model2.calibration, model.calibration);
 
         // Identical predictions on a probe feature vector.
         let mut f = vec![0.0; crate::model::features::FEATURE_COUNT];
@@ -131,6 +163,26 @@ mod tests {
             model2.classifier.prob_dependent(&f)
         );
         assert_eq!(model2.classifier.backend(), ClassifierBackend::Logistic);
+    }
+
+    #[test]
+    fn version_one_snapshots_still_decode() {
+        use bytes::BufMut;
+        let (model, _) = train_hybrid(world(), &training(ClassifierBackend::Forest)).unwrap();
+        // Hand-assemble the v1 layout: header + estimator + classifier,
+        // no calibration trailer.
+        let mut buf = bytes::BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(1);
+        buf.put_u32_le(model.bins as u32);
+        model.estimator.write_bytes(&mut buf);
+        model.classifier.write_bytes(&mut buf);
+        let legacy = from_bytes(&buf).unwrap();
+        assert_eq!(legacy.bins, model.bins);
+        assert!(legacy.calibration.is_none(), "v1 has no calibration");
+        // A v1 payload with a trailer is rejected (v1 never wrote one).
+        buf.put_u8(0);
+        assert!(from_bytes(&buf).is_err());
     }
 
     #[test]

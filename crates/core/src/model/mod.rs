@@ -1,6 +1,8 @@
 //! The Hybrid Model: pair features, distribution estimator, dependence
-//! classifier, and the training pipeline.
+//! classifier, the training pipeline, and the dominance-margin
+//! calibration that keeps pruning sound under the learned estimator.
 
+pub mod calibration;
 pub mod classifier;
 pub mod estimator;
 pub mod features;
@@ -8,7 +10,8 @@ pub mod hybrid;
 pub mod io;
 pub mod training;
 
+pub use calibration::DominanceCalibration;
 pub use classifier::{ClassifierBackend, DependenceClassifier};
 pub use estimator::DistributionEstimator;
-pub use features::{pair_features, FEATURE_COUNT};
+pub use features::{pair_features, pair_features_partial, FEATURE_COUNT};
 pub use hybrid::HybridModel;

@@ -204,11 +204,25 @@ pub fn train_hybrid(
         &cfg.forest,
         cfg.seed ^ 0x5A5A,
     )?;
-    let model = HybridModel {
+    let mut model = HybridModel {
         estimator,
         classifier,
         bins: cfg.bins,
+        calibration: None,
     };
+
+    // Calibrate the dominance margin on held-out pairs: measure how far
+    // the fitted combine operator can invert a dominance relation, so the
+    // router's margin pruning knows its safety gap.
+    let calibration = crate::model::calibration::calibrate(
+        &model,
+        &world.graph,
+        pairs[n_train..]
+            .iter()
+            .zip(&prepared[n_train..])
+            .map(|(&(e1, e2), p)| (e1, e2, &p.marg1, &p.marg2)),
+    );
+    model.calibration = Some(calibration);
 
     // Held-out evaluation.
     let mut kl_h = Vec::with_capacity(test.len());

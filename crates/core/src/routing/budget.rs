@@ -14,14 +14,22 @@
 //! * **(c) distribution cost shifting** — labels store
 //!   `(scalar offset, zero-anchored histogram)`, keeping supports small
 //!   and aligned,
-//! * **(d) stochastic-dominance pruning** — per-vertex Pareto sets under
-//!   first-order dominance; dominated labels are dropped.
+//! * **(d) stochastic-dominance pruning** — per-vertex Pareto sets;
+//!   dominated labels are dropped.
 //!
-//! The anytime extension takes a wall-clock deadline `x` and returns the
-//! pivot if the search has not terminated in time.
+//! Prunings (a) and (d) plus the always-sound *budget gate* (drop labels
+//! whose best case already misses the budget) are expressed as composable
+//! [`PrunePolicy`] values — see [`crate::routing::policy`] for the
+//! soundness story of each mode. The anytime extension takes a wall-clock
+//! deadline `x` and returns the pivot if the search has not terminated in
+//! time.
 
 use crate::cost::HybridCost;
 use crate::routing::baseline::ExpectedTimeBaseline;
+use crate::routing::policy::{
+    exchange_safe, BoundMode, BoundPolicy, BudgetGate, ConvCertificate, DominanceMode,
+    DominancePolicy, LabelView, PruneCtx, PrunePolicy,
+};
 use srt_dist::Histogram;
 use srt_graph::algo::Path;
 use srt_graph::bounds::OptimisticBounds;
@@ -30,20 +38,25 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
-/// Search configuration. Each pruning is independently switchable so the
-/// ablation experiments can quantify its contribution.
+/// Search configuration: a bucket/label budget plus one entry per
+/// composable pruning policy. Each policy is independently switchable so
+/// the ablation experiments can quantify its contribution.
 #[derive(Copy, Clone, PartialEq, Debug)]
 pub struct RouterConfig {
     /// Cap on label-histogram buckets during search.
     pub max_bins: usize,
-    /// Pruning (a): optimistic-bound pruning against the incumbent.
-    pub use_bound_pruning: bool,
+    /// Pruning (a): how the optimistic bound prunes against the incumbent.
+    pub bound: BoundMode,
     /// Pruning (b): initialize the pivot with the expected-time path.
     pub use_pivot_init: bool,
     /// Pruning (c): anchor label histograms at zero, carry scalar offsets.
     pub use_cost_shifting: bool,
-    /// Pruning (d): per-vertex stochastic-dominance Pareto sets.
-    pub use_dominance: bool,
+    /// Pruning (d): the dominance mode for per-vertex Pareto sets.
+    pub dominance: DominanceMode,
+    /// The always-sound feasibility cut (see
+    /// [`crate::routing::policy::BudgetGate`]). Also what guarantees
+    /// termination on cyclic graphs when the bound is off.
+    pub budget_gate: bool,
     /// Hard cap on created labels (safety valve for ablation runs).
     pub max_labels: usize,
 }
@@ -52,10 +65,14 @@ impl Default for RouterConfig {
     fn default() -> Self {
         RouterConfig {
             max_bins: 20,
-            use_bound_pruning: true,
+            bound: BoundMode::Optimistic,
             use_pivot_init: true,
             use_cost_shifting: true,
-            use_dominance: true,
+            // Margin dominance with the model's calibrated eps: sound up
+            // to the measured estimator modulus, still prunes aggressively
+            // wherever labels differ clearly.
+            dominance: DominanceMode::Margin { eps: None },
+            budget_gate: true,
             max_labels: 300_000,
         }
     }
@@ -70,8 +87,16 @@ pub struct SearchStats {
     pub labels_expanded: usize,
     /// Labels discarded by the optimistic-bound / pivot pruning.
     pub pruned_bound: usize,
-    /// Labels discarded (or retired) by dominance.
+    /// Labels discarded by the budget gate (best case misses the budget).
+    pub pruned_infeasible: usize,
+    /// Labels discarded or retired by dominance
+    /// (`= newcomers discarded + dominance_retired`).
     pub pruned_dominance: usize,
+    /// Incumbent Pareto entries retired by a dominating newcomer (a
+    /// subset of `pruned_dominance`).
+    pub dominance_retired: usize,
+    /// Amortized Pareto-set compaction sweeps performed.
+    pub pareto_compactions: usize,
     /// `true` iff the search ran to exhaustion (result is exact within the
     /// cost model); `false` when the deadline or label cap intervened.
     pub completed: bool,
@@ -96,8 +121,13 @@ struct Label {
     vertex: NodeId,
     parent: u32,
     edge: EdgeId,
+    /// The vertex this label's last edge departed from (the U-turn ban).
+    prev_vertex: NodeId,
     offset: f64,
     hist: Histogram,
+    /// Convolution certificate of `edge` (see
+    /// [`crate::routing::policy::ConvCertificate`]).
+    certified: bool,
     alive: bool,
 }
 
@@ -127,63 +157,102 @@ impl PartialOrd for QueueEntry {
     }
 }
 
-/// First-order dominance with explicit offsets (avoids cloning the shifted
-/// histograms): does `a` (at `oa`) dominate `b` (at `ob`)?
-fn dominates_with_offset(a: &Histogram, oa: f64, b: &Histogram, ob: f64) -> bool {
-    const EPS: f64 = 1e-9;
-    // Quick reject on supports: if a's worst case is not better than b's
-    // best case anywhere, full comparison is needed; if a starts after b
-    // ends, a can't dominate.
-    if oa + a.start() >= ob + b.end() - EPS {
-        // a is entirely later than b (or equal-degenerate): dominance only
-        // possible if the distributions coincide; handle via full check.
-        if oa + a.start() > ob + b.end() {
-            return false;
-        }
-    }
-    let mut b_strictly_better = false;
-    let mut check = |x: f64| -> bool {
-        let ca = a.cdf(x - oa);
-        let cb = b.cdf(x - ob);
-        if cb > ca + EPS {
-            b_strictly_better = true;
-        }
-        !b_strictly_better
-    };
-    for i in 0..=a.num_bins() {
-        if !check(oa + a.start() + i as f64 * a.width()) {
-            return false;
-        }
-    }
-    for i in 0..=b.num_bins() {
-        if !check(ob + b.start() + i as f64 * b.width()) {
-            return false;
-        }
-    }
-    true
-}
-
 enum Incumbent {
     None,
     Pivot(ExpectedTimeBaseline),
     Label(u32),
 }
 
+/// Per-vertex Pareto sets with amortized compaction: retiring marks a
+/// label dead in the arena and counts it here; the entry list is only
+/// swept once dead entries outnumber the live ones. This replaces the old
+/// O(n) `retain` on every insert with O(1) amortized bookkeeping.
+struct ParetoSets {
+    entries: Vec<Vec<u32>>,
+    dead: Vec<u32>,
+}
+
+impl ParetoSets {
+    fn new(n: usize) -> Self {
+        ParetoSets {
+            entries: vec![Vec::new(); n],
+            dead: vec![0; n],
+        }
+    }
+}
+
 /// The budget router over a fixed cost oracle.
 pub struct BudgetRouter<'a> {
     cost: &'a HybridCost<'a>,
     cfg: RouterConfig,
+    gate: BudgetGate,
+    bound: BoundPolicy,
+    dominance: DominancePolicy,
+    certificate: Option<ConvCertificate>,
 }
 
 impl<'a> BudgetRouter<'a> {
-    /// Creates a router.
+    /// Creates a router, resolving the configured pruning policies
+    /// against the cost oracle: the margin mode reads the model's
+    /// persisted calibration, and the certificate-consuming modes
+    /// (convolution-gated dominance, the certified bound) precompute the
+    /// per-edge convolution certificate once for all queries.
     pub fn new(cost: &'a HybridCost<'a>, cfg: RouterConfig) -> Self {
-        BudgetRouter { cost, cfg }
+        let certificate = if Self::wants_certificate(&cfg) {
+            Some(ConvCertificate::compute(cost))
+        } else {
+            None
+        };
+        Self::with_certificate(cost, cfg, certificate)
+    }
+
+    /// Like [`BudgetRouter::new`], but reusing a precomputed
+    /// [`ConvCertificate`] — the certificate depends only on the cost
+    /// oracle, so callers constructing many router configurations over
+    /// one oracle (ablations, the differential suite) compute it once
+    /// and clone it in. Pass `None` for configurations that need none.
+    pub fn with_certificate(
+        cost: &'a HybridCost<'a>,
+        cfg: RouterConfig,
+        certificate: Option<ConvCertificate>,
+    ) -> Self {
+        let dominance = DominancePolicy::resolve(cfg.dominance, cost.model().calibration.as_ref());
+        debug_assert!(
+            certificate.is_some() || !Self::wants_certificate(&cfg),
+            "configuration needs a convolution certificate but none was supplied"
+        );
+        BudgetRouter {
+            cost,
+            cfg,
+            gate: BudgetGate {
+                enabled: cfg.budget_gate,
+            },
+            bound: BoundPolicy { mode: cfg.bound },
+            dominance,
+            certificate,
+        }
+    }
+
+    /// Whether `cfg` contains a certificate-consuming policy.
+    pub fn wants_certificate(cfg: &RouterConfig) -> bool {
+        cfg.dominance == DominanceMode::ConvGated || cfg.bound == BoundMode::Certified
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &RouterConfig {
         &self.cfg
+    }
+
+    /// The resolved dominance policy (diagnostic: exposes the margin the
+    /// router actually prunes with).
+    pub fn dominance_policy(&self) -> &DominancePolicy {
+        &self.dominance
+    }
+
+    /// The convolution certificate, when a configured policy required
+    /// computing one.
+    pub fn certificate(&self) -> Option<&ConvCertificate> {
+        self.certificate.as_ref()
     }
 
     /// Solves one budget query. `deadline` enables the anytime variant:
@@ -257,7 +326,7 @@ impl<'a> BudgetRouter<'a> {
         }
 
         let mut arena: Vec<Label> = Vec::new();
-        let mut pareto: Vec<Vec<u32>> = vec![Vec::new(); g.num_nodes()];
+        let mut pareto = ParetoSets::new(g.num_nodes());
         let mut heap: BinaryHeap<QueueEntry> = BinaryHeap::new();
 
         // Seed with the out-edges of the source.
@@ -277,6 +346,7 @@ impl<'a> BudgetRouter<'a> {
                 &mut stats,
                 NO_PARENT,
                 e,
+                source,
                 head,
                 dist,
                 target,
@@ -295,7 +365,7 @@ impl<'a> BudgetRouter<'a> {
                     }
                 }
             }
-            if self.cfg.use_bound_pruning && ub <= best_prob {
+            if self.bound.prunes() && ub <= best_prob {
                 // Best-first order: every remaining bound is no better.
                 break;
             }
@@ -319,11 +389,7 @@ impl<'a> BudgetRouter<'a> {
                 label.hist.clone()
             };
             let prev_edge = label.edge;
-            let prev_vertex = if label.parent == NO_PARENT {
-                source
-            } else {
-                arena[label.parent as usize].vertex
-            };
+            let prev_vertex = label.prev_vertex;
 
             for (e, head) in g.out_edges(vertex) {
                 if head == prev_vertex {
@@ -349,6 +415,7 @@ impl<'a> BudgetRouter<'a> {
                     &mut stats,
                     id,
                     e,
+                    vertex,
                     head,
                     dist,
                     target,
@@ -366,7 +433,7 @@ impl<'a> BudgetRouter<'a> {
     fn push_label(
         &self,
         arena: &mut Vec<Label>,
-        pareto: &mut [Vec<u32>],
+        pareto: &mut ParetoSets,
         heap: &mut BinaryHeap<QueueEntry>,
         bounds: &OptimisticBounds,
         budget_s: f64,
@@ -375,6 +442,7 @@ impl<'a> BudgetRouter<'a> {
         stats: &mut SearchStats,
         parent: u32,
         edge: EdgeId,
+        prev_vertex: NodeId,
         head: NodeId,
         dist_actual: Histogram,
         target: NodeId,
@@ -385,6 +453,10 @@ impl<'a> BudgetRouter<'a> {
         } else {
             (0.0, dist_actual)
         };
+        let certified = self
+            .certificate
+            .as_ref()
+            .is_some_and(|c| c.certified(edge));
 
         if head == target {
             // Complete path: candidate for the incumbent; never expanded
@@ -395,8 +467,10 @@ impl<'a> BudgetRouter<'a> {
                 vertex: head,
                 parent,
                 edge,
+                prev_vertex,
                 offset,
                 hist,
+                certified,
                 alive: false,
             });
             if prob > *best_prob || matches!(incumbent, Incumbent::None) {
@@ -406,42 +480,96 @@ impl<'a> BudgetRouter<'a> {
             return;
         }
 
+        let ctx = PruneCtx {
+            budget_s,
+            remaining_s: bounds.remaining(head),
+            offset,
+            hist: &hist,
+            incumbent_prob: *best_prob,
+            certified,
+        };
+
+        // The always-sound feasibility cut.
+        if !self.gate.admits(&ctx) {
+            stats.pruned_infeasible += 1;
+            return;
+        }
+
         // Pruning (a)+(b): probability upper bound via the optimistic
-        // remaining cost, checked against the incumbent.
-        let remaining = bounds.remaining(head);
-        let ub = hist.cdf(budget_s - remaining - offset);
-        if self.cfg.use_bound_pruning && ub <= *best_prob {
+        // remaining cost, checked against the incumbent. The bound value
+        // doubles as the best-first queue key.
+        let ub = self.bound.upper_bound(&ctx);
+        if !self.bound.admits(&ctx) {
             stats.pruned_bound += 1;
             return;
         }
 
         // Pruning (d): dominance against the Pareto set at `head`.
-        if self.cfg.use_dominance {
-            // Compact: drop entries retired by earlier insertions.
-            pareto[head.index()].retain(|&oid| arena[oid as usize].alive);
-            // A dominated newcomer is discarded outright.
-            for &other_id in pareto[head.index()].iter() {
-                let other = &arena[other_id as usize];
-                if dominates_with_offset(&other.hist, other.offset, &hist, offset) {
+        if self.dominance.enabled() {
+            let g = self.cost.graph();
+            let candidate = LabelView {
+                offset,
+                hist: &hist,
+                certified,
+            };
+            let need_safety = self.dominance.needs_exchange_safety();
+            // A dominated newcomer is discarded outright (dead entries are
+            // skipped lazily; compaction is amortized below).
+            let n_entries = pareto.entries[head.index()].len();
+            for i in 0..n_entries {
+                let oid = pareto.entries[head.index()][i] as usize;
+                let other = &arena[oid];
+                if !other.alive {
+                    continue;
+                }
+                let safe =
+                    !need_safety || exchange_safe(g, head, other.prev_vertex, prev_vertex);
+                let keeper = LabelView {
+                    offset: other.offset,
+                    hist: &other.hist,
+                    certified: other.certified,
+                };
+                if self.dominance.discards(&keeper, &candidate, safe) {
                     stats.pruned_dominance += 1;
                     return;
                 }
             }
-            // Retire incumbents the newcomer dominates.
-            let mut i = 0;
-            while i < pareto[head.index()].len() {
-                let other_id = pareto[head.index()][i];
+            // Retire incumbents the newcomer dominates. The newcomer is
+            // the keeper here, so its half of the exchange-safety check
+            // (no out-edge returns to its predecessor) is loop-invariant.
+            let newcomer_unbanned = need_safety
+                && g.out_edges(head).all(|(_, h)| h != prev_vertex);
+            for i in 0..n_entries {
+                let oid = pareto.entries[head.index()][i] as usize;
+                let other = &arena[oid];
+                if !other.alive {
+                    continue;
+                }
+                let safe =
+                    !need_safety || newcomer_unbanned || other.prev_vertex == prev_vertex;
                 let dominated = {
-                    let other = &arena[other_id as usize];
-                    dominates_with_offset(&hist, offset, &other.hist, other.offset)
+                    let incumbent_view = LabelView {
+                        offset: other.offset,
+                        hist: &other.hist,
+                        certified: other.certified,
+                    };
+                    self.dominance.discards(&candidate, &incumbent_view, safe)
                 };
                 if dominated {
-                    arena[other_id as usize].alive = false;
-                    pareto[head.index()].swap_remove(i);
+                    arena[oid].alive = false;
+                    pareto.dead[head.index()] += 1;
                     stats.pruned_dominance += 1;
-                } else {
-                    i += 1;
+                    stats.dominance_retired += 1;
                 }
+            }
+            // Amortized compaction: sweep only once the dead outnumber
+            // the living, so each retired entry is paid for at most twice.
+            let dead = pareto.dead[head.index()] as usize;
+            if dead * 2 > pareto.entries[head.index()].len() {
+                let arena_ref = &arena;
+                pareto.entries[head.index()].retain(|&oid| arena_ref[oid as usize].alive);
+                pareto.dead[head.index()] = 0;
+                stats.pareto_compactions += 1;
             }
         }
 
@@ -451,12 +579,14 @@ impl<'a> BudgetRouter<'a> {
             vertex: head,
             parent,
             edge,
+            prev_vertex,
             offset,
             hist,
+            certified,
             alive: true,
         });
-        if self.cfg.use_dominance {
-            pareto[head.index()].push(id);
+        if self.dominance.enabled() {
+            pareto.entries[head.index()].push(id);
         }
         heap.push(QueueEntry { ub, id });
     }
@@ -664,7 +794,7 @@ mod tests {
         let no_dom = BudgetRouter::new(
             &cost,
             RouterConfig {
-                use_dominance: false,
+                dominance: DominanceMode::Off,
                 ..RouterConfig::default()
             },
         );
@@ -679,8 +809,9 @@ mod tests {
             let a = full.route(q.source, q.target, q.budget_s, None);
             let b = no_dom.route(q.source, q.target, q.budget_s, None);
             let c = no_shift.route(q.source, q.target, q.budget_s, None);
-            // Dominance is sound (weak dominance keeps an equivalent
-            // label), so probabilities agree to numerical tolerance.
+            // Margin dominance is calibrated-sound and cost shifting is a
+            // pure re-parametrization: probabilities agree to numerical
+            // tolerance.
             assert!((a.probability - b.probability).abs() < 1e-6);
             assert!((a.probability - c.probability).abs() < 1e-6);
         }
@@ -694,9 +825,9 @@ mod tests {
         let naive = BudgetRouter::new(
             &cost,
             RouterConfig {
-                use_bound_pruning: false,
+                bound: BoundMode::Off,
                 use_pivot_init: false,
-                use_dominance: true, // keep termination sane
+                dominance: DominanceMode::FirstOrder, // keep termination sane
                 max_labels: 50_000,
                 ..RouterConfig::default()
             },
@@ -710,6 +841,79 @@ mod tests {
             a.stats.labels_created,
             b.stats.labels_created
         );
+    }
+
+    #[test]
+    fn dominance_stats_accounting_is_consistent() {
+        // Regression for the amortized Pareto compaction: discarded +
+        // retired counters must reconcile, every retirement is counted
+        // exactly once, and compaction never changes the answer.
+        let (world, model) = setup();
+        let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::AlwaysConvolve);
+        let pruned = BudgetRouter::new(
+            &cost,
+            RouterConfig {
+                dominance: DominanceMode::FirstOrder,
+                ..RouterConfig::default()
+            },
+        );
+        let unpruned = BudgetRouter::new(
+            &cost,
+            RouterConfig {
+                dominance: DominanceMode::Off,
+                ..RouterConfig::default()
+            },
+        );
+        let mut saw_discard = false;
+        for q in queries(&world, 6) {
+            let r = pruned.route(q.source, q.target, q.budget_s, None);
+            let s = r.stats;
+            assert!(s.dominance_retired <= s.pruned_dominance,
+                "retired {} exceeds total dominance prunes {}",
+                s.dominance_retired, s.pruned_dominance);
+            // Retired labels were created; discarded newcomers were not.
+            assert!(s.dominance_retired <= s.labels_created);
+            saw_discard |= s.pruned_dominance > s.dominance_retired;
+
+            // Lazy marking + amortized compaction is answer-preserving
+            // (first-order dominance is exact under pure convolution).
+            let u = unpruned.route(q.source, q.target, q.budget_s, None);
+            assert!(
+                (r.probability - u.probability).abs() < 1e-9,
+                "dominance changed the answer: {} vs {}",
+                r.probability,
+                u.probability
+            );
+        }
+        assert!(saw_discard, "no newcomer discard was ever exercised");
+
+        // Best-first order makes retirements rare: exercise them (and the
+        // amortized compaction sweep) with an unordered search, where weak
+        // labels are inserted before the strong ones that retire them.
+        let unordered = BudgetRouter::new(
+            &cost,
+            RouterConfig {
+                bound: BoundMode::Off,
+                use_pivot_init: false,
+                dominance: DominanceMode::FirstOrder,
+                max_labels: 50_000,
+                ..RouterConfig::default()
+            },
+        );
+        let mut saw_retirement = false;
+        let mut saw_compaction = false;
+        for q in queries(&world, 4) {
+            let s = unordered.route(q.source, q.target, q.budget_s, None).stats;
+            assert!(s.dominance_retired <= s.pruned_dominance);
+            assert!(s.dominance_retired <= s.labels_created);
+            // A compaction sweep requires at least one retirement since
+            // the last sweep.
+            assert!(s.pareto_compactions <= s.dominance_retired);
+            saw_retirement |= s.dominance_retired > 0;
+            saw_compaction |= s.pareto_compactions > 0;
+        }
+        assert!(saw_retirement, "no retirement was ever exercised");
+        assert!(saw_compaction, "the amortized sweep was never exercised");
     }
 
     #[test]
@@ -752,16 +956,30 @@ mod tests {
     }
 
     #[test]
-    fn dominance_with_offsets_agrees_with_direct_dominance() {
-        let a = Histogram::new(0.0, 1.0, vec![0.6, 0.4]).unwrap();
-        let b = Histogram::new(0.0, 1.0, vec![0.4, 0.6]).unwrap();
-        // a at offset 10 vs b at offset 10: a dominates.
-        assert!(dominates_with_offset(&a, 10.0, &b, 10.0));
-        assert!(!dominates_with_offset(&b, 10.0, &a, 10.0));
-        // Same shape, a shifted later: b dominates.
-        assert!(dominates_with_offset(&a, 5.0, &a, 9.0));
-        assert!(!dominates_with_offset(&a, 9.0, &a, 5.0));
-        // Identical: weak dominance both ways.
-        assert!(dominates_with_offset(&a, 3.0, &a, 3.0));
+    fn certificate_is_computed_only_when_a_policy_needs_it() {
+        let (world, model) = setup();
+        let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
+        let default = BudgetRouter::new(&cost, RouterConfig::default());
+        assert!(default.certificate().is_none(), "margin mode needs no certificate");
+        let gated = BudgetRouter::new(
+            &cost,
+            RouterConfig {
+                dominance: DominanceMode::ConvGated,
+                ..RouterConfig::default()
+            },
+        );
+        assert!(gated.certificate().is_some());
+        let certified_bound = BudgetRouter::new(
+            &cost,
+            RouterConfig {
+                bound: BoundMode::Certified,
+                dominance: DominanceMode::Off,
+                ..RouterConfig::default()
+            },
+        );
+        assert!(certified_bound.certificate().is_some());
+        // The resolved margin comes from the trained calibration.
+        let cal_eps = model.calibration.expect("trained model calibrates").margin_eps;
+        assert_eq!(default.dominance_policy().eps(), cal_eps);
     }
 }

@@ -3,11 +3,22 @@
 //! Given `(source, destination, budget t)`, find the path that maximizes
 //! `P(travel time <= t)`, using the hybrid cost model for path
 //! distributions. [`budget`] implements the label-correcting search with
-//! the paper's prunings (a)-(d) and the anytime deadline; [`baseline`]
-//! provides the deterministic expected-time comparison route.
+//! the paper's prunings (a)-(d) and the anytime deadline; [`policy`]
+//! factors the prunings into composable, individually-certifiable
+//! [`policy::PrunePolicy`] values; [`oracle`] provides the exhaustive
+//! enumeration router the differential tests certify pruning against;
+//! [`baseline`] provides the deterministic expected-time comparison
+//! route.
 
 pub mod baseline;
 pub mod budget;
+pub mod oracle;
+pub mod policy;
 
 pub use baseline::{expected_time_path, ExpectedTimeBaseline, KPathsBaseline};
 pub use budget::{BudgetRouter, RouteResult, RouterConfig, SearchStats};
+pub use oracle::{OracleRoute, OracleRouter};
+pub use policy::{
+    BoundMode, BoundPolicy, BudgetGate, ConvCertificate, DominanceMode, DominancePolicy,
+    PrunePolicy,
+};

@@ -29,18 +29,32 @@ const EPS: f64 = 1e-12;
 
 /// Visits the union of both histograms' bucket boundaries in ascending
 /// order (a two-pointer merge; no allocation).
-pub(crate) fn for_each_breakpoint(a: &Histogram, b: &Histogram, mut f: impl FnMut(f64)) {
+pub(crate) fn for_each_breakpoint(a: &Histogram, b: &Histogram, f: impl FnMut(f64)) {
+    for_each_breakpoint_shifted(a, 0.0, b, 0.0, f)
+}
+
+/// Like [`for_each_breakpoint`], but with each histogram translated by its
+/// own scalar offset — the router's pruning-(c) label representation
+/// `(offset, zero-anchored shape)` compares without re-materializing the
+/// shifted histograms.
+pub(crate) fn for_each_breakpoint_shifted(
+    a: &Histogram,
+    oa: f64,
+    b: &Histogram,
+    ob: f64,
+    mut f: impl FnMut(f64),
+) {
     let (mut i, mut j) = (0usize, 0usize);
     let na = a.num_bins() + 1;
     let nb = b.num_bins() + 1;
     while i < na || j < nb {
         let xa = if i < na {
-            a.start() + i as f64 * a.width()
+            oa + a.start() + i as f64 * a.width()
         } else {
             f64::INFINITY
         };
         let xb = if j < nb {
-            b.start() + j as f64 * b.width()
+            ob + b.start() + j as f64 * b.width()
         } else {
             f64::INFINITY
         };
@@ -81,6 +95,88 @@ pub fn compare(a: &Histogram, b: &Histogram) -> Dominance {
 /// the predicate the router's Pareto sets prune with.
 pub fn dominates(a: &Histogram, b: &Histogram) -> bool {
     matches!(compare(a, b), Dominance::Dominates | Dominance::Equivalent)
+}
+
+/// Tie tolerance for the margin predicates: CDF gaps smaller than this
+/// count as equal. Chosen to absorb the float noise of convolving and
+/// re-binning label histograms (matches the router's historic tolerance).
+const MARGIN_TIE: f64 = 1e-9;
+
+/// First-order dominance *with a safety margin*: `a` must not only
+/// weakly dominate `b`, its CDF must stay at least `eps` ahead wherever
+/// the race is still open (`b` has started arriving and `a` has not yet
+/// certainly arrived).
+///
+/// Formally, at every bucket boundary `x` of either lattice, with
+/// `ca = a.cdf(x)` and `cb = b.cdf(x)`:
+///
+/// * `ca >= cb` (plain weak dominance), and
+/// * `ca >= min(cb + eps, 1)` whenever `cb > 0` and `ca < 1`.
+///
+/// Both conditions are evaluated with a `1e-9` tie tolerance. Like
+/// [`compare`], the predicate is *defined* on the union of the two bucket
+/// lattices: the weak-dominance clause is thereby exact (CDFs are
+/// piecewise linear between lattice points), while the margin clause is a
+/// lattice-sampled strengthening — between boundaries the gap may dip
+/// below `eps` where one CDF saturates, which only ever makes the
+/// predicate prune *more* than a pointwise-everywhere margin would, never
+/// less than plain dominance allows. The margin
+/// requirement is what makes pruning safe under a *non-monotone* cost
+/// model: if one combination step can invert a CDF ordering by at most
+/// `eps` (the estimator's calibrated dominance-violation modulus, see
+/// `srt-core::model::calibration`), a label that is behind by at least
+/// `eps` everywhere cannot overtake in a single step.
+///
+/// Properties (proptested):
+///
+/// * `eps == 0` reduces to [`dominates`] (hence reflexive),
+/// * monotone: shrinking `eps` preserves the relation,
+/// * `eps == f64::INFINITY` degenerates to interval-style dominance —
+///   at every lattice point either `a` is already certain or `b` has not
+///   started,
+/// * negative or NaN `eps` are clamped to `0` / `INFINITY` respectively
+///   (NaN is treated as "unknown modulus", the conservative extreme).
+pub fn dominates_with_margin(a: &Histogram, b: &Histogram, eps: f64) -> bool {
+    dominates_with_margin_shifted(a, 0.0, b, 0.0, eps)
+}
+
+/// Offset-aware form of [`dominates_with_margin`]: does `a` translated by
+/// `oa` margin-dominate `b` translated by `ob`? Avoids materializing the
+/// shifted histograms, so the router's `(offset, shape)` labels compare
+/// allocation-free.
+pub fn dominates_with_margin_shifted(
+    a: &Histogram,
+    oa: f64,
+    b: &Histogram,
+    ob: f64,
+    eps: f64,
+) -> bool {
+    let eps = if eps.is_nan() {
+        f64::INFINITY
+    } else {
+        eps.max(0.0)
+    };
+    // Cheap reject: a's support begins after b's ends, so b is certain
+    // before a can start — a cannot dominate.
+    if oa + a.start() > ob + b.end() {
+        return false;
+    }
+    let mut ok = true;
+    for_each_breakpoint_shifted(a, oa, b, ob, |x| {
+        if !ok {
+            return;
+        }
+        let ca = a.cdf(x - oa);
+        let cb = b.cdf(x - ob);
+        if ca + MARGIN_TIE < cb {
+            ok = false;
+            return;
+        }
+        if cb > MARGIN_TIE && ca < 1.0 - MARGIN_TIE && ca + MARGIN_TIE < (cb + eps).min(1.0) {
+            ok = false;
+        }
+    });
+    ok
 }
 
 #[cfg(test)]
@@ -143,5 +239,58 @@ mod tests {
         let early = h(0.0, 1.0, &[1.0]);
         let late = h(100.0, 1.0, &[1.0]);
         assert_eq!(compare(&early, &late), Dominance::Dominates);
+    }
+
+    #[test]
+    fn zero_margin_equals_weak_dominance() {
+        let fast = h(0.0, 1.0, &[0.6, 0.4]);
+        let slow = h(0.0, 1.0, &[0.4, 0.6]);
+        assert!(dominates_with_margin(&fast, &slow, 0.0));
+        assert!(!dominates_with_margin(&slow, &fast, 0.0));
+        // Reflexive, like weak dominance.
+        assert!(dominates_with_margin(&fast, &fast, 0.0));
+    }
+
+    #[test]
+    fn positive_margin_rejects_narrow_wins() {
+        let fast = h(0.0, 1.0, &[0.6, 0.4]);
+        let slow = h(0.0, 1.0, &[0.4, 0.6]);
+        // The CDF gap peaks at 0.2: margins up to there hold, beyond fail.
+        assert!(dominates_with_margin(&fast, &slow, 0.1));
+        assert!(dominates_with_margin(&fast, &slow, 0.2 - 1e-6));
+        assert!(!dominates_with_margin(&fast, &slow, 0.21));
+        // A distribution never margin-dominates itself for eps > 0.
+        assert!(!dominates_with_margin(&fast, &fast, 0.05));
+    }
+
+    #[test]
+    fn infinite_margin_is_interval_dominance() {
+        let early = h(0.0, 1.0, &[0.5, 0.5]);
+        let late = h(100.0, 1.0, &[0.5, 0.5]);
+        // Overlapping supports on the same lattice phase: the race is
+        // open at x = 1 (early's CDF is 0.5, overlap's 0.25).
+        let overlap = h(0.5, 1.0, &[0.5, 0.5]);
+        assert!(dominates_with_margin(&early, &late, f64::INFINITY));
+        assert!(!dominates_with_margin(&early, &overlap, f64::INFINITY));
+        // NaN is clamped to the conservative extreme (infinity).
+        assert!(dominates_with_margin(&early, &late, f64::NAN));
+        assert!(!dominates_with_margin(&early, &overlap, f64::NAN));
+        // Negative margins clamp to zero (= weak dominance).
+        assert!(dominates_with_margin(&early, &overlap, -1.0));
+    }
+
+    #[test]
+    fn shifted_form_matches_materialized_shifts() {
+        let a = h(0.0, 2.0, &[0.3, 0.4, 0.3]);
+        let b = h(0.0, 1.5, &[0.2, 0.3, 0.5]);
+        for (oa, ob) in [(0.0, 0.0), (10.0, 12.0), (5.5, 3.25)] {
+            for eps in [0.0, 0.05, 0.5, f64::INFINITY] {
+                assert_eq!(
+                    dominates_with_margin_shifted(&a, oa, &b, ob, eps),
+                    dominates_with_margin(&a.shift(oa), &b.shift(ob), eps),
+                    "oa={oa} ob={ob} eps={eps}"
+                );
+            }
+        }
     }
 }

@@ -10,7 +10,9 @@
 //!   produced by [`Histogram::shifted_to_zero`]),
 //! * [`empirical`] — fitting histograms from observed travel times,
 //! * [`dominance`] — first-order stochastic dominance, the order behind
-//!   pruning (d)'s per-vertex Pareto sets,
+//!   pruning (d)'s per-vertex Pareto sets, plus the margin-calibrated
+//!   variant ([`dominance::dominates_with_margin`]) that keeps pruning
+//!   sound when the cost model is only approximately monotone,
 //! * [`kl_divergence`] / [`total_variation`] / [`wasserstein1`] — the
 //!   divergences used to label edge-pair dependence and score the
 //!   estimation model against ground truth.

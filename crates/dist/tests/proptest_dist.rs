@@ -150,6 +150,80 @@ proptest! {
         prop_assert!((r.mean() - h.mean()).abs() <= r.width() / 2.0 + h.width() / 2.0 + 1e-9);
     }
 
+    /// At eps = 0 the margin predicate IS weak dominance — in particular
+    /// it is reflexive.
+    #[test]
+    fn margin_zero_is_weak_dominance(a in arb_on_lattice(), b in arb_on_lattice()) {
+        prop_assert_eq!(dominance::dominates_with_margin(&a, &b, 0.0),
+                        dominance::dominates(&a, &b));
+        prop_assert!(dominance::dominates_with_margin(&a, &a.clone(), 0.0));
+    }
+
+    /// Margin dominance is antitone in eps: whatever holds at a larger
+    /// margin holds at every smaller one, and it always implies plain
+    /// weak dominance.
+    #[test]
+    fn margin_is_monotone_in_eps(a in arb_on_lattice(), b in arb_on_lattice(),
+                                 e1 in 0.0f64..0.5, e2 in 0.0f64..0.5) {
+        let (lo, hi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+        if dominance::dominates_with_margin(&a, &b, hi) {
+            prop_assert!(dominance::dominates_with_margin(&a, &b, lo),
+                "margin {hi} held but {lo} failed");
+            prop_assert!(dominance::dominates(&a, &b));
+        }
+        // The infinite margin is the strongest of all.
+        if dominance::dominates_with_margin(&a, &b, f64::INFINITY) {
+            prop_assert!(dominance::dominates_with_margin(&a, &b, hi));
+        }
+    }
+
+    /// Translating both distributions by the same offset preserves the
+    /// margin relation, and the shifted entry point agrees with
+    /// materialized shifts.
+    #[test]
+    fn margin_is_shift_invariant(a in arb_on_lattice(), b in arb_on_lattice(),
+                                 dt in -40.0f64..40.0, eps in 0.0f64..0.4) {
+        let direct = dominance::dominates_with_margin(&a, &b, eps);
+        prop_assert_eq!(
+            dominance::dominates_with_margin(&a.shift(dt), &b.shift(dt), eps),
+            direct);
+        prop_assert_eq!(
+            dominance::dominates_with_margin_shifted(&a, dt, &b, dt, eps),
+            direct);
+    }
+
+    /// A sufficiently large backwards shift buys any finite margin: the
+    /// shifted copy clears its own support before the original starts.
+    #[test]
+    fn early_shift_buys_margin(h in arb_on_lattice(), eps in 0.0f64..1.0) {
+        let span = h.end() - h.start();
+        let early = h.shift(-(span + 1.0));
+        prop_assert!(dominance::dominates_with_margin(&early, &h, eps));
+        prop_assert!(dominance::dominates_with_margin(&early, &h, f64::INFINITY));
+        // And margin dominance stays consistent with the plain order.
+        prop_assert_eq!(dominance::compare(&early, &h), Dominance::Dominates);
+    }
+
+    /// Degenerate single-bucket (point-mass-like) histograms order by
+    /// position under every margin.
+    #[test]
+    fn margin_on_degenerate_histograms(x in 0.0f64..100.0, gap in 0.0f64..50.0,
+                                       w in 0.001f64..1.0, eps in 0.0f64..1.0) {
+        let a = Histogram::point_mass(x, w).expect("valid point mass");
+        let b = Histogram::point_mass(x + gap, w).expect("valid point mass");
+        if gap >= w {
+            // Disjoint supports: a is certain before b begins, which
+            // satisfies even the infinite margin.
+            prop_assert!(dominance::dominates_with_margin(&a, &b, eps));
+            prop_assert!(dominance::dominates_with_margin(&a, &b, f64::INFINITY));
+        }
+        // The later point never margin-dominates the earlier one unless
+        // they coincide.
+        if gap > 1e-9 {
+            prop_assert!(!dominance::dominates_with_margin(&b, &a, eps));
+        }
+    }
+
     /// The CDF is monotone and hits 0/1 at the support edges.
     #[test]
     fn cdf_is_a_cdf(h in arb_histogram()) {

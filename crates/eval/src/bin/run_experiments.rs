@@ -119,6 +119,9 @@ fn main() {
     if wants("a1") {
         let (t, _) = ablation::run(&ctx, qpc.min(20));
         writeln!(out, "{t}").unwrap();
+        let (t, _, eps) = ablation::run_dominance_soundness(&ctx, qpc.min(20));
+        writeln!(out, "{t}").unwrap();
+        writeln!(out, "calibrated dominance margin eps = {eps:.6}\n").unwrap();
     }
     if wants("a4") {
         let replays = match scale {

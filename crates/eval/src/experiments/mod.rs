@@ -11,26 +11,29 @@ pub mod policy;
 pub mod quality;
 pub mod training_size;
 
-use srt_core::routing::{BudgetRouter, RouteResult, RouterConfig};
+use srt_core::routing::{BudgetRouter, ConvCertificate, RouteResult, RouterConfig};
 use srt_core::HybridCost;
 use srt_synth::Query;
 use std::time::Duration;
 
 /// Routes a query batch in parallel (`std::thread::scope`), preserving
 /// input order. The cost oracle is shared immutably; each thread owns its
-/// router and writes into a disjoint chunk of the result buffer.
+/// router and writes into a disjoint chunk of the result buffer. The
+/// convolution certificate (when the configuration needs one) is
+/// computed once and cloned into every thread's router.
 pub(crate) fn route_queries(
     cost: &HybridCost<'_>,
     cfg: RouterConfig,
     queries: &[Query],
     deadline: Option<Duration>,
 ) -> Vec<RouteResult> {
+    let certificate = BudgetRouter::wants_certificate(&cfg).then(|| ConvCertificate::compute(cost));
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(queries.len().max(1));
     if threads <= 1 || queries.len() < 4 {
-        let router = BudgetRouter::new(cost, cfg);
+        let router = BudgetRouter::with_certificate(cost, cfg, certificate);
         return queries
             .iter()
             .map(|q| router.route(q.source, q.target, q.budget_s, deadline))
@@ -41,8 +44,9 @@ pub(crate) fn route_queries(
     let mut results: Vec<Option<RouteResult>> = vec![None; queries.len()];
     std::thread::scope(|s| {
         for (q_slice, r_slice) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            let certificate = certificate.clone();
             s.spawn(move || {
-                let router = BudgetRouter::new(cost, cfg);
+                let router = BudgetRouter::with_certificate(cost, cfg, certificate);
                 for (q, out) in q_slice.iter().zip(r_slice) {
                     *out = Some(router.route(q.source, q.target, q.budget_s, deadline));
                 }

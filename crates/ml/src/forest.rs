@@ -255,6 +255,32 @@ impl RandomForestClassifier {
         out
     }
 
+    /// Mean class-probability *bounds* across trees for a partially-known
+    /// feature row (`None` = the feature may take any value). Each tree
+    /// contributes its tight per-tree bounds
+    /// ([`ClassificationTree::predict_proba_bounds_row`]); the average of
+    /// per-tree minima / maxima bounds the forest mean, since the unknown
+    /// features take one common value across trees.
+    pub fn predict_proba_bounds_row(&self, features: &[Option<f64>]) -> (Vec<f64>, Vec<f64>) {
+        let mut lo = vec![0.0; self.n_classes];
+        let mut hi = vec![0.0; self.n_classes];
+        for t in &self.trees {
+            let (tl, th) = t.predict_proba_bounds_row(features);
+            for (o, v) in lo.iter_mut().zip(&tl) {
+                *o += v;
+            }
+            for (o, v) in hi.iter_mut().zip(&th) {
+                *o += v;
+            }
+        }
+        let k = self.trees.len() as f64;
+        for (l, h) in lo.iter_mut().zip(hi.iter_mut()) {
+            *l /= k;
+            *h /= k;
+        }
+        (lo, hi)
+    }
+
     /// Most probable class.
     pub fn predict_row(&self, features: &[f64]) -> usize {
         argmax(&self.predict_proba_row(features))
@@ -407,6 +433,39 @@ mod tests {
         let p = f.predict_proba_row(&[0.5, 0.5]);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(p[0] > 0.8);
+    }
+
+    #[test]
+    fn classifier_bounds_bracket_concrete_predictions() {
+        // Label depends on feature 0 only; feature 1 is noise.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            rows.push(vec![i as f64, ((i * 3) % 11) as f64]);
+            labels.push(usize::from(i >= 30));
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let f = RandomForestClassifier::fit(&x, &labels, 2, &ForestConfig::default(), 7).unwrap();
+
+        // Unknown noise feature: bounds must bracket every completion.
+        for a in [3.0, 15.0, 29.0, 31.0, 55.0] {
+            let (lo, hi) = f.predict_proba_bounds_row(&[Some(a), None]);
+            for b in [0.0, 2.5, 10.0] {
+                let exact = f.predict_proba_row(&[a, b]);
+                for c in 0..2 {
+                    assert!(
+                        lo[c] <= exact[c] + 1e-12 && exact[c] <= hi[c] + 1e-12,
+                        "a={a} b={b} class {c}"
+                    );
+                }
+            }
+        }
+        // Far from the boundary the class is certified despite the
+        // unknown feature.
+        let (_, hi) = f.predict_proba_bounds_row(&[Some(2.0), None]);
+        assert!(hi[1] < 0.5, "x=2 should certify class 0, got hi {}", hi[1]);
+        let (lo, _) = f.predict_proba_bounds_row(&[Some(58.0), None]);
+        assert!(lo[1] > 0.5, "x=58 should certify class 1, got lo {}", lo[1]);
     }
 
     #[test]

@@ -149,6 +149,33 @@ fn walk<'a>(nodes: &'a [TreeNode], features: &[f64]) -> &'a TreeNode {
     node
 }
 
+/// Interval walk: descends with partially-known features, taking *both*
+/// branches whenever the split feature is `None`, and folds the reachable
+/// leaf values element-wise into `(lo, hi)`. Every node is visited at most
+/// once, so the cost is bounded by the tree size regardless of how many
+/// features are unknown.
+fn walk_bounds(nodes: &[TreeNode], features: &[Option<f64>], lo: &mut [f64], hi: &mut [f64]) {
+    fn rec(nodes: &[TreeNode], at: u32, features: &[Option<f64>], lo: &mut [f64], hi: &mut [f64]) {
+        let node = &nodes[at as usize];
+        if node.is_leaf() {
+            for ((l, h), &v) in lo.iter_mut().zip(hi.iter_mut()).zip(&node.value) {
+                *l = l.min(v);
+                *h = h.max(v);
+            }
+            return;
+        }
+        match features[node.feature as usize] {
+            Some(x) if x <= node.threshold => rec(nodes, node.left, features, lo, hi),
+            Some(_) => rec(nodes, node.right, features, lo, hi),
+            None => {
+                rec(nodes, node.left, features, lo, hi);
+                rec(nodes, node.right, features, lo, hi);
+            }
+        }
+    }
+    rec(nodes, 0, features, lo, hi);
+}
+
 /// Chooses the candidate features for one split.
 fn candidate_features<R: Rng>(n_features: usize, cfg: &TreeConfig, rng: &mut R) -> Vec<usize> {
     match cfg.max_features {
@@ -655,6 +682,31 @@ impl ClassificationTree {
         me
     }
 
+    /// Class-probability *bounds* for a partially-known feature row:
+    /// element-wise `(min, max)` over every leaf reachable when the `None`
+    /// features are allowed to take any value. The bounds are tight per
+    /// tree (each reachable leaf is realized by some completion of the
+    /// unknown features).
+    ///
+    /// This powers the router's convolution certificate: with only the
+    /// pre-distribution features unknown, an upper bound on
+    /// `P(dependent)` below the gate threshold proves the classifier
+    /// picks convolution for *every* possible path prefix.
+    ///
+    /// # Panics
+    /// Panics if `features.len() != n_features` (programming error).
+    pub fn predict_proba_bounds_row(&self, features: &[Option<f64>]) -> (Vec<f64>, Vec<f64>) {
+        assert_eq!(
+            features.len(),
+            self.n_features,
+            "feature count mismatch in ClassificationTree::predict_proba_bounds_row"
+        );
+        let mut lo = vec![f64::INFINITY; self.n_classes];
+        let mut hi = vec![f64::NEG_INFINITY; self.n_classes];
+        walk_bounds(&self.nodes, features, &mut lo, &mut hi);
+        (lo, hi)
+    }
+
     /// Class-probability vector for one feature row.
     pub fn predict_proba_row(&self, features: &[f64]) -> &[f64] {
         assert_eq!(
@@ -882,6 +934,59 @@ mod tests {
     fn argmax_first_on_ties() {
         assert_eq!(argmax(&[0.5, 0.5]), 0);
         assert_eq!(argmax(&[0.1, 0.9, 0.3]), 1);
+    }
+
+    #[test]
+    fn proba_bounds_bracket_every_completion() {
+        // Label depends on both features; bound over an unknown feature
+        // must cover both concrete completions.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let a = f64::from(i % 2);
+            let b = f64::from(i / 20);
+            rows.push(vec![a, b]);
+            labels.push(usize::from(a > 0.5 && b > 0.5));
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let t = ClassificationTree::fit(&x, &labels, 2, &TreeConfig::default(), &mut rng()).unwrap();
+
+        // Fully known rows: bounds collapse to the point prediction.
+        for probe in [[0.0, 0.0], [1.0, 1.0], [1.0, 0.0]] {
+            let (lo, hi) = t.predict_proba_bounds_row(&[Some(probe[0]), Some(probe[1])]);
+            let exact = t.predict_proba_row(&probe);
+            for c in 0..2 {
+                assert!(lo[c] <= exact[c] + 1e-12 && exact[c] <= hi[c] + 1e-12);
+                assert!((lo[c] - hi[c]).abs() < 1e-12);
+            }
+        }
+
+        // Feature 1 unknown: the bounds must bracket both completions.
+        for a in [0.0, 1.0] {
+            let (lo, hi) = t.predict_proba_bounds_row(&[Some(a), None]);
+            for b in [0.0, 1.0] {
+                let exact = t.predict_proba_row(&[a, b]);
+                for c in 0..2 {
+                    assert!(
+                        lo[c] <= exact[c] + 1e-12 && exact[c] <= hi[c] + 1e-12,
+                        "a={a} b={b} class {c}: {} not in [{}, {}]",
+                        exact[c],
+                        lo[c],
+                        hi[c]
+                    );
+                }
+            }
+        }
+
+        // With a = 0 the conjunction is false whatever b is: the upper
+        // bound on the positive class stays below certainty of class 1.
+        let (_, hi) = t.predict_proba_bounds_row(&[Some(0.0), None]);
+        assert!(hi[1] < 0.5, "a=0 should certify the negative class");
+
+        // Everything unknown: bounds span all leaves but stay in [0, 1].
+        let (lo, hi) = t.predict_proba_bounds_row(&[None, None]);
+        assert!(lo[1] <= 0.0 + 1e-12 && hi[1] >= 1.0 - 1e-12);
+        assert!(lo.iter().chain(hi.iter()).all(|p| (0.0..=1.0).contains(p)));
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod trajectory;
 pub mod world;
 
 pub use congestion::{CongestionConfig, CongestionModel};
-pub use ground_truth::{DependenceLabel, GroundTruth, PairKey};
+pub use ground_truth::{DependenceLabel, GroundTruth, GroundTruthConfig, PairKey};
 pub use network::{generate_network, NetworkConfig};
 pub use queries::{DistanceCategory, Query, QueryGenerator};
 pub use trajectory::{ObservationStore, Trajectory, TrajectoryConfig};

@@ -3,7 +3,7 @@
 
 use stochastic_routing::core::model::training::{train_hybrid, TrainingConfig};
 use stochastic_routing::core::routing::baseline::ExpectedTimeBaseline;
-use stochastic_routing::core::routing::{BudgetRouter, RouterConfig};
+use stochastic_routing::core::routing::{BoundMode, BudgetRouter, RouterConfig};
 use stochastic_routing::core::{CombinePolicy, HybridCost};
 use stochastic_routing::ml::forest::ForestConfig;
 use stochastic_routing::synth::{DistanceCategory, QueryGenerator, SyntheticWorld, WorldConfig};
@@ -110,7 +110,7 @@ fn router_stats_reflect_pruning_work() {
     assert!(full.stats.labels_created > 0);
 
     let unpruned_cfg = RouterConfig {
-        use_bound_pruning: false,
+        bound: BoundMode::Off,
         max_labels: 30_000,
         ..RouterConfig::default()
     };

@@ -1,0 +1,424 @@
+//! Differential certification of the pruning policies against the
+//! exhaustive [`OracleRouter`]: on randomized small synthetic worlds, a
+//! *sound* pruning configuration must reproduce the oracle's probability
+//! exactly, and margin dominance must stay within its calibrated `eps`.
+//!
+//! The matrix covers every termination-safe combination of the three
+//! composable pruning policies — bound {off, certified} × budget-gate
+//! {on, off} × dominance {off, convolution-gated, margin} — additionally
+//! crossed with the pivot and cost-shifting toggles, under both the
+//! hybrid cost model and the pure-convolution model (where the
+//! optimistic bound is exact too). The one excluded corner is
+//! bound-off × gate-off: with neither policy the search has no
+//! feasibility cut and diverges on cyclic graphs by construction. A
+//! mismatch is reported *minimized*: the failing configuration is
+//! greedily shrunk to the smallest set of enabled policies that still
+//! disagrees with the oracle.
+
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use std::sync::OnceLock;
+use stochastic_routing::core::model::training::{train_hybrid, TrainingConfig};
+use stochastic_routing::core::routing::{
+    BoundMode, BudgetRouter, ConvCertificate, DominanceMode, OracleRouter, RouterConfig,
+};
+use stochastic_routing::core::{CombinePolicy, HybridCost, HybridModel};
+use stochastic_routing::graph::NodeId;
+use stochastic_routing::ml::forest::ForestConfig;
+use stochastic_routing::synth::{
+    GroundTruthConfig, NetworkConfig, SyntheticWorld, TrajectoryConfig, WorldConfig,
+};
+
+/// Oracle enumeration budget per query; queries whose walk space exceeds
+/// it are skipped (counted, so a pathological fixture would fail loudly).
+const ORACLE_CAP: usize = 25_000;
+
+/// Small worlds: a handful of intersections so exhaustive enumeration
+/// stays cheap, but with cycles, parallel routes and thinning so the
+/// pruning corner cases (U-turn exchanges, Pareto ties) actually occur.
+fn small_world(seed: u64, width: usize, height: usize) -> (SyntheticWorld, HybridModel) {
+    let world = SyntheticWorld::build(WorldConfig {
+        network: NetworkConfig {
+            width,
+            height,
+            thinning: 0.0,
+            seed,
+            ..NetworkConfig::default()
+        },
+        trajectories: TrajectoryConfig {
+            num_trips: 150,
+            num_sources: 8,
+            ..TrajectoryConfig::default()
+        },
+        ground_truth: GroundTruthConfig {
+            samples_per_edge: 150,
+            samples_per_pair: 150,
+            ..GroundTruthConfig::default()
+        },
+        ..WorldConfig::default()
+    });
+    let cfg = TrainingConfig {
+        train_pairs: 60,
+        test_pairs: 20,
+        min_obs: 3,
+        bins: 8,
+        forest: ForestConfig {
+            n_trees: 4,
+            ..ForestConfig::default()
+        },
+        seed: seed ^ 0xD1FF,
+        ..TrainingConfig::default()
+    };
+    let (model, _) = train_hybrid(&world, &cfg).expect("small world trains");
+    (world, model)
+}
+
+fn fixtures() -> &'static [(SyntheticWorld, HybridModel)] {
+    static FIX: OnceLock<Vec<(SyntheticWorld, HybridModel)>> = OnceLock::new();
+    FIX.get_or_init(|| vec![small_world(11, 4, 3), small_world(23, 3, 4)])
+}
+
+/// Convolution certificates, one per (fixture, combine policy): they
+/// depend only on the cost oracle, so compute each exactly once for the
+/// whole suite.
+fn certificate_for(w: usize, combine: CombinePolicy) -> &'static ConvCertificate {
+    static CERTS: OnceLock<Vec<[ConvCertificate; 2]>> = OnceLock::new();
+    let all = CERTS.get_or_init(|| {
+        fixtures()
+            .iter()
+            .map(|(world, model)| {
+                [CombinePolicy::Hybrid, CombinePolicy::AlwaysConvolve].map(|p| {
+                    ConvCertificate::compute(&HybridCost::from_ground_truth(world, model, p))
+                })
+            })
+            .collect()
+    });
+    match combine {
+        CombinePolicy::Hybrid => &all[w][0],
+        CombinePolicy::AlwaysConvolve => &all[w][1],
+        CombinePolicy::AlwaysEstimate => unreachable!("suite never runs the estimator-only model"),
+    }
+}
+
+/// Every termination-safe combination of the bound and budget-gate
+/// policies (the bound uses its provably-sound `Certified` mode when
+/// on; gate-off requires the bound on, since without either the search
+/// has no feasibility cut), crossed with the pivot and cost-shifting
+/// toggles. Dominance is crossed in by the caller.
+fn policy_combinations() -> Vec<RouterConfig> {
+    let mut out = Vec::new();
+    for (bound, gate) in [
+        (BoundMode::Off, true),
+        (BoundMode::Certified, true),
+        (BoundMode::Certified, false),
+    ] {
+        for pivot in [false, true] {
+            for shifting in [false, true] {
+                out.push(RouterConfig {
+                    bound,
+                    budget_gate: gate,
+                    use_pivot_init: pivot,
+                    use_cost_shifting: shifting,
+                    ..RouterConfig::default()
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The drift each dominance mode is allowed against the oracle:
+/// `(below, above)` — sound modes are exact, margin may trail by its
+/// calibrated `eps`.
+fn tolerances(dominance: DominanceMode, eps: f64) -> (f64, f64) {
+    match dominance {
+        DominanceMode::Margin { .. } => (eps + 1e-9, 1e-9),
+        _ => (1e-9, 1e-9),
+    }
+}
+
+/// Greedily shrinks a failing configuration to a minimal one that still
+/// mismatches the oracle (each candidate judged under *its own* mode's
+/// tolerance), and renders the repro report.
+#[allow(clippy::too_many_arguments)]
+fn minimized_failure(
+    cost: &HybridCost<'_>,
+    cfg: RouterConfig,
+    src: NodeId,
+    dst: NodeId,
+    budget: f64,
+    oracle_prob: f64,
+    eps: f64,
+    context: &str,
+) -> String {
+    let mismatches = |c: &RouterConfig| {
+        let (tol_lo, tol_hi) = tolerances(c.dominance, eps);
+        let r = BudgetRouter::new(cost, *c).route(src, dst, budget, None);
+        let o = OracleRouter::from_config(cost, c)
+            .route(src, dst, budget, ORACLE_CAP)
+            .map(|o| o.probability)
+            .unwrap_or(oracle_prob);
+        r.probability - o > tol_hi || o - r.probability > tol_lo
+    };
+    let mut min_cfg = cfg;
+    loop {
+        let mut shrunk = false;
+        let candidates = [
+            RouterConfig {
+                bound: BoundMode::Off,
+                // Never shrink into the divergent bound-off × gate-off
+                // corner: restore the feasibility cut with the bound gone.
+                budget_gate: true,
+                ..min_cfg
+            },
+            RouterConfig {
+                use_pivot_init: false,
+                ..min_cfg
+            },
+            RouterConfig {
+                dominance: DominanceMode::Off,
+                ..min_cfg
+            },
+            RouterConfig {
+                use_cost_shifting: true, // the default representation
+                ..min_cfg
+            },
+        ];
+        for cand in candidates {
+            if cand != min_cfg && mismatches(&cand) {
+                min_cfg = cand;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+    let r = BudgetRouter::new(cost, min_cfg).route(src, dst, budget, None);
+    format!(
+        "{context}: {src:?}->{dst:?} budget {budget:.3}\n\
+         full config: {cfg:?}\n\
+         minimized config still failing: {min_cfg:?}\n\
+         router prob {:.12} (path {:?})\n\
+         oracle prob {oracle_prob:.12}",
+        r.probability,
+        r.path.map(|p| p.edges.len()),
+    )
+}
+
+/// Runs one query through the full policy matrix, asserting each
+/// dominance mode's contract against the oracle. `w` indexes the
+/// fixture (for the shared certificate cache).
+fn certify_query(
+    w: usize,
+    combine: CombinePolicy,
+    src: NodeId,
+    dst: NodeId,
+    budget: f64,
+) -> Result<usize, TestCaseError> {
+    let (world, model) = &fixtures()[w];
+    let cost = HybridCost::from_ground_truth(world, model, combine);
+    let eps = model
+        .calibration
+        .map(|c| c.margin_eps)
+        .unwrap_or(f64::INFINITY);
+    let mut certified = 0usize;
+
+    // The oracle depends only on the pivot semantics (and the shared
+    // bucket cap), not on the pruning toggles: enumerate once per pivot
+    // setting and reuse across the whole matrix.
+    let mut oracles = [0.0f64; 2];
+    for (i, pivot) in [false, true].into_iter().enumerate() {
+        let cfg = RouterConfig {
+            use_pivot_init: pivot,
+            ..RouterConfig::default()
+        };
+        match OracleRouter::from_config(&cost, &cfg).route(src, dst, budget, ORACLE_CAP) {
+            Some(o) => oracles[i] = o.probability,
+            None => return Ok(0), // walk space too large; skip the query
+        }
+    }
+
+    // The convolution certificate depends only on the cost oracle:
+    // computed once per (fixture, policy) and shared across the suite.
+    let certificate = certificate_for(w, combine);
+
+    for base in policy_combinations() {
+        let oracle_prob = oracles[usize::from(base.use_pivot_init)];
+
+        for dominance in [
+            DominanceMode::Off,
+            DominanceMode::ConvGated,
+            DominanceMode::Margin { eps: None },
+        ] {
+            let cfg = RouterConfig { dominance, ..base };
+            let router = if BudgetRouter::wants_certificate(&cfg) {
+                BudgetRouter::with_certificate(&cost, cfg, Some(certificate.clone()))
+            } else {
+                BudgetRouter::new(&cost, cfg)
+            };
+            let r = router.route(src, dst, budget, None);
+            prop_assert!(
+                r.stats.completed,
+                "search did not finish: {cfg:?} on {src:?}->{dst:?}"
+            );
+            // Sound modes: exact. Margin: never above the oracle, below
+            // by at most the calibrated eps.
+            let (tol_lo, tol_hi) = tolerances(dominance, eps);
+            let diff = r.probability - oracle_prob;
+            if diff > tol_hi || -diff > tol_lo {
+                let report = minimized_failure(
+                    &cost,
+                    cfg,
+                    src,
+                    dst,
+                    budget,
+                    oracle_prob,
+                    eps,
+                    match combine {
+                        CombinePolicy::Hybrid => "hybrid cost model",
+                        CombinePolicy::AlwaysConvolve => "convolution cost model",
+                        CombinePolicy::AlwaysEstimate => "estimator cost model",
+                    },
+                );
+                prop_assert!(false, "pruning changed the policy\n{report}");
+            }
+            certified += 1;
+        }
+    }
+    Ok(certified)
+}
+
+/// Draws a routable query on fixture `w`: budget `mult ×` the expected
+/// shortest time.
+fn make_query(
+    world: &SyntheticWorld,
+    model: &HybridModel,
+    s: u32,
+    d: u32,
+    mult: f64,
+) -> Option<(NodeId, NodeId, f64)> {
+    let n = world.graph.num_nodes() as u32;
+    let (src, dst) = (NodeId(s % n), NodeId(d % n));
+    if src == dst {
+        return None;
+    }
+    let cost = HybridCost::from_ground_truth(world, model, CombinePolicy::Hybrid);
+    let exp = stochastic_routing::graph::algo::dijkstra(&world.graph, src, Some(dst), |e| {
+        cost.marginal(e).mean()
+    })
+    .distance(dst);
+    if !exp.is_finite() {
+        return None;
+    }
+    Some((src, dst, exp * mult))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Hybrid cost model: every sound pruning combination matches the
+    /// oracle exactly; margin dominance stays within its calibrated eps.
+    #[test]
+    fn pruning_matches_the_oracle_under_hybrid(
+        w in 0usize..2, s in 0u32..64, d in 0u32..64, mult in 0.95f64..1.15
+    ) {
+        let (world, model) = &fixtures()[w];
+        let Some((src, dst, budget)) = make_query(world, model, s, d, mult) else {
+            return Ok(());
+        };
+        certify_query(w, CombinePolicy::Hybrid, src, dst, budget)?;
+    }
+
+    /// Pure convolution: the cost model is monotone, so the legacy
+    /// optimistic bound is exact as well — certify the matrix with it in
+    /// place of the certified bound, plus the gated/margin modes (which
+    /// both reduce to exchange-safe first-order dominance here).
+    #[test]
+    fn pruning_matches_the_oracle_under_convolution(
+        w in 0usize..2, s in 0u32..64, d in 0u32..64, mult in 0.95f64..1.15
+    ) {
+        let (world, model) = &fixtures()[w];
+        let Some((src, dst, budget)) = make_query(world, model, s, d, mult) else {
+            return Ok(());
+        };
+        certify_query(w, CombinePolicy::AlwaysConvolve, src, dst, budget)?;
+
+        // The optimistic bound, exact under convolution.
+        let cost = HybridCost::from_ground_truth(world, model, CombinePolicy::AlwaysConvolve);
+        let cfg = RouterConfig {
+            bound: BoundMode::Optimistic,
+            dominance: DominanceMode::ConvGated,
+            ..RouterConfig::default()
+        };
+        if let Some(o) = OracleRouter::from_config(&cost, &cfg).route(src, dst, budget, ORACLE_CAP) {
+            let r = BudgetRouter::new(&cost, cfg).route(src, dst, budget, None);
+            prop_assert!(
+                (r.probability - o.probability).abs() < 1e-9,
+                "optimistic bound drifted under convolution: {} vs {}",
+                r.probability, o.probability
+            );
+        }
+    }
+
+    /// The budget gate alone never changes an answer (it only drops
+    /// zero-probability labels), with or without the certified bound.
+    #[test]
+    fn budget_gate_is_invisible_in_answers(
+        w in 0usize..2, s in 0u32..64, d in 0u32..64, mult in 0.95f64..1.1
+    ) {
+        let (world, model) = &fixtures()[w];
+        let Some((src, dst, budget)) = make_query(world, model, s, d, mult) else {
+            return Ok(());
+        };
+        let cost = HybridCost::from_ground_truth(world, model, CombinePolicy::Hybrid);
+        // Gate off requires the bound on for termination (the bound
+        // subsumes the feasibility cut at incumbent probability zero).
+        for bound in [BoundMode::Certified, BoundMode::Optimistic] {
+            let with_gate = RouterConfig {
+                bound,
+                dominance: DominanceMode::Off,
+                budget_gate: true,
+                ..RouterConfig::default()
+            };
+            let without_gate = RouterConfig { budget_gate: false, ..with_gate };
+            let a = BudgetRouter::new(&cost, with_gate).route(src, dst, budget, None);
+            let b = BudgetRouter::new(&cost, without_gate).route(src, dst, budget, None);
+            prop_assert!(a.stats.completed && b.stats.completed);
+            prop_assert!(
+                (a.probability - b.probability).abs() < 1e-12,
+                "budget gate changed the answer under {bound:?}: {} vs {}",
+                a.probability, b.probability
+            );
+        }
+    }
+}
+
+/// Deterministic smoke: across the fixtures' node pairs, the matrix must
+/// certify a healthy number of queries (guards against the proptest
+/// cases silently skipping everything via the oracle cap).
+#[test]
+fn differential_coverage_is_nontrivial() {
+    let mut certified = 0usize;
+    let mut skipped = 0usize;
+    for (w, (world, model)) in fixtures().iter().enumerate() {
+        let n = world.graph.num_nodes() as u32;
+        for k in 0..4u32 {
+            let Some((src, dst, budget)) =
+                make_query(world, model, k * 3 + 1, (k * 3 + 1) + n / 2, 1.05)
+            else {
+                continue;
+            };
+            match certify_query(w, CombinePolicy::Hybrid, src, dst, budget) {
+                Ok(0) => skipped += 1,
+                Ok(c) => certified += c,
+                Err(e) => panic!("differential failure: {e:?}"),
+            }
+        }
+    }
+    assert!(
+        certified >= 48,
+        "only {certified} configuration-queries certified ({skipped} skipped)"
+    );
+}
