@@ -161,6 +161,56 @@ fn bench_dominance_modes(c: &mut Criterion) {
     g.finish();
 }
 
+/// The bound-mode cost spectrum: off, the legacy optimistic heuristic
+/// (unsound under the estimator arm), the certificate-only sound bound,
+/// and the support-aware certified envelope the default configuration
+/// runs with. Before timing, prints each mode's expansion counts so the
+/// smoke run also reports *how much* every bound prunes — the sharpness
+/// data behind the "envelope keeps >= 80% of optimistic's pruning"
+/// acceptance gate (asserted in srt-eval's ablation tests).
+fn bench_bound_modes(c: &mut Criterion) {
+    let ctx = tiny_context();
+    let cost = HybridCost::from_ground_truth(&ctx.world, &ctx.model, CombinePolicy::Hybrid);
+    let queries = queries_for(DistanceCategory::ZeroToOne, 4);
+
+    let modes: [(&str, BoundMode); 4] = [
+        ("off", BoundMode::Off),
+        ("optimistic", BoundMode::Optimistic),
+        ("certified", BoundMode::Certified),
+        ("certified_envelope", BoundMode::CertifiedEnvelope),
+    ];
+    let mut g = c.benchmark_group("routing/bound_modes");
+    g.sample_size(10);
+    for (name, bound) in modes {
+        let router = BudgetRouter::new(
+            &cost,
+            RouterConfig {
+                bound,
+                dominance: DominanceMode::Off,
+                max_labels: 120_000,
+                ..RouterConfig::default()
+            },
+        );
+        let (mut labels, mut pruned) = (0usize, 0usize);
+        for q in &queries {
+            let r = router.route(q.source, q.target, q.budget_s, None);
+            labels += r.stats.labels_created;
+            pruned += r.stats.pruned_bound;
+        }
+        eprintln!(
+            "routing/bound_modes/{name}: {labels} labels created, {pruned} pruned by the bound"
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(name), &queries, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    black_box(router.route(q.source, q.target, q.budget_s, None));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
 /// The deterministic baseline the quality table compares against.
 fn bench_baseline(c: &mut Criterion) {
     let ctx = tiny_context();
@@ -208,6 +258,7 @@ criterion_group!(
     bench_quality_anytime,
     bench_pruning_ablation,
     bench_dominance_modes,
+    bench_bound_modes,
     bench_baseline,
     bench_path_cost
 );

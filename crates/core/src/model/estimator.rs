@@ -108,6 +108,45 @@ impl DistributionEstimator {
         self.forest.feature_importances()
     }
 
+    /// Provable upper bounds on the prefix mass of **any** prediction:
+    /// `caps[k]` bounds the total mass [`DistributionEstimator::predict`]
+    /// can place in its first `k` buckets, over *all* feature inputs.
+    ///
+    /// Derived from the forest's global per-output leaf ranges
+    /// ([`srt_ml::forest::RandomForestRegressor::output_ranges`]): with
+    /// `P` the largest achievable (clipped) prefix sum and `S` the
+    /// smallest achievable (clipped) suffix sum, the normalized prefix
+    /// mass is at most `P / (P + S)` — the ratio is monotone in both
+    /// arguments. When every leaf range allows an all-zero raw output,
+    /// the uniform fallback of
+    /// [`DistributionEstimator::predict_masses`] is reachable and the
+    /// cap is widened to cover it.
+    pub fn prefix_mass_caps(&self) -> Vec<f64> {
+        let ranges = self.forest.output_ranges();
+        let hi_pos: Vec<f64> = ranges.iter().map(|&(_, h)| h.max(0.0)).collect();
+        let lo_pos: Vec<f64> = ranges.iter().map(|&(l, _)| l.max(0.0)).collect();
+        let uniform_reachable = lo_pos.iter().sum::<f64>() <= 0.0;
+        let mut caps = Vec::with_capacity(self.bins + 1);
+        caps.push(0.0);
+        for k in 1..=self.bins {
+            let p_max: f64 = hi_pos[..k].iter().sum();
+            let s_min: f64 = lo_pos[k..].iter().sum();
+            let mut cap = if p_max <= 0.0 {
+                0.0
+            } else if s_min <= 0.0 {
+                1.0
+            } else {
+                p_max / (p_max + s_min)
+            };
+            if uniform_reachable {
+                cap = cap.max(k as f64 / self.bins as f64);
+            }
+            caps.push(cap.min(1.0));
+        }
+        caps[self.bins] = 1.0;
+        caps
+    }
+
     /// Predicts the joint distribution over the known support
     /// `[support_lo, support_hi)`.
     ///
@@ -189,6 +228,36 @@ mod tests {
             assert!((masses.iter().sum::<f64>() - 1.0).abs() < 1e-9);
             assert!(masses.iter().all(|&m| m >= 0.0));
         }
+    }
+
+    #[test]
+    fn prefix_caps_bound_every_prediction() {
+        let (x, y) = toy_training(80);
+        let est = DistributionEstimator::fit(&x, &y, 4, &cfg(), 3).unwrap();
+        let caps = est.prefix_mass_caps();
+        assert_eq!(caps.len(), 5);
+        assert_eq!(caps[0], 0.0);
+        assert_eq!(caps[4], 1.0);
+        // Monotone: prefix grows, suffix shrinks.
+        for w in caps.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        // Every concrete prediction respects the caps.
+        for i in 0..20 {
+            let mut f = vec![0.0; FEATURE_COUNT];
+            f[0] = (i % 10) as f64 / 10.0;
+            f[1] = 0.1 + (i / 10) as f64;
+            let m = est.predict_masses(&f);
+            let mut acc = 0.0;
+            for (k, &mass) in m.iter().enumerate() {
+                acc += mass;
+                assert!(acc <= caps[k + 1] + 1e-9, "prefix {k} of {m:?} vs {caps:?}");
+            }
+        }
+        // The toy task concentrates late mass for late peaks, so the
+        // first-bucket cap must be non-trivial only if the forest's
+        // leaves allow it — either way it is a valid probability.
+        assert!((0.0..=1.0).contains(&caps[1]));
     }
 
     #[test]

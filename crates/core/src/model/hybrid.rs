@@ -3,6 +3,7 @@
 
 use crate::model::calibration::DominanceCalibration;
 use crate::model::classifier::DependenceClassifier;
+use crate::model::envelope::SupportEnvelope;
 use crate::model::estimator::DistributionEstimator;
 use crate::model::features::pair_features;
 use serde::{Deserialize, Serialize};
@@ -24,6 +25,10 @@ pub struct HybridModel {
     /// (`None` for models trained before calibration existed, e.g. v1
     /// snapshots). Feeds the router's margin-dominance pruning.
     pub calibration: Option<DominanceCalibration>,
+    /// Support-mass envelope of the estimator arm (`None` for models
+    /// trained before envelopes existed, e.g. v1/v2 snapshots). Feeds
+    /// the router's certified-envelope pruning bound.
+    pub envelope: Option<SupportEnvelope>,
 }
 
 impl HybridModel {
@@ -117,6 +122,7 @@ mod tests {
             classifier,
             bins,
             calibration: None,
+            envelope: None,
         }
     }
 

@@ -8,27 +8,32 @@
 //!
 //! ```text
 //! magic   u32   0x53524D4F ("SRMO")
-//! version u32   2
+//! version u32   3
 //! bins    u32
 //! estimator  (see DistributionEstimator::write_bytes)
 //! classifier (see DependenceClassifier::write_bytes)
 //! calib_flag u8   (v2+) 0 = absent, 1 = present
 //! calibration     (v2+, if present; see DominanceCalibration::write_bytes)
+//! env_flag   u8   (v3+) 0 = absent, 1 = present
+//! envelope        (v3+, if present; see SupportEnvelope::write_bytes)
 //! ```
 //!
-//! Version 1 snapshots (no calibration trailer) still decode; they yield
-//! a model with `calibration: None`, for which the router's margin
-//! dominance degenerates to its most conservative form.
+//! Version 1 snapshots (no calibration trailer) and version 2 snapshots
+//! (no envelope trailer) still decode; they yield models with
+//! `calibration: None` / `envelope: None` respectively, for which the
+//! router's margin dominance and certified-envelope bound degenerate to
+//! their most conservative forms.
 
 use crate::error::CoreError;
 use crate::model::calibration::DominanceCalibration;
 use crate::model::classifier::DependenceClassifier;
+use crate::model::envelope::SupportEnvelope;
 use crate::model::estimator::DistributionEstimator;
 use crate::model::hybrid::HybridModel;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: u32 = 0x5352_4D4F;
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 /// Oldest snapshot version this decoder still accepts.
 const MIN_VERSION: u32 = 1;
 
@@ -47,10 +52,17 @@ pub fn to_bytes(model: &HybridModel) -> Bytes {
         }
         None => buf.put_u8(0),
     }
+    match &model.envelope {
+        Some(env) => {
+            buf.put_u8(1);
+            env.write_bytes(&mut buf);
+        }
+        None => buf.put_u8(0),
+    }
     buf.freeze()
 }
 
-/// Deserializes a hybrid model snapshot (current or v1 format).
+/// Deserializes a hybrid model snapshot (current, v2 or v1 format).
 ///
 /// # Errors
 /// [`CoreError::Ml`] wrapping a `Corrupt` error on malformed payloads.
@@ -88,6 +100,18 @@ pub fn from_bytes(mut data: &[u8]) -> Result<HybridModel, CoreError> {
     } else {
         None
     };
+    let envelope = if version >= 3 {
+        if data.remaining() < 1 {
+            return Err(corrupt("truncated envelope flag".into()));
+        }
+        match data.get_u8() {
+            0 => None,
+            1 => Some(SupportEnvelope::read_bytes(&mut data)?),
+            flag => return Err(corrupt(format!("bad envelope flag {flag}"))),
+        }
+    } else {
+        None
+    };
     if !data.is_empty() {
         return Err(corrupt(format!("{} trailing bytes", data.len())));
     }
@@ -96,6 +120,7 @@ pub fn from_bytes(mut data: &[u8]) -> Result<HybridModel, CoreError> {
         classifier,
         bins,
         calibration,
+        envelope,
     })
 }
 
@@ -137,6 +162,9 @@ mod tests {
         // The dominance calibration (margin eps et al.) survives the trip.
         assert!(model.calibration.is_some());
         assert_eq!(model2.calibration, model.calibration);
+        // So does the support-mass envelope.
+        assert!(model.envelope.is_some());
+        assert_eq!(model2.envelope, model.envelope);
 
         // Identical predictions on a probe feature vector.
         let mut f = vec![0.0; crate::model::features::FEATURE_COUNT];
@@ -180,7 +208,31 @@ mod tests {
         let legacy = from_bytes(&buf).unwrap();
         assert_eq!(legacy.bins, model.bins);
         assert!(legacy.calibration.is_none(), "v1 has no calibration");
+        assert!(legacy.envelope.is_none(), "v1 has no envelope");
         // A v1 payload with a trailer is rejected (v1 never wrote one).
+        buf.put_u8(0);
+        assert!(from_bytes(&buf).is_err());
+    }
+
+    #[test]
+    fn version_two_snapshots_still_decode() {
+        use bytes::BufMut;
+        let (model, _) = train_hybrid(world(), &training(ClassifierBackend::Forest)).unwrap();
+        // Hand-assemble the v2 layout: header + estimator + classifier +
+        // calibration trailer, no envelope trailer.
+        let mut buf = bytes::BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(2);
+        buf.put_u32_le(model.bins as u32);
+        model.estimator.write_bytes(&mut buf);
+        model.classifier.write_bytes(&mut buf);
+        buf.put_u8(1);
+        model.calibration.as_ref().unwrap().write_bytes(&mut buf);
+        let legacy = from_bytes(&buf).unwrap();
+        assert_eq!(legacy.bins, model.bins);
+        assert_eq!(legacy.calibration, model.calibration, "v2 keeps its calibration");
+        assert!(legacy.envelope.is_none(), "v2 has no envelope");
+        // A v2 payload with a trailer is rejected (v2 never wrote one).
         buf.put_u8(0);
         assert!(from_bytes(&buf).is_err());
     }

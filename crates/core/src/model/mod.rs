@@ -1,9 +1,11 @@
 //! The Hybrid Model: pair features, distribution estimator, dependence
-//! classifier, the training pipeline, and the dominance-margin
-//! calibration that keeps pruning sound under the learned estimator.
+//! classifier, the training pipeline, and the two post-training
+//! certificates that keep pruning sound under the learned estimator —
+//! the dominance-margin calibration and the support-mass envelope.
 
 pub mod calibration;
 pub mod classifier;
+pub mod envelope;
 pub mod estimator;
 pub mod features;
 pub mod hybrid;
@@ -11,6 +13,7 @@ pub mod io;
 pub mod training;
 
 pub use calibration::DominanceCalibration;
+pub use envelope::SupportEnvelope;
 pub use classifier::{ClassifierBackend, DependenceClassifier};
 pub use estimator::DistributionEstimator;
 pub use features::{pair_features, pair_features_partial, FEATURE_COUNT};

@@ -209,20 +209,27 @@ pub fn train_hybrid(
         classifier,
         bins: cfg.bins,
         calibration: None,
+        envelope: None,
     };
 
     // Calibrate the dominance margin on held-out pairs: measure how far
     // the fitted combine operator can invert a dominance relation, so the
     // router's margin pruning knows its safety gap.
-    let calibration = crate::model::calibration::calibrate(
-        &model,
-        &world.graph,
+    let held_out = || {
         pairs[n_train..]
             .iter()
             .zip(&prepared[n_train..])
-            .map(|(&(e1, e2), p)| (e1, e2, &p.marg1, &p.marg2)),
-    );
+            .map(|(&(e1, e2), p)| (e1, e2, &p.marg1, &p.marg2))
+    };
+    let calibration = crate::model::calibration::calibrate(&model, &world.graph, held_out());
     model.calibration = Some(calibration);
+
+    // Probe the estimator arm's support-mass envelope on the same
+    // held-out pairs, so the router's certified-envelope bound knows how
+    // much mass any estimator output can front-load.
+    let envelope =
+        crate::model::envelope::probe_support_envelope(&model, &world.graph, held_out());
+    model.envelope = Some(envelope);
 
     // Held-out evaluation.
     let mut kl_h = Vec::with_capacity(test.len());

@@ -65,7 +65,11 @@ impl Default for RouterConfig {
     fn default() -> Self {
         RouterConfig {
             max_bins: 20,
-            bound: BoundMode::Optimistic,
+            // The support-aware certified bound: sound under the learned
+            // estimator arm (the optimistic CDF bound is not — the
+            // scenario-matrix oracle suite holds the drift witness) and
+            // nearly as sharp, via the model's persisted envelope.
+            bound: BoundMode::CertifiedEnvelope,
             use_pivot_init: true,
             use_cost_shifting: true,
             // Margin dominance with the model's calibrated eps: sound up
@@ -189,6 +193,13 @@ pub struct BudgetRouter<'a> {
     bound: BoundPolicy,
     dominance: DominancePolicy,
     certificate: Option<ConvCertificate>,
+    /// The model's support-mass envelope, when the bound mode consumes
+    /// it ([`BoundMode::CertifiedEnvelope`]).
+    envelope: Option<&'a crate::model::SupportEnvelope>,
+    /// Per-node minimum marginal span over out-edges — the envelope
+    /// bound's denominator floor. Computed once per router (it depends
+    /// only on the cost oracle), only for the envelope mode.
+    min_out_span: Option<Vec<f64>>,
 }
 
 impl<'a> BudgetRouter<'a> {
@@ -221,6 +232,24 @@ impl<'a> BudgetRouter<'a> {
             certificate.is_some() || !Self::wants_certificate(&cfg),
             "configuration needs a convolution certificate but none was supplied"
         );
+        let envelope = (cfg.bound == BoundMode::CertifiedEnvelope)
+            .then(|| cost.model().envelope.as_ref())
+            .flatten();
+        // Only worth building when an envelope will consume it (legacy
+        // v1/v2 snapshots degrade to the certificate-only fallback).
+        let min_out_span = envelope.is_some().then(|| {
+            let g = cost.graph();
+            (0..g.num_nodes())
+                .map(|v| {
+                    g.out_edges(srt_graph::NodeId(v as u32))
+                        .map(|(e, _)| {
+                            let m = cost.marginal(e);
+                            m.end() - m.start()
+                        })
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect()
+        });
         BudgetRouter {
             cost,
             cfg,
@@ -230,12 +259,16 @@ impl<'a> BudgetRouter<'a> {
             bound: BoundPolicy { mode: cfg.bound },
             dominance,
             certificate,
+            envelope,
+            min_out_span,
         }
     }
 
     /// Whether `cfg` contains a certificate-consuming policy.
     pub fn wants_certificate(cfg: &RouterConfig) -> bool {
-        cfg.dominance == DominanceMode::ConvGated || cfg.bound == BoundMode::Certified
+        cfg.dominance == DominanceMode::ConvGated
+            || cfg.bound == BoundMode::Certified
+            || cfg.bound == BoundMode::CertifiedEnvelope
     }
 
     /// The configuration in use.
@@ -487,6 +520,11 @@ impl<'a> BudgetRouter<'a> {
             hist: &hist,
             incumbent_prob: *best_prob,
             certified,
+            envelope: self.envelope,
+            next_span_lb: self
+                .min_out_span
+                .as_ref()
+                .map_or(0.0, |s| s[head.index()]),
         };
 
         // The always-sound feasibility cut.
@@ -822,12 +860,14 @@ mod tests {
         let (world, model) = setup();
         let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
         let full = BudgetRouter::new(&cost, RouterConfig::default());
+        // Same dominance as the default so the comparison isolates the
+        // bound + pivot prunings (the legacy first-order heuristic can
+        // over-prune and would confound the label counts).
         let naive = BudgetRouter::new(
             &cost,
             RouterConfig {
                 bound: BoundMode::Off,
                 use_pivot_init: false,
-                dominance: DominanceMode::FirstOrder, // keep termination sane
                 max_labels: 50_000,
                 ..RouterConfig::default()
             },
@@ -959,11 +999,23 @@ mod tests {
     fn certificate_is_computed_only_when_a_policy_needs_it() {
         let (world, model) = setup();
         let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
+        // The default bound is the certified envelope, which consumes
+        // the certificate (exact CDF bound on covered labels).
         let default = BudgetRouter::new(&cost, RouterConfig::default());
-        assert!(default.certificate().is_none(), "margin mode needs no certificate");
+        assert!(default.certificate().is_some());
+        // Margin dominance with the optimistic bound needs none.
+        let optimistic = BudgetRouter::new(
+            &cost,
+            RouterConfig {
+                bound: BoundMode::Optimistic,
+                ..RouterConfig::default()
+            },
+        );
+        assert!(optimistic.certificate().is_none(), "margin mode needs no certificate");
         let gated = BudgetRouter::new(
             &cost,
             RouterConfig {
+                bound: BoundMode::Optimistic,
                 dominance: DominanceMode::ConvGated,
                 ..RouterConfig::default()
             },
@@ -981,5 +1033,50 @@ mod tests {
         // The resolved margin comes from the trained calibration.
         let cal_eps = model.calibration.expect("trained model calibrates").margin_eps;
         assert_eq!(default.dominance_policy().eps(), cal_eps);
+    }
+
+    #[test]
+    fn envelope_bound_is_sound_and_sharper_than_certified() {
+        let (world, model) = setup();
+        assert!(model.envelope.is_some(), "training attaches an envelope");
+        let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
+        let mk = |bound| {
+            BudgetRouter::new(
+                &cost,
+                RouterConfig {
+                    bound,
+                    dominance: DominanceMode::Off,
+                    max_labels: 120_000,
+                    ..RouterConfig::default()
+                },
+            )
+        };
+        let reference = mk(BoundMode::Off);
+        let envelope = mk(BoundMode::CertifiedEnvelope);
+        let certified = mk(BoundMode::Certified);
+        let mut env_saved = 0usize;
+        let mut cert_saved = 0usize;
+        for q in queries(&world, 6) {
+            let r = reference.route(q.source, q.target, q.budget_s, None);
+            let e = envelope.route(q.source, q.target, q.budget_s, None);
+            let c = certified.route(q.source, q.target, q.budget_s, None);
+            assert!(r.stats.completed && e.stats.completed && c.stats.completed);
+            // Soundness: the envelope bound never changes the answer.
+            assert!(
+                (e.probability - r.probability).abs() < 1e-9,
+                "envelope bound drifted: {} vs {}",
+                e.probability,
+                r.probability
+            );
+            env_saved += r.stats.labels_created - e.stats.labels_created.min(r.stats.labels_created);
+            cert_saved +=
+                r.stats.labels_created - c.stats.labels_created.min(r.stats.labels_created);
+        }
+        // Sharpness: the envelope prunes at least as much as the plain
+        // certified fallback.
+        assert!(
+            env_saved >= cert_saved,
+            "envelope saved {env_saved} labels vs certified {cert_saved}"
+        );
     }
 }

@@ -36,6 +36,7 @@
 
 use crate::cost::{CombinePolicy, HybridCost};
 use crate::model::calibration::DominanceCalibration;
+use crate::model::envelope::SupportEnvelope;
 use crate::model::features::pair_features_partial;
 use srt_dist::dominance::dominates_with_margin_shifted;
 use srt_dist::Histogram;
@@ -53,6 +54,29 @@ pub enum BoundMode {
     /// Provably sound everywhere: the CDF bound where the convolution
     /// certificate holds, the trivial feasibility bound (1.0) elsewhere.
     Certified,
+    /// Sound like [`BoundMode::Certified`], sharp like
+    /// [`BoundMode::Optimistic`] (the default): certificate-covered
+    /// labels keep the exact CDF bound; for the rest the trivial
+    /// fallback is replaced by the model's persisted support-mass
+    /// envelope ([`crate::model::SupportEnvelope`]).
+    ///
+    /// The envelope case bounds every completion that routes through at
+    /// least one estimator combine. Every combine operator in the stack
+    /// is *support-additive* (output support start and span are the sums
+    /// of the inputs'), so the last estimator output `E` on a completion
+    /// from vertex `v` has `E.start >= label.start + remaining(v)` and
+    /// `E.span >= label.span + min_out_span(v)` — and its shape, by the
+    /// envelope, places at most `env(q)` mass below support fraction
+    /// `q`. Subsequent (capped) convolutions only translate the
+    /// evaluation point and take lattice chords, which the persisted
+    /// envelope's concave majorization dominates (see
+    /// [`srt_dist::MassEnvelope`]). Completions with *no* estimator
+    /// combine are covered by taking the max with the plain CDF bound,
+    /// which is exact under convolution. Like the dominance margin, the
+    /// envelope's empirical component is certified end to end by the
+    /// scenario-matrix oracle suite rather than proven over all feature
+    /// vectors.
+    CertifiedEnvelope,
 }
 
 /// How pruning (d) orders labels inside a vertex's Pareto set.
@@ -102,6 +126,14 @@ pub struct PruneCtx<'a> {
     /// Whether the label's remaining extensions are certified to
     /// convolve (see [`ConvCertificate`]).
     pub certified: bool,
+    /// The model's support-mass envelope, for
+    /// [`BoundMode::CertifiedEnvelope`] (`None` degrades that mode to
+    /// the plain certified fallback).
+    pub envelope: Option<&'a SupportEnvelope>,
+    /// Lower bound on the support span the *first* remaining combine
+    /// adds (the minimum marginal span over the vertex's out-edges) —
+    /// the denominator floor of the envelope bound.
+    pub next_span_lb: f64,
 }
 
 /// A label's cost view for pairwise dominance decisions.
@@ -194,6 +226,39 @@ impl BoundPolicy {
                 } else {
                     0.0
                 }
+            }
+            BoundMode::CertifiedEnvelope => {
+                if ctx.certified {
+                    return ctx.hist.cdf(slack);
+                }
+                // All-convolution completions: the exact CDF bound.
+                let conv_case = ctx.hist.cdf(slack);
+                // Completions through at least one estimator combine:
+                // the support-mass envelope, evaluated at the largest
+                // support fraction the budget can reach on the last
+                // estimator output (support start and span are additive
+                // along every combine chain — see the mode docs).
+                let est_case = match ctx.envelope {
+                    Some(env) => {
+                        let num = slack - ctx.hist.start();
+                        if num <= 0.0 {
+                            0.0
+                        } else {
+                            let span =
+                                ctx.hist.end() - ctx.hist.start() + ctx.next_span_lb;
+                            env.bound_at_fraction(num / span)
+                        }
+                    }
+                    // No persisted envelope: the certified fallback.
+                    None => {
+                        if slack > ctx.hist.start() {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                };
+                conv_case.max(est_case)
             }
         }
     }
@@ -496,6 +561,8 @@ mod tests {
             hist: h,
             incumbent_prob: best,
             certified: false,
+            envelope: None,
+            next_span_lb: 0.0,
         }
     }
 
@@ -542,6 +609,59 @@ mod tests {
         assert!(off.admits(&beaten));
         assert!(!off.prunes());
         assert!((off.upper_bound(&c) - 0.5).abs() < 1e-12, "still orders");
+    }
+
+    #[test]
+    fn certified_envelope_bound_is_sharp_where_the_envelope_is() {
+        use crate::model::SupportEnvelope;
+        let envelope = SupportEnvelope::from_bounds(vec![0.0, 0.2, 0.5, 1.0], 10);
+        let policy = BoundPolicy {
+            mode: BoundMode::CertifiedEnvelope,
+        };
+
+        // An uncertified label with an envelope: the bound is the max of
+        // the CDF case and the envelope case. hist on [10, 12), budget
+        // slack 11, next combine adds >= 1s of span: the last estimator
+        // output spans >= 3s starting >= 10, so the budget reaches
+        // fraction (11 - 10) / 3 of it — env(1/3) = 0.2; the CDF case is
+        // cdf(11) = 0.5, which dominates here.
+        let h = hist(10.0, &[0.5, 0.5]);
+        let mut c = ctx(&h, 11.0, 0.0, 0.0);
+        c.envelope = Some(&envelope);
+        c.next_span_lb = 1.0;
+        assert!((policy.upper_bound(&c) - 0.5).abs() < 1e-12);
+
+        // A back-loaded label whose own CDF is still zero at the slack:
+        // only the envelope case binds — strictly below the trivial 1.0
+        // the plain certified mode would fall back to. hist on [10, 12)
+        // with all mass in [11, 12); slack 10.8 gives cdf 0, while the
+        // envelope admits an estimator front-loading mass at fraction
+        // (10.8 - 10) / (2 + 1) = 0.2667 of the final support:
+        // env(0.8 / 3) interpolates to 0.8 * 0.2 = 0.16.
+        let late = hist(10.0, &[0.0, 1.0]);
+        let mut c = ctx(&late, 10.8, 0.0, 0.0);
+        c.envelope = Some(&envelope);
+        c.next_span_lb = 1.0;
+        assert_eq!(late.cdf(10.8), 0.0);
+        let ub = policy.upper_bound(&c);
+        assert!((ub - 0.16).abs() < 1e-12, "ub {ub}");
+        assert!(ub < 1.0, "sharper than the certified fallback");
+
+        // The certificate short-circuits to the exact CDF bound.
+        let mut cert = ctx(&h, 11.0, 0.0, 0.0);
+        cert.certified = true;
+        cert.envelope = Some(&envelope);
+        assert!((policy.upper_bound(&cert) - 0.5).abs() < 1e-12);
+
+        // Infeasible slack: zero either way.
+        let mut dead = ctx(&h, 9.0, 0.0, 0.0);
+        dead.envelope = Some(&envelope);
+        dead.next_span_lb = 1.0;
+        assert_eq!(policy.upper_bound(&dead), 0.0);
+
+        // Without a persisted envelope the mode degrades to Certified.
+        let bare = ctx(&h, 11.0, 0.0, 0.0);
+        assert_eq!(policy.upper_bound(&bare), 1.0);
     }
 
     #[test]

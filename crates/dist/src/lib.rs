@@ -13,6 +13,9 @@
 //!   pruning (d)'s per-vertex Pareto sets, plus the margin-calibrated
 //!   variant ([`dominance::dominates_with_margin`]) that keeps pruning
 //!   sound when the cost model is only approximately monotone,
+//! * [`envelope`] — certified CDF upper bounds ([`MassEnvelope`]) that
+//!   compose under `shift`, re-binning and (capped) convolution; the
+//!   substrate of the router's support-aware certified pruning bound,
 //! * [`kl_divergence`] / [`total_variation`] / [`wasserstein1`] — the
 //!   divergences used to label edge-pair dependence and score the
 //!   estimation model against ground truth.
@@ -56,6 +59,7 @@
 
 pub mod dominance;
 pub mod empirical;
+pub mod envelope;
 
 mod convolve;
 mod error;
@@ -63,6 +67,7 @@ mod histogram;
 mod metrics;
 
 pub use convolve::{convolve, convolve_bounded};
+pub use envelope::MassEnvelope;
 pub use error::DistError;
 pub use histogram::Histogram;
 pub use metrics::{kl_divergence, total_variation, wasserstein1};

@@ -122,6 +122,21 @@ fn main() {
         let (t, _, eps) = ablation::run_dominance_soundness(&ctx, qpc.min(20));
         writeln!(out, "{t}").unwrap();
         writeln!(out, "calibrated dominance margin eps = {eps:.6}\n").unwrap();
+        let (t, rows) = ablation::run_bound_soundness(&ctx, qpc.min(20));
+        writeln!(out, "{t}").unwrap();
+        if let (Some(reference), Some(opt), Some(env)) = (
+            rows.iter().find(|r| r.name.contains("reference")),
+            rows.iter().find(|r| r.name.contains("optimistic")),
+            rows.iter().find(|r| r.name.contains("envelope")),
+        ) {
+            let opt_saved = opt.saved_vs(reference);
+            writeln!(
+                out,
+                "certified-envelope sharpness = {:.1}% of the optimistic bound's pruning (soundly)\n",
+                if opt_saved > 0.0 { env.saved_vs(reference) / opt_saved * 100.0 } else { 100.0 }
+            )
+            .unwrap();
+        }
     }
     if wants("a4") {
         let replays = match scale {

@@ -11,6 +11,14 @@
 //! reference it reports the drift of the legacy first-order heuristic,
 //! of convolution-gated dominance (provably zero), and of
 //! margin-calibrated dominance (bounded by the model's persisted `eps`).
+//!
+//! A third table does the same for the *bound* modes: against a
+//! bound-free reference it reports the drift and pruning power of the
+//! legacy optimistic CDF bound (unsound under the estimator arm), the
+//! certificate-only bound (sound but weak where the certificate is
+//! sparse), and the support-aware certified-envelope bound (sound *and*
+//! nearly as sharp as optimistic — the sharpness ratio the routing
+//! acceptance gate enforces).
 
 use crate::experiments::route_queries;
 use crate::report::{secs, Table};
@@ -51,6 +59,30 @@ pub struct DominanceRow {
     /// Whether every query ran to exhaustion (drift numbers are only
     /// meaningful for complete searches).
     pub all_completed: bool,
+}
+
+/// Result of one bound-mode configuration (vs. the bound off).
+#[derive(Clone, Debug)]
+pub struct BoundRow {
+    /// Human-readable mode name.
+    pub name: &'static str,
+    /// Mean labels created per query.
+    pub mean_labels: f64,
+    /// Labels discarded by the bound, per query.
+    pub mean_pruned: f64,
+    /// Mean absolute probability difference vs. the bound off.
+    pub mean_prob_delta: f64,
+    /// Worst single-query probability difference vs. the bound off.
+    pub max_prob_delta: f64,
+    /// Whether every query ran to exhaustion.
+    pub all_completed: bool,
+}
+
+impl BoundRow {
+    /// Label expansions this mode saved against the reference row.
+    pub fn saved_vs(&self, reference: &BoundRow) -> f64 {
+        (reference.mean_labels - self.mean_labels).max(0.0)
+    }
 }
 
 fn variants() -> Vec<(&'static str, RouterConfig)> {
@@ -234,6 +266,88 @@ pub fn run_dominance_soundness(
     (table, rows, eps)
 }
 
+/// Bound-mode soundness and sharpness study: each mode against the
+/// bound-free baseline (dominance off so the attribution is pure —
+/// dominance would re-prune what a weak bound misses). The first row is
+/// the reference itself, so sharpness ratios can be read off the table.
+pub fn run_bound_soundness(ctx: &EvalContext, n_queries: usize) -> (Table, Vec<BoundRow>) {
+    let cost = HybridCost::from_ground_truth(&ctx.world, &ctx.model, CombinePolicy::Hybrid);
+    let mut qg = QueryGenerator::new(0xB0);
+    let queries = qg.generate(
+        &ctx.world.graph,
+        &ctx.world.model,
+        DistanceCategory::OneToFive,
+        n_queries,
+    );
+
+    let base_cfg = RouterConfig {
+        bound: BoundMode::Off,
+        dominance: DominanceMode::Off,
+        max_labels: 120_000,
+        ..RouterConfig::default()
+    };
+    let reference = route_queries(&cost, base_cfg, &queries, None);
+
+    let modes: [(&'static str, BoundMode); 4] = [
+        ("bound off (reference)", BoundMode::Off),
+        ("optimistic (legacy, unsound)", BoundMode::Optimistic),
+        ("certified (certificate only)", BoundMode::Certified),
+        ("certified envelope (default)", BoundMode::CertifiedEnvelope),
+    ];
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "A1c — Bound-mode soundness and sharpness vs. bound off",
+        &["Mode", "Mean labels", "Pruned/query", "Δ prob (mean)", "Δ prob (max)"],
+    );
+    for (name, bound) in modes {
+        // The reference row reuses the reference pass — the unpruned
+        // search is the most expensive configuration in the study.
+        let results = if bound == BoundMode::Off {
+            reference.clone()
+        } else {
+            route_queries(&cost, RouterConfig { bound, ..base_cfg }, &queries, None)
+        };
+        let n = results.len().max(1) as f64;
+        let mean_labels = results
+            .iter()
+            .map(|r| r.stats.labels_created as f64)
+            .sum::<f64>()
+            / n;
+        let mean_pruned = results
+            .iter()
+            .map(|r| r.stats.pruned_bound as f64)
+            .sum::<f64>()
+            / n;
+        let mut mean_prob_delta = 0.0;
+        let mut max_prob_delta: f64 = 0.0;
+        let mut all_completed = true;
+        for (a, b) in results.iter().zip(&reference) {
+            let d = (a.probability - b.probability).abs();
+            mean_prob_delta += d;
+            max_prob_delta = max_prob_delta.max(d);
+            all_completed &= a.stats.completed && b.stats.completed;
+        }
+        mean_prob_delta /= n;
+        table.push_row(vec![
+            name.into(),
+            format!("{mean_labels:.0}"),
+            format!("{mean_pruned:.1}"),
+            format!("{mean_prob_delta:.6}"),
+            format!("{max_prob_delta:.6}"),
+        ]);
+        rows.push(BoundRow {
+            name,
+            mean_labels,
+            mean_pruned,
+            mean_prob_delta,
+            max_prob_delta,
+            all_completed,
+        });
+    }
+    (table, rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,6 +445,55 @@ mod tests {
     }
 
     #[test]
+    fn bound_modes_respect_their_contracts() {
+        let ctx = build_context(Scale::Tiny);
+        let (_, rows) = run_bound_soundness(&ctx, 8);
+        let by_name = |needle: &str| {
+            rows.iter()
+                .find(|r| r.name.contains(needle))
+                .expect("mode row present")
+        };
+        for row in &rows {
+            assert!(row.all_completed, "{} hit a label cap", row.name);
+        }
+        let reference = by_name("reference");
+        assert_eq!(reference.max_prob_delta, 0.0);
+
+        // Sound bounds return the identical policy.
+        for sound in ["certificate only", "envelope"] {
+            let row = by_name(sound);
+            assert!(
+                row.max_prob_delta <= 1e-9,
+                "{} must be exact, drifted {}",
+                row.name,
+                row.max_prob_delta
+            );
+        }
+        // The sharpness acceptance gate: the certified envelope saves at
+        // least 80% of the expansions the unsound optimistic bound
+        // saves (and never more than it — optimistic over-prunes by
+        // construction).
+        let optimistic = by_name("optimistic");
+        let envelope = by_name("envelope");
+        let opt_saved = optimistic.saved_vs(reference);
+        let env_saved = envelope.saved_vs(reference);
+        assert!(
+            opt_saved > 0.0,
+            "optimistic pruned nothing; the sharpness ratio is vacuous"
+        );
+        assert!(
+            env_saved >= 0.8 * opt_saved,
+            "envelope sharpness {env_saved:.0} below 80% of optimistic {opt_saved:.0}"
+        );
+        // And strictly sharper than the certificate-only fallback.
+        let certified = by_name("certificate only");
+        assert!(
+            env_saved + 1e-9 >= certified.saved_vs(reference),
+            "envelope must dominate the certificate-only bound"
+        );
+    }
+
+    #[test]
     fn table_lists_all_variants() {
         let ctx = build_context(Scale::Tiny);
         let (t, rows) = run(&ctx, 4);
@@ -339,5 +502,8 @@ mod tests {
         let (t2, rows2, _) = run_dominance_soundness(&ctx, 4);
         assert_eq!(t2.num_rows(), 3);
         assert_eq!(rows2.len(), 3);
+        let (t3, rows3) = run_bound_soundness(&ctx, 4);
+        assert_eq!(t3.num_rows(), 4);
+        assert_eq!(rows3.len(), 4);
     }
 }

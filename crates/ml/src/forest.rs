@@ -134,6 +134,44 @@ impl RandomForestRegressor {
         out
     }
 
+    /// Mean output *bounds* across trees for a partially-known feature
+    /// row (`None` = the feature may take any value). Each tree
+    /// contributes its tight per-tree interval
+    /// ([`RegressionTree::predict_bounds_row`]); averaging per-tree
+    /// minima / maxima bounds the forest mean, since the unknown
+    /// features take one common value across trees.
+    pub fn predict_bounds_row(&self, features: &[Option<f64>]) -> (Vec<f64>, Vec<f64>) {
+        let mut lo = vec![0.0; self.n_outputs];
+        let mut hi = vec![0.0; self.n_outputs];
+        for t in &self.trees {
+            let (tl, th) = t.predict_bounds_row(features);
+            for (o, v) in lo.iter_mut().zip(&tl) {
+                *o += v;
+            }
+            for (o, v) in hi.iter_mut().zip(&th) {
+                *o += v;
+            }
+        }
+        let k = self.trees.len() as f64;
+        for (l, h) in lo.iter_mut().zip(hi.iter_mut()) {
+            *l /= k;
+            *h /= k;
+        }
+        (lo, hi)
+    }
+
+    /// Provable per-output `(min, max)` range of the forest over **all**
+    /// inputs: the all-unknown interval walk. Whatever features arrive,
+    /// output `j` stays within `output_ranges()[j]`. This is what lets a
+    /// consumer certify global properties of a fitted forest (e.g. how
+    /// much probability mass a distribution estimator can front-load)
+    /// without enumerating inputs.
+    pub fn output_ranges(&self) -> Vec<(f64, f64)> {
+        let unknown = vec![None; self.n_features];
+        let (lo, hi) = self.predict_bounds_row(&unknown);
+        lo.into_iter().zip(hi).collect()
+    }
+
     /// Number of trees.
     pub fn n_trees(&self) -> usize {
         self.trees.len()
@@ -402,6 +440,37 @@ mod tests {
         let p = f.predict(&x);
         assert_eq!(p.rows(), x.rows());
         assert_eq!(p.cols(), 1);
+    }
+
+    #[test]
+    fn regressor_bounds_bracket_concrete_predictions() {
+        let (x, y) = step_data();
+        let f = RandomForestRegressor::fit(&x, &y, &ForestConfig::default(), 11).unwrap();
+        // Unknown second feature: bounds must bracket every completion.
+        for a in [2.0, 25.0, 31.0, 58.0] {
+            let (lo, hi) = f.predict_bounds_row(&[Some(a), None]);
+            for b in [0.0, 5.0, 12.0] {
+                let exact = f.predict_row(&[a, b]);
+                assert!(
+                    lo[0] <= exact[0] + 1e-12 && exact[0] <= hi[0] + 1e-12,
+                    "a={a} b={b}: {} not in [{}, {}]",
+                    exact[0],
+                    lo[0],
+                    hi[0]
+                );
+            }
+        }
+        // Global ranges bracket everything, and are non-trivial for the
+        // step data (the leaves span roughly [1, 5]).
+        let ranges = f.output_ranges();
+        assert_eq!(ranges.len(), 1);
+        let (lo, hi) = ranges[0];
+        assert!(lo >= 0.5 && hi <= 5.5, "range [{lo}, {hi}]");
+        assert!(lo < hi);
+        for i in 0..60 {
+            let p = f.predict_row(&[i as f64, ((i * 7) % 13) as f64])[0];
+            assert!(lo <= p + 1e-12 && p <= hi + 1e-12);
+        }
     }
 
     #[test]

@@ -414,6 +414,26 @@ impl RegressionTree {
         &walk(&self.nodes, features).value
     }
 
+    /// Element-wise output bounds over every completion of a
+    /// partially-known feature row (`None` = the feature may take any
+    /// value): the both-branch interval walk, folding every
+    /// reachable leaf's value vector into `(lo, hi)`. With an all-`None`
+    /// row this is the tree's global per-output leaf range.
+    ///
+    /// # Panics
+    /// Panics if `features.len() != n_features` (programming error).
+    pub fn predict_bounds_row(&self, features: &[Option<f64>]) -> (Vec<f64>, Vec<f64>) {
+        assert_eq!(
+            features.len(),
+            self.n_features,
+            "feature count mismatch in RegressionTree::predict_bounds_row"
+        );
+        let mut lo = vec![f64::INFINITY; self.n_outputs];
+        let mut hi = vec![f64::NEG_INFINITY; self.n_outputs];
+        walk_bounds(&self.nodes, features, &mut lo, &mut hi);
+        (lo, hi)
+    }
+
     /// Number of nodes (diagnostic).
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()

@@ -59,6 +59,25 @@ impl Default for CongestionConfig {
     }
 }
 
+impl CongestionConfig {
+    /// Heavy-tailed congestion: rush-hour-like volatility. Lognormal
+    /// sigmas roughly doubled (the ±3σ clamp then spans a ~30× ratio of
+    /// best to worst traversal on residential streets), stronger AR(1)
+    /// coupling, nearly every junction dependent, and triple the queue
+    /// delay — the regime where the convolution arm is most wrong and
+    /// label supports are widest, stressing the pruning bounds hardest.
+    pub fn heavy_tailed() -> Self {
+        CongestionConfig {
+            p_dependent_junction: 0.9,
+            rho: 0.92,
+            sigma_by_category: [0.25, 0.42, 0.5, 0.56, 0.62],
+            base_by_category: [1.1, 1.25, 1.35, 1.45, 1.55],
+            queue_delay_s: 60.0,
+            ..CongestionConfig::default()
+        }
+    }
+}
+
 /// Standard-normal draw via Box–Muller (rand 0.8 ships no normal sampler).
 pub fn randn<R: Rng>(rng: &mut R) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
@@ -315,6 +334,29 @@ mod tests {
         let a = m.simulate_path(&g, &edges, &mut StdRng::seed_from_u64(9));
         let b = m.simulate_path(&g, &edges, &mut StdRng::seed_from_u64(9));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heavy_tailed_preset_is_heavier_everywhere() {
+        let base = CongestionConfig::default();
+        let heavy = CongestionConfig::heavy_tailed();
+        for cat in 0..5 {
+            assert!(heavy.sigma_by_category[cat] > base.sigma_by_category[cat]);
+            assert!(heavy.base_by_category[cat] > base.base_by_category[cat]);
+        }
+        assert!(heavy.rho > base.rho);
+        assert!(heavy.p_dependent_junction > base.p_dependent_junction);
+        assert!(heavy.queue_delay_s > base.queue_delay_s);
+
+        // The simulated spread actually widens: compare the support
+        // ratio (max/min plausible time) on one edge.
+        let (g, _) = world();
+        let e = EdgeId(0);
+        let spread = |cfg: CongestionConfig| {
+            let m = CongestionModel::new(&g, cfg);
+            m.max_edge_time(&g, e) / m.min_edge_time(&g, e)
+        };
+        assert!(spread(heavy) > 1.5 * spread(base));
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! * [`network`] — a parametric road-network generator (perturbed grid,
 //!   arterial hierarchy, motorway ring, random thinning, largest-SCC
 //!   extraction) whose statistical shape mirrors a Scandinavian city
-//!   region at configurable scale,
+//!   region at configurable scale, plus a hub-and-spoke macro-topology
+//!   ([`Topology`]) for radial/commuter scenarios,
 //! * [`congestion`] — the *spatially dependent* travel-time process:
 //!   per-edge lognormal congestion with an AR(1) chain across dependent
 //!   junctions, so that consecutive edges are correlated exactly the way
@@ -37,7 +38,7 @@ pub mod world;
 
 pub use congestion::{CongestionConfig, CongestionModel};
 pub use ground_truth::{DependenceLabel, GroundTruth, GroundTruthConfig, PairKey};
-pub use network::{generate_network, NetworkConfig};
+pub use network::{generate_network, NetworkConfig, Topology};
 pub use queries::{DistanceCategory, Query, QueryGenerator};
 pub use trajectory::{ObservationStore, Trajectory, TrajectoryConfig};
 pub use world::{SyntheticWorld, WorldConfig};
