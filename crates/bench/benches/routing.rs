@@ -7,7 +7,9 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use srt_bench::tiny_context;
 use srt_core::routing::baseline::ExpectedTimeBaseline;
-use srt_core::routing::{BoundMode, BudgetRouter, DominanceMode, RouterConfig};
+use srt_core::routing::{
+    BoundMode, BudgetRouter, DominanceMode, EngineBuilder, RouterConfig,
+};
 use srt_core::{CombinePolicy, HybridCost};
 use srt_synth::{DistanceCategory, Query, QueryGenerator};
 use std::time::Duration;
@@ -211,6 +213,65 @@ fn bench_bound_modes(c: &mut Criterion) {
     g.finish();
 }
 
+/// The engine-shaped serving surface: queries/sec for one-shot routing
+/// (the legacy shim, which re-resolves nothing but allocates scratch per
+/// router), sequential batches on a reused `SearchContext`, parallel
+/// batches on the worker pool, and the per-target bounds cache cold vs.
+/// warm on a repeated-target workload. The cold/warm pair is the bench
+/// behind the acceptance gate "the warm bounds cache makes
+/// repeated-target batches measurably faster".
+fn bench_engine_throughput(c: &mut Criterion) {
+    let ctx = tiny_context();
+    let cost = HybridCost::from_ground_truth(&ctx.world, &ctx.model, CombinePolicy::Hybrid);
+    let queries = queries_for(DistanceCategory::ZeroToOne, 6);
+    let batch: Vec<srt_core::routing::Query> =
+        queries.iter().map(srt_core::routing::Query::from).collect();
+
+    let mut g = c.benchmark_group("routing/engine_throughput");
+    g.sample_size(10);
+
+    // Legacy per-call API (the deprecated shim): the pre-redesign shape.
+    let shim = BudgetRouter::new(&cost, RouterConfig::default());
+    g.bench_with_input(BenchmarkId::from_parameter("per_call_shim"), &queries, |b, qs| {
+        b.iter(|| {
+            for q in qs {
+                black_box(shim.route(q.source, q.target, q.budget_s, None));
+            }
+        })
+    });
+
+    // Engine, one worker: same search, warm bounds cache + reused scratch.
+    let engine = EngineBuilder::new(cost.clone())
+        .config(RouterConfig::default())
+        .build();
+    engine.route_batch(&batch, 1); // warm the cache outside the timing loop
+    g.bench_with_input(BenchmarkId::from_parameter("batch_seq_warm"), &batch, |b, qs| {
+        b.iter(|| black_box(engine.route_batch(qs, 1)))
+    });
+
+    // Engine, worker pool at the machine's parallelism.
+    g.bench_with_input(BenchmarkId::from_parameter("batch_par_warm"), &batch, |b, qs| {
+        b.iter(|| black_box(engine.route_batch(qs, 0)))
+    });
+
+    // Cold bounds cache: every iteration pays the reverse Dijkstra per
+    // distinct target again. Compare against batch_seq_warm for the
+    // cache's contribution.
+    g.bench_with_input(BenchmarkId::from_parameter("batch_seq_cold"), &batch, |b, qs| {
+        b.iter(|| {
+            engine.clear_bounds_cache();
+            black_box(engine.route_batch(qs, 1))
+        })
+    });
+    g.finish();
+
+    let stats = engine.stats();
+    eprintln!(
+        "routing/engine_throughput: {} queries served, bounds cache {} hits / {} misses",
+        stats.queries, stats.bounds_cache_hits, stats.bounds_cache_misses
+    );
+}
+
 /// The deterministic baseline the quality table compares against.
 fn bench_baseline(c: &mut Criterion) {
     let ctx = tiny_context();
@@ -259,6 +320,7 @@ criterion_group!(
     bench_pruning_ablation,
     bench_dominance_modes,
     bench_bound_modes,
+    bench_engine_throughput,
     bench_baseline,
     bench_path_cost
 );

@@ -12,6 +12,7 @@ use crate::model::hybrid::HybridModel;
 use srt_dist::Histogram;
 use srt_graph::{EdgeId, RoadGraph};
 use srt_synth::SyntheticWorld;
+use std::sync::Arc;
 
 /// How the path-so-far is combined with the next edge.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -25,24 +26,52 @@ pub enum CombinePolicy {
 }
 
 /// Path-cost oracle: per-edge marginals + the hybrid model + a policy.
+///
+/// The oracle *owns* its data behind [`Arc`]s, so it is `Send + Sync`,
+/// cheap to clone, and shareable across query-serving threads — the
+/// storage shape [`crate::routing::RoutingEngine`] is built on. The
+/// borrowing constructors ([`HybridCost::new`],
+/// [`HybridCost::from_ground_truth`]) clone the graph and model once;
+/// callers that already hold shared handles use
+/// [`HybridCost::from_parts`] for zero-copy construction.
 #[derive(Clone, Debug)]
-pub struct HybridCost<'a> {
-    graph: &'a RoadGraph,
-    model: &'a HybridModel,
-    marginals: Vec<Histogram>,
+pub struct HybridCost {
+    graph: Arc<RoadGraph>,
+    model: Arc<HybridModel>,
+    marginals: Arc<[Histogram]>,
     /// Combination policy (swappable for baselines/ablations).
     pub policy: CombinePolicy,
 }
 
-impl<'a> HybridCost<'a> {
-    /// Builds a cost oracle from explicit per-edge marginals.
+impl HybridCost {
+    /// Builds a cost oracle from explicit per-edge marginals, cloning
+    /// `graph` and `model` into shared ownership.
     ///
     /// # Panics
     /// Panics if `marginals.len() != graph.num_edges()`.
     pub fn new(
-        graph: &'a RoadGraph,
-        model: &'a HybridModel,
+        graph: &RoadGraph,
+        model: &HybridModel,
         marginals: Vec<Histogram>,
+        policy: CombinePolicy,
+    ) -> Self {
+        Self::from_parts(
+            Arc::new(graph.clone()),
+            Arc::new(model.clone()),
+            marginals.into(),
+            policy,
+        )
+    }
+
+    /// Builds a cost oracle from shared handles without copying any of
+    /// the underlying data.
+    ///
+    /// # Panics
+    /// Panics if `marginals.len() != graph.num_edges()`.
+    pub fn from_parts(
+        graph: Arc<RoadGraph>,
+        model: Arc<HybridModel>,
+        marginals: Arc<[Histogram]>,
         policy: CombinePolicy,
     ) -> Self {
         assert_eq!(
@@ -61,8 +90,8 @@ impl<'a> HybridCost<'a> {
     /// Convenience: marginals straight from a synthetic world's
     /// ground-truth oracle.
     pub fn from_ground_truth(
-        world: &'a SyntheticWorld,
-        model: &'a HybridModel,
+        world: &SyntheticWorld,
+        model: &HybridModel,
         policy: CombinePolicy,
     ) -> Self {
         let marginals = world
@@ -75,12 +104,17 @@ impl<'a> HybridCost<'a> {
 
     /// The underlying road network.
     pub fn graph(&self) -> &RoadGraph {
-        self.graph
+        &self.graph
+    }
+
+    /// Shared handle to the underlying road network.
+    pub fn graph_arc(&self) -> Arc<RoadGraph> {
+        Arc::clone(&self.graph)
     }
 
     /// The hybrid model in use.
     pub fn model(&self) -> &HybridModel {
-        self.model
+        &self.model
     }
 
     /// Travel-time marginal of edge `e`.
@@ -95,13 +129,13 @@ impl<'a> HybridCost<'a> {
         match self.policy {
             CombinePolicy::Hybrid => {
                 self.model
-                    .combine(self.graph, pre, prev_edge, next_edge, next_marginal)
+                    .combine(&self.graph, pre, prev_edge, next_edge, next_marginal)
                     .0
             }
             CombinePolicy::AlwaysConvolve => self.model.convolve(pre, next_marginal),
             CombinePolicy::AlwaysEstimate => {
                 let features =
-                    pair_features(self.graph, pre, prev_edge, next_edge, next_marginal);
+                    pair_features(&self.graph, pre, prev_edge, next_edge, next_marginal);
                 self.model.estimate(pre, next_marginal, &features)
             }
         }

@@ -20,7 +20,11 @@
 //!   Prunings are composable [`routing::policy::PrunePolicy`] values
 //!   with provably sound modes (convolution-gated and margin-calibrated
 //!   dominance, the certified bound), certified differentially against
-//!   the exhaustive [`routing::OracleRouter`].
+//!   the exhaustive [`routing::OracleRouter`]. Queries are served by the
+//!   owning, `Send + Sync` [`routing::RoutingEngine`] — policies and
+//!   certificates resolved once, per-target bounds cached, batches
+//!   dispatched to a worker pool from reusable
+//!   [`routing::SearchContext`] scratch.
 //!
 //! # Quickstart
 //!
@@ -28,18 +32,19 @@
 //! use srt_synth::{SyntheticWorld, WorldConfig, DistanceCategory, QueryGenerator};
 //! use srt_core::model::training::{train_hybrid, TrainingConfig};
 //! use srt_core::cost::{CombinePolicy, HybridCost};
-//! use srt_core::routing::{BudgetRouter, RouterConfig};
+//! use srt_core::routing::{EngineBuilder, Query, RouterConfig};
 //!
 //! let world = SyntheticWorld::build(WorldConfig::small());
 //! let (model, report) = train_hybrid(&world, &TrainingConfig::default()).unwrap();
 //! println!("hybrid KL = {:.4}", report.kl_hybrid_mean);
 //!
 //! let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
-//! let router = BudgetRouter::new(&cost, RouterConfig::default());
+//! let engine = EngineBuilder::new(cost).config(RouterConfig::default()).build();
 //! let mut qg = QueryGenerator::new(1);
 //! let q = qg.generate(&world.graph, &world.model, DistanceCategory::OneToFive, 1)[0];
-//! let result = router.route(q.source, q.target, q.budget_s, None);
+//! let result = engine.route(&Query::from(&q)).unwrap();
 //! println!("P(on time) = {:.3}", result.probability);
+//! println!("bounds cache: {:?}", engine.stats());
 //! ```
 
 pub mod cost;
@@ -52,5 +57,6 @@ pub use error::CoreError;
 pub use model::hybrid::HybridModel;
 pub use model::training::{train_hybrid, TrainReport, TrainingConfig};
 pub use routing::{
-    BoundMode, BudgetRouter, DominanceMode, OracleRouter, RouteResult, RouterConfig, SearchStats,
+    BoundMode, BudgetRouter, DominanceMode, EngineBuilder, EngineError, EngineStats, OracleRouter,
+    Query, RouteResult, RouterConfig, RoutingEngine, SearchContext, SearchStats,
 };

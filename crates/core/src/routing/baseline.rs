@@ -8,12 +8,12 @@
 
 use crate::cost::HybridCost;
 use srt_dist::Histogram;
-use srt_graph::algo::{dijkstra, Path};
+use srt_graph::algo::{dijkstra, DijkstraScratch, Path};
 use srt_graph::NodeId;
 
 /// Shortest expected-time path from `source` to `target` under the cost
 /// oracle's marginal means. `None` when unreachable.
-pub fn expected_time_path(cost: &HybridCost<'_>, source: NodeId, target: NodeId) -> Option<Path> {
+pub fn expected_time_path(cost: &HybridCost, source: NodeId, target: NodeId) -> Option<Path> {
     let g = cost.graph();
     let sp = dijkstra(g, source, Some(target), |e| cost.marginal(e).mean());
     sp.extract_path(target)
@@ -36,12 +36,29 @@ impl ExpectedTimeBaseline {
     /// Computes the baseline for one query. `None` when `target` is
     /// unreachable from `source`.
     pub fn solve(
-        cost: &HybridCost<'_>,
+        cost: &HybridCost,
         source: NodeId,
         target: NodeId,
         budget_s: f64,
     ) -> Option<Self> {
-        let path = expected_time_path(cost, source, target)?;
+        Self::solve_with(cost, source, target, budget_s, &mut DijkstraScratch::new())
+    }
+
+    /// Like [`ExpectedTimeBaseline::solve`], but running the Dijkstra
+    /// through a reusable scratch so steady-state query serving (the
+    /// routing engine's pivot initialization) performs no per-query
+    /// allocation of search arrays. Identical traversal, identical
+    /// results.
+    pub fn solve_with(
+        cost: &HybridCost,
+        source: NodeId,
+        target: NodeId,
+        budget_s: f64,
+        scratch: &mut DijkstraScratch,
+    ) -> Option<Self> {
+        let g = cost.graph();
+        scratch.run(g, source, Some(target), |e| cost.marginal(e).mean());
+        let path = scratch.extract_path(target)?;
         let distribution = cost.path_distribution(&path.edges);
         let probability = distribution
             .as_ref()
@@ -73,7 +90,7 @@ pub struct KPathsBaseline {
 impl KPathsBaseline {
     /// Evaluates the `k`-path baseline for one query.
     pub fn solve(
-        cost: &HybridCost<'_>,
+        cost: &HybridCost,
         source: NodeId,
         target: NodeId,
         budget_s: f64,

@@ -1,7 +1,9 @@
-//! The probabilistic budget-routing search.
+//! The probabilistic budget-routing search: configuration, per-query
+//! result types, and the legacy one-shot [`BudgetRouter`] shim.
 //!
-//! Label-correcting best-first search over partial-path labels
-//! `(vertex, travel-time distribution)`, with the paper's four prunings:
+//! The search itself is a label-correcting best-first search over
+//! partial-path labels `(vertex, travel-time distribution)`, with the
+//! paper's four prunings:
 //!
 //! * **(a) optimistic remaining cost** — one backward Dijkstra over
 //!   minimal edge times gives `tmin(v)`; a label at `v` can reach the
@@ -19,24 +21,25 @@
 //!
 //! Prunings (a) and (d) plus the always-sound *budget gate* (drop labels
 //! whose best case already misses the budget) are expressed as composable
-//! [`PrunePolicy`] values — see [`crate::routing::policy`] for the
-//! soundness story of each mode. The anytime extension takes a wall-clock
-//! deadline `x` and returns the pivot if the search has not terminated in
-//! time.
+//! [`PrunePolicy`](crate::routing::policy::PrunePolicy) values — see
+//! [`crate::routing::policy`] for the soundness story of each mode. The
+//! anytime extension takes a wall-clock deadline `x` and returns the
+//! pivot if the search has not terminated in time.
+//!
+//! The implementation lives in [`crate::routing::engine`]: the
+//! [`RoutingEngine`] resolves policies, certificates and per-target
+//! bounds once and serves queries from reusable [`SearchContext`]
+//! scratch. [`BudgetRouter`] survives as a thin compatibility shim over
+//! it.
 
 use crate::cost::HybridCost;
-use crate::routing::baseline::ExpectedTimeBaseline;
-use crate::routing::policy::{
-    exchange_safe, BoundMode, BoundPolicy, BudgetGate, ConvCertificate, DominanceMode,
-    DominancePolicy, LabelView, PruneCtx, PrunePolicy,
-};
+use crate::routing::engine::{EngineBuilder, RoutingEngine, SearchContext};
+use crate::routing::policy::{BoundMode, ConvCertificate, DominanceMode, DominancePolicy};
 use srt_dist::Histogram;
 use srt_graph::algo::Path;
-use srt_graph::bounds::OptimisticBounds;
-use srt_graph::{EdgeId, NodeId};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-use std::time::{Duration, Instant};
+use srt_graph::NodeId;
+use std::cell::RefCell;
+use std::time::Duration;
 
 /// Search configuration: a bucket/label budget plus one entry per
 /// composable pruning policy. Each policy is independently switchable so
@@ -121,176 +124,107 @@ pub struct RouteResult {
     pub stats: SearchStats,
 }
 
-struct Label {
-    vertex: NodeId,
-    parent: u32,
-    edge: EdgeId,
-    /// The vertex this label's last edge departed from (the U-turn ban).
-    prev_vertex: NodeId,
-    offset: f64,
-    hist: Histogram,
-    /// Convolution certificate of `edge` (see
-    /// [`crate::routing::policy::ConvCertificate`]).
-    certified: bool,
-    alive: bool,
+/// **Deprecated shim** — the legacy one-shot router API, now a thin
+/// wrapper over [`RoutingEngine`]. Prefer the engine: it is `Send +
+/// Sync`, shares one resolved configuration across threads, caches the
+/// per-target optimistic bounds, and serves batches from reusable
+/// scratch.
+///
+/// Migration table:
+///
+/// | Legacy (`BudgetRouter`)                         | Engine ([`RoutingEngine`])                                  |
+/// |-------------------------------------------------|-------------------------------------------------------------|
+/// | `BudgetRouter::new(&cost, cfg)`                 | `EngineBuilder::new(cost.clone()).config(cfg).build()`      |
+/// | `BudgetRouter::with_certificate(&cost, cfg, Some(c))` | `EngineBuilder::new(cost.clone()).config(cfg).certificate(c).build()` |
+/// | `router.route(s, t, b, None)`                   | `engine.route(&Query::new(s, t, b))?`                       |
+/// | `router.route(s, t, b, Some(x))`                | `engine.route(&Query::new(s, t, b).with_deadline(x))?`      |
+/// | hand-rolled `thread::scope` over queries        | `engine.route_batch(&queries, parallelism)`                 |
+/// | (bounds recomputed per call)                    | cached per target; `engine.stats().bounds_cache_hits`       |
+///
+/// (`Query` is [`crate::routing::Query`].) Behavioural differences of
+/// the shim (kept for compatibility, dropped by the typed engine API):
+/// degenerate budgets (NaN/∞/negative) return a probability-zero result
+/// instead of an [`EngineError`](crate::routing::EngineError), and a
+/// zero deadline is accepted (returns the pivot immediately).
+pub struct BudgetRouter {
+    engine: RoutingEngine,
+    /// Reused across this router's sequential `route` calls; a
+    /// `RefCell` because the legacy API routes through `&self`.
+    scratch: RefCell<SearchContext>,
 }
 
-const NO_PARENT: u32 = u32::MAX;
-
-#[derive(Copy, Clone, PartialEq)]
-struct QueueEntry {
-    ub: f64,
-    id: u32,
-}
-
-impl Eq for QueueEntry {}
-
-impl Ord for QueueEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Max-heap on the probability upper bound.
-        self.ub
-            .partial_cmp(&other.ub)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.id.cmp(&self.id))
-    }
-}
-
-impl PartialOrd for QueueEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-enum Incumbent {
-    None,
-    Pivot(ExpectedTimeBaseline),
-    Label(u32),
-}
-
-/// Per-vertex Pareto sets with amortized compaction: retiring marks a
-/// label dead in the arena and counts it here; the entry list is only
-/// swept once dead entries outnumber the live ones. This replaces the old
-/// O(n) `retain` on every insert with O(1) amortized bookkeeping.
-struct ParetoSets {
-    entries: Vec<Vec<u32>>,
-    dead: Vec<u32>,
-}
-
-impl ParetoSets {
-    fn new(n: usize) -> Self {
-        ParetoSets {
-            entries: vec![Vec::new(); n],
-            dead: vec![0; n],
-        }
-    }
-}
-
-/// The budget router over a fixed cost oracle.
-pub struct BudgetRouter<'a> {
-    cost: &'a HybridCost<'a>,
-    cfg: RouterConfig,
-    gate: BudgetGate,
-    bound: BoundPolicy,
-    dominance: DominancePolicy,
-    certificate: Option<ConvCertificate>,
-    /// The model's support-mass envelope, when the bound mode consumes
-    /// it ([`BoundMode::CertifiedEnvelope`]).
-    envelope: Option<&'a crate::model::SupportEnvelope>,
-    /// Per-node minimum marginal span over out-edges — the envelope
-    /// bound's denominator floor. Computed once per router (it depends
-    /// only on the cost oracle), only for the envelope mode.
-    min_out_span: Option<Vec<f64>>,
-}
-
-impl<'a> BudgetRouter<'a> {
+impl BudgetRouter {
     /// Creates a router, resolving the configured pruning policies
     /// against the cost oracle: the margin mode reads the model's
     /// persisted calibration, and the certificate-consuming modes
-    /// (convolution-gated dominance, the certified bound) precompute the
+    /// (convolution-gated dominance, the certified bounds) precompute the
     /// per-edge convolution certificate once for all queries.
-    pub fn new(cost: &'a HybridCost<'a>, cfg: RouterConfig) -> Self {
-        let certificate = if Self::wants_certificate(&cfg) {
-            Some(ConvCertificate::compute(cost))
-        } else {
-            None
-        };
-        Self::with_certificate(cost, cfg, certificate)
+    ///
+    /// The cost oracle is cheap to clone (shared-ownership storage), so
+    /// the shim clones it into an owning [`RoutingEngine`].
+    pub fn new(cost: &HybridCost, cfg: RouterConfig) -> Self {
+        BudgetRouter {
+            engine: EngineBuilder::new(cost.clone()).config(cfg).build(),
+            scratch: RefCell::new(SearchContext::new()),
+        }
     }
 
     /// Like [`BudgetRouter::new`], but reusing a precomputed
     /// [`ConvCertificate`] — the certificate depends only on the cost
     /// oracle, so callers constructing many router configurations over
     /// one oracle (ablations, the differential suite) compute it once
-    /// and clone it in. Pass `None` for configurations that need none.
+    /// and clone it in. Pass `None` to let the engine decide (it computes
+    /// one itself only when the configuration needs it).
     pub fn with_certificate(
-        cost: &'a HybridCost<'a>,
+        cost: &HybridCost,
         cfg: RouterConfig,
         certificate: Option<ConvCertificate>,
     ) -> Self {
-        let dominance = DominancePolicy::resolve(cfg.dominance, cost.model().calibration.as_ref());
-        debug_assert!(
-            certificate.is_some() || !Self::wants_certificate(&cfg),
-            "configuration needs a convolution certificate but none was supplied"
-        );
-        let envelope = (cfg.bound == BoundMode::CertifiedEnvelope)
-            .then(|| cost.model().envelope.as_ref())
-            .flatten();
-        // Only worth building when an envelope will consume it (legacy
-        // v1/v2 snapshots degrade to the certificate-only fallback).
-        let min_out_span = envelope.is_some().then(|| {
-            let g = cost.graph();
-            (0..g.num_nodes())
-                .map(|v| {
-                    g.out_edges(srt_graph::NodeId(v as u32))
-                        .map(|(e, _)| {
-                            let m = cost.marginal(e);
-                            m.end() - m.start()
-                        })
-                        .fold(f64::INFINITY, f64::min)
-                })
-                .collect()
-        });
+        let mut builder = EngineBuilder::new(cost.clone()).config(cfg);
+        if let Some(c) = certificate {
+            builder = builder.certificate(c);
+        }
         BudgetRouter {
-            cost,
-            cfg,
-            gate: BudgetGate {
-                enabled: cfg.budget_gate,
-            },
-            bound: BoundPolicy { mode: cfg.bound },
-            dominance,
-            certificate,
-            envelope,
-            min_out_span,
+            engine: builder.build(),
+            scratch: RefCell::new(SearchContext::new()),
         }
     }
 
     /// Whether `cfg` contains a certificate-consuming policy.
     pub fn wants_certificate(cfg: &RouterConfig) -> bool {
-        cfg.dominance == DominanceMode::ConvGated
-            || cfg.bound == BoundMode::Certified
-            || cfg.bound == BoundMode::CertifiedEnvelope
+        RoutingEngine::wants_certificate(cfg)
+    }
+
+    /// The engine this shim wraps (an escape hatch for incremental
+    /// migration).
+    pub fn engine(&self) -> &RoutingEngine {
+        &self.engine
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &RouterConfig {
-        &self.cfg
+        self.engine.config()
     }
 
     /// The resolved dominance policy (diagnostic: exposes the margin the
     /// router actually prunes with).
     pub fn dominance_policy(&self) -> &DominancePolicy {
-        &self.dominance
+        self.engine.dominance_policy()
     }
 
     /// The convolution certificate, when a configured policy required
     /// computing one.
     pub fn certificate(&self) -> Option<&ConvCertificate> {
-        self.certificate.as_ref()
+        self.engine.certificate()
     }
 
     /// Solves one budget query. `deadline` enables the anytime variant:
     /// when it expires the incumbent (pivot) is returned and
     /// `stats.completed` is `false`.
+    ///
+    /// Prefer [`RoutingEngine::route`] /
+    /// [`RoutingEngine::route_batch`] — see the migration table on
+    /// [`BudgetRouter`].
     pub fn route(
         &self,
         source: NodeId,
@@ -298,388 +232,13 @@ impl<'a> BudgetRouter<'a> {
         budget_s: f64,
         deadline: Option<Duration>,
     ) -> RouteResult {
-        let start_time = Instant::now();
-        let g = self.cost.graph();
-        let mut stats = SearchStats::default();
-
-        // Degenerate budgets: nothing arrives within a non-positive or
-        // non-finite budget, but the query is still answered (probability
-        // 0 on the expected-time path when one exists).
-        if !budget_s.is_finite() || budget_s < 0.0 {
-            stats.completed = true;
-            stats.elapsed = start_time.elapsed();
-            let baseline = ExpectedTimeBaseline::solve(self.cost, source, target, 0.0);
-            return RouteResult {
-                probability: 0.0,
-                path: baseline.as_ref().map(|b| b.path.clone()),
-                distribution: baseline.and_then(|b| b.distribution),
-                stats,
-            };
-        }
-
-        if source == target {
-            stats.completed = true;
-            stats.elapsed = start_time.elapsed();
-            return RouteResult {
-                path: Some(Path {
-                    nodes: vec![source],
-                    edges: vec![],
-                }),
-                distribution: None,
-                probability: 1.0,
-                stats,
-            };
-        }
-
-        // Pruning (a): optimistic remaining cost to the target, under the
-        // smallest support value every marginal can realize.
-        let bounds = OptimisticBounds::compute(g, target, |e| {
-            self.cost.marginal(e).start().max(0.0)
-        });
-        if !bounds.reachable(source) {
-            stats.completed = true;
-            stats.elapsed = start_time.elapsed();
-            return RouteResult {
-                path: None,
-                distribution: None,
-                probability: 0.0,
-                stats,
-            };
-        }
-
-        // Pruning (b): pivot initialization from the expected-time path.
-        let mut best_prob = 0.0;
-        let mut incumbent = Incumbent::None;
-        if self.cfg.use_pivot_init {
-            if let Some(baseline) = ExpectedTimeBaseline::solve(self.cost, source, target, budget_s)
-            {
-                best_prob = baseline.probability;
-                incumbent = Incumbent::Pivot(baseline);
-            }
-        }
-
-        let mut arena: Vec<Label> = Vec::new();
-        let mut pareto = ParetoSets::new(g.num_nodes());
-        let mut heap: BinaryHeap<QueueEntry> = BinaryHeap::new();
-
-        // Seed with the out-edges of the source.
-        for (e, head) in g.out_edges(source) {
-            if !bounds.reachable(head) {
-                continue;
-            }
-            let dist = self.cost.marginal(e).clone();
-            self.push_label(
-                &mut arena,
-                &mut pareto,
-                &mut heap,
-                &bounds,
-                budget_s,
-                &mut best_prob,
-                &mut incumbent,
-                &mut stats,
-                NO_PARENT,
-                e,
-                source,
-                head,
-                dist,
-                target,
-            );
-        }
-
-        let mut pops = 0usize;
-        while let Some(QueueEntry { ub, id }) = heap.pop() {
-            pops += 1;
-            if pops.is_multiple_of(64) {
-                if let Some(limit) = deadline {
-                    if start_time.elapsed() >= limit {
-                        stats.completed = false;
-                        stats.elapsed = start_time.elapsed();
-                        return self.finish(incumbent, best_prob, &arena, stats, budget_s);
-                    }
-                }
-            }
-            if self.bound.prunes() && ub <= best_prob {
-                // Best-first order: every remaining bound is no better.
-                break;
-            }
-            let label = &arena[id as usize];
-            if !label.alive {
-                continue;
-            }
-            if stats.labels_created >= self.cfg.max_labels {
-                stats.completed = false;
-                stats.elapsed = start_time.elapsed();
-                return self.finish(incumbent, best_prob, &arena, stats, budget_s);
-            }
-            stats.labels_expanded += 1;
-
-            let vertex = label.vertex;
-            let offset = label.offset;
-            // Reconstruct the actual (unshifted) distribution for combining.
-            let pre_actual = if offset != 0.0 {
-                label.hist.shift(offset)
-            } else {
-                label.hist.clone()
-            };
-            let prev_edge = label.edge;
-            let prev_vertex = label.prev_vertex;
-
-            for (e, head) in g.out_edges(vertex) {
-                if head == prev_vertex {
-                    continue; // skip immediate U-turns
-                }
-                if !bounds.reachable(head) {
-                    continue;
-                }
-                let mut dist = self.cost.combine(&pre_actual, prev_edge, e);
-                if dist.num_bins() > self.cfg.max_bins {
-                    dist = dist
-                        .with_bins(self.cfg.max_bins)
-                        .expect("bin cap is positive");
-                }
-                self.push_label(
-                    &mut arena,
-                    &mut pareto,
-                    &mut heap,
-                    &bounds,
-                    budget_s,
-                    &mut best_prob,
-                    &mut incumbent,
-                    &mut stats,
-                    id,
-                    e,
-                    vertex,
-                    head,
-                    dist,
-                    target,
-                );
-            }
-        }
-
-        stats.completed = true;
-        stats.elapsed = start_time.elapsed();
-        self.finish(incumbent, best_prob, &arena, stats, budget_s)
-    }
-
-    /// Creates, prunes and enqueues one candidate label.
-    #[allow(clippy::too_many_arguments)]
-    fn push_label(
-        &self,
-        arena: &mut Vec<Label>,
-        pareto: &mut ParetoSets,
-        heap: &mut BinaryHeap<QueueEntry>,
-        bounds: &OptimisticBounds,
-        budget_s: f64,
-        best_prob: &mut f64,
-        incumbent: &mut Incumbent,
-        stats: &mut SearchStats,
-        parent: u32,
-        edge: EdgeId,
-        prev_vertex: NodeId,
-        head: NodeId,
-        dist_actual: Histogram,
-        target: NodeId,
-    ) {
-        // Pruning (c): anchor at zero, carry the offset.
-        let (offset, hist) = if self.cfg.use_cost_shifting {
-            dist_actual.shifted_to_zero()
-        } else {
-            (0.0, dist_actual)
-        };
-        let certified = self
-            .certificate
-            .as_ref()
-            .is_some_and(|c| c.certified(edge));
-
-        if head == target {
-            // Complete path: candidate for the incumbent; never expanded
-            // further (any extension returns later, hence dominated).
-            let prob = hist.cdf(budget_s - offset);
-            stats.labels_created += 1;
-            arena.push(Label {
-                vertex: head,
-                parent,
-                edge,
-                prev_vertex,
-                offset,
-                hist,
-                certified,
-                alive: false,
-            });
-            if prob > *best_prob || matches!(incumbent, Incumbent::None) {
-                *best_prob = prob.max(*best_prob);
-                *incumbent = Incumbent::Label(arena.len() as u32 - 1);
-            }
-            return;
-        }
-
-        let ctx = PruneCtx {
+        self.engine.route_unchecked(
+            source,
+            target,
             budget_s,
-            remaining_s: bounds.remaining(head),
-            offset,
-            hist: &hist,
-            incumbent_prob: *best_prob,
-            certified,
-            envelope: self.envelope,
-            next_span_lb: self
-                .min_out_span
-                .as_ref()
-                .map_or(0.0, |s| s[head.index()]),
-        };
-
-        // The always-sound feasibility cut.
-        if !self.gate.admits(&ctx) {
-            stats.pruned_infeasible += 1;
-            return;
-        }
-
-        // Pruning (a)+(b): probability upper bound via the optimistic
-        // remaining cost, checked against the incumbent. The bound value
-        // doubles as the best-first queue key.
-        let ub = self.bound.upper_bound(&ctx);
-        if !self.bound.admits(&ctx) {
-            stats.pruned_bound += 1;
-            return;
-        }
-
-        // Pruning (d): dominance against the Pareto set at `head`.
-        if self.dominance.enabled() {
-            let g = self.cost.graph();
-            let candidate = LabelView {
-                offset,
-                hist: &hist,
-                certified,
-            };
-            let need_safety = self.dominance.needs_exchange_safety();
-            // A dominated newcomer is discarded outright (dead entries are
-            // skipped lazily; compaction is amortized below).
-            let n_entries = pareto.entries[head.index()].len();
-            for i in 0..n_entries {
-                let oid = pareto.entries[head.index()][i] as usize;
-                let other = &arena[oid];
-                if !other.alive {
-                    continue;
-                }
-                let safe =
-                    !need_safety || exchange_safe(g, head, other.prev_vertex, prev_vertex);
-                let keeper = LabelView {
-                    offset: other.offset,
-                    hist: &other.hist,
-                    certified: other.certified,
-                };
-                if self.dominance.discards(&keeper, &candidate, safe) {
-                    stats.pruned_dominance += 1;
-                    return;
-                }
-            }
-            // Retire incumbents the newcomer dominates. The newcomer is
-            // the keeper here, so its half of the exchange-safety check
-            // (no out-edge returns to its predecessor) is loop-invariant.
-            let newcomer_unbanned = need_safety
-                && g.out_edges(head).all(|(_, h)| h != prev_vertex);
-            for i in 0..n_entries {
-                let oid = pareto.entries[head.index()][i] as usize;
-                let other = &arena[oid];
-                if !other.alive {
-                    continue;
-                }
-                let safe =
-                    !need_safety || newcomer_unbanned || other.prev_vertex == prev_vertex;
-                let dominated = {
-                    let incumbent_view = LabelView {
-                        offset: other.offset,
-                        hist: &other.hist,
-                        certified: other.certified,
-                    };
-                    self.dominance.discards(&candidate, &incumbent_view, safe)
-                };
-                if dominated {
-                    arena[oid].alive = false;
-                    pareto.dead[head.index()] += 1;
-                    stats.pruned_dominance += 1;
-                    stats.dominance_retired += 1;
-                }
-            }
-            // Amortized compaction: sweep only once the dead outnumber
-            // the living, so each retired entry is paid for at most twice.
-            let dead = pareto.dead[head.index()] as usize;
-            if dead * 2 > pareto.entries[head.index()].len() {
-                let arena_ref = &arena;
-                pareto.entries[head.index()].retain(|&oid| arena_ref[oid as usize].alive);
-                pareto.dead[head.index()] = 0;
-                stats.pareto_compactions += 1;
-            }
-        }
-
-        let id = arena.len() as u32;
-        stats.labels_created += 1;
-        arena.push(Label {
-            vertex: head,
-            parent,
-            edge,
-            prev_vertex,
-            offset,
-            hist,
-            certified,
-            alive: true,
-        });
-        if self.dominance.enabled() {
-            pareto.entries[head.index()].push(id);
-        }
-        heap.push(QueueEntry { ub, id });
-    }
-
-    fn finish(
-        &self,
-        incumbent: Incumbent,
-        best_prob: f64,
-        arena: &[Label],
-        stats: SearchStats,
-        budget_s: f64,
-    ) -> RouteResult {
-        match incumbent {
-            Incumbent::None => RouteResult {
-                path: None,
-                distribution: None,
-                probability: 0.0,
-                stats,
-            },
-            Incumbent::Pivot(b) => RouteResult {
-                probability: b.probability,
-                path: Some(b.path),
-                distribution: b.distribution,
-                stats,
-            },
-            Incumbent::Label(id) => {
-                // Walk parents to reconstruct the path.
-                let mut edges = Vec::new();
-                let mut cur = id;
-                loop {
-                    let l = &arena[cur as usize];
-                    edges.push(l.edge);
-                    if l.parent == NO_PARENT {
-                        break;
-                    }
-                    cur = l.parent;
-                }
-                edges.reverse();
-                let g = self.cost.graph();
-                let mut nodes = Vec::with_capacity(edges.len() + 1);
-                nodes.push(g.edge_source(edges[0]));
-                for &e in &edges {
-                    nodes.push(g.edge_target(e));
-                }
-                let label = &arena[id as usize];
-                let dist = label.hist.shift(label.offset);
-                debug_assert!((dist.prob_within(budget_s) - best_prob).abs() < 1e-6);
-                RouteResult {
-                    path: Some(Path { nodes, edges }),
-                    distribution: Some(dist),
-                    probability: best_prob,
-                    stats,
-                }
-            }
-        }
+            deadline,
+            &mut self.scratch.borrow_mut(),
+        )
     }
 }
 
@@ -688,6 +247,7 @@ mod tests {
     use super::*;
     use crate::cost::CombinePolicy;
     use crate::model::training::{train_hybrid, TrainingConfig};
+    use crate::routing::baseline::ExpectedTimeBaseline;
     use crate::HybridModel;
     use srt_ml::forest::ForestConfig;
     use srt_synth::{DistanceCategory, QueryGenerator, SyntheticWorld, WorldConfig};
@@ -772,7 +332,7 @@ mod tests {
     }
 
     fn recompute_capped(
-        cost: &HybridCost<'_>,
+        cost: &HybridCost,
         edges: &[srt_graph::EdgeId],
         budget: f64,
         cap: usize,
@@ -806,7 +366,8 @@ mod tests {
         let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
         let router = BudgetRouter::new(&cost, RouterConfig::default());
         let q = queries(&world, 1)[0];
-        // Zero deadline: must bail out immediately with the pivot.
+        // Zero deadline: must bail out immediately with the pivot (the
+        // shim keeps the legacy acceptance of zero deadlines).
         let r = router.route(q.source, q.target, q.budget_s, Some(Duration::ZERO));
         assert!(r.path.is_some(), "anytime must return the pivot");
         assert!(r.probability > 0.0);

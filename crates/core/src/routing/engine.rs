@@ -1,0 +1,1065 @@
+//! The query-serving engine: an owning, `Send + Sync` routing service
+//! over one shared cost oracle.
+//!
+//! The paper defines its search per query, and the original
+//! [`BudgetRouter`](crate::routing::BudgetRouter) mirrored that: every
+//! `route()` call re-resolved policies, recomputed the reverse
+//! optimistic-bound Dijkstra, reallocated Pareto sets and re-solved the
+//! pivot baseline. A production service answers *many simultaneous
+//! queries against one model*, so this module factors the work by
+//! lifetime instead:
+//!
+//! * **per engine** ([`RoutingEngine`], built once via
+//!   [`EngineBuilder`]): policy resolution (margin calibration, the
+//!   [`ConvCertificate`], the support envelope, per-node minimum
+//!   out-edge spans) — everything that depends only on the cost oracle
+//!   and the configuration,
+//! * **per target** (the engine's bounds cache): the reverse Dijkstra
+//!   behind [`OptimisticBounds`] depends only on `(target, cost
+//!   oracle)`, so it is computed once per distinct target and shared —
+//!   [`EngineStats::bounds_cache_hits`] /
+//!   [`EngineStats::bounds_cache_misses`] count its effectiveness,
+//! * **per worker** ([`SearchContext`]): the label arena, best-first
+//!   heap, Pareto sets and the pivot baseline's Dijkstra scratch — reused
+//!   across queries so steady-state serving allocates no per-query
+//!   search state,
+//! * **per query** ([`Query`]): just the typed parameters, validated
+//!   up front into [`EngineError`] instead of the legacy silent
+//!   degenerate-result paths.
+//!
+//! [`RoutingEngine::route_batch`] serves a slice of queries on a worker
+//! pool (scoped threads, work stealing, deterministic output order);
+//! results are bitwise-identical to sequential routing regardless of the
+//! worker count.
+//!
+//! ```no_run
+//! use srt_core::routing::{EngineBuilder, Query, RouterConfig};
+//! use srt_core::{CombinePolicy, HybridCost};
+//! # let world = srt_synth::SyntheticWorld::build(srt_synth::WorldConfig::tiny());
+//! # let (model, _) = srt_core::model::training::train_hybrid(
+//! #     &world, &srt_core::model::training::TrainingConfig::default()).unwrap();
+//!
+//! let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
+//! let engine = EngineBuilder::new(cost).config(RouterConfig::default()).build();
+//! let queries = vec![Query::new(srt_graph::NodeId(0), srt_graph::NodeId(9), 120.0)];
+//! for result in engine.route_batch(&queries, 0) {
+//!     println!("P(on time) = {:.3}", result.unwrap().probability);
+//! }
+//! ```
+
+use crate::cost::HybridCost;
+use crate::model::SupportEnvelope;
+use crate::routing::baseline::ExpectedTimeBaseline;
+use crate::routing::budget::{RouteResult, RouterConfig, SearchStats};
+use crate::routing::policy::{
+    exchange_safe, BoundMode, BoundPolicy, BudgetGate, ConvCertificate, DominanceMode,
+    DominancePolicy, LabelView, PruneCtx, PrunePolicy,
+};
+use srt_dist::Histogram;
+use srt_graph::algo::{DijkstraScratch, Path};
+use srt_graph::bounds::OptimisticBounds;
+use srt_graph::{EdgeId, NodeId};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+/// One typed budget query: "what is the most reliable way from `source`
+/// to `target` within `budget_s` seconds?" — replacing the positional
+/// `route(source, target, budget, deadline)` argument list.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct Query {
+    /// Origin vertex.
+    pub source: NodeId,
+    /// Destination vertex.
+    pub target: NodeId,
+    /// Arrival budget in seconds.
+    pub budget_s: f64,
+    /// Anytime knob: wall-clock limit after which the search returns its
+    /// incumbent (pivot) instead of running to exhaustion. `None` runs
+    /// unbounded.
+    pub deadline: Option<Duration>,
+}
+
+impl Query {
+    /// An exhaustive (non-anytime) query.
+    pub fn new(source: NodeId, target: NodeId, budget_s: f64) -> Self {
+        Query {
+            source,
+            target,
+            budget_s,
+            deadline: None,
+        }
+    }
+
+    /// The anytime variant: return the incumbent once `deadline` of
+    /// wall-clock time has elapsed. Must be non-zero (a zero deadline is
+    /// rejected by validation — use the expected-time baseline directly
+    /// if no search time at all is acceptable).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+impl From<&srt_synth::Query> for Query {
+    fn from(q: &srt_synth::Query) -> Self {
+        Query::new(q.source, q.target, q.budget_s)
+    }
+}
+
+impl From<srt_synth::Query> for Query {
+    fn from(q: srt_synth::Query) -> Self {
+        Query::from(&q)
+    }
+}
+
+/// Typed rejection of an invalid [`Query`] or configuration — the
+/// engine's replacement for the legacy API's silent degenerate results.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum EngineError {
+    /// The budget is NaN or infinite; no meaningful on-time probability
+    /// exists. (Negative *finite* budgets are answerable: the probability
+    /// is exactly zero, with the expected-time path attached.)
+    InvalidBudget {
+        /// The offending budget.
+        budget: f64,
+    },
+    /// A query endpoint does not name a vertex of the engine's graph.
+    NodeOutOfRange {
+        /// The offending vertex id.
+        node: NodeId,
+        /// Vertices in the graph (valid ids are `0..num_nodes`).
+        num_nodes: usize,
+    },
+    /// An anytime deadline of zero: the search could never take a single
+    /// step, so the caller almost certainly meant something else.
+    ZeroDeadline,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InvalidBudget { budget } => {
+                write!(f, "budget {budget} is not a finite number of seconds")
+            }
+            EngineError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "{node} is out of range for a graph of {num_nodes} vertices")
+            }
+            EngineError::ZeroDeadline => {
+                write!(f, "anytime deadline of zero admits no search at all")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Aggregated serving counters, engine-wide and monotone (see
+/// [`RoutingEngine::stats`]). Per-query counters stay on each
+/// [`RouteResult`]'s [`SearchStats`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct EngineStats {
+    /// Queries routed (valid ones; rejected queries are not counted).
+    pub queries: u64,
+    /// [`RoutingEngine::route_batch`] invocations.
+    pub batches: u64,
+    /// Bounds-cache hits: queries whose target's reverse Dijkstra was
+    /// already cached.
+    pub bounds_cache_hits: u64,
+    /// Bounds-cache misses: targets whose bounds had to be computed.
+    pub bounds_cache_misses: u64,
+    /// Labels created, summed over all queries.
+    pub labels_created: u64,
+    /// Labels expanded, summed over all queries.
+    pub labels_expanded: u64,
+    /// Searches cut short by a deadline or the label cap.
+    pub incomplete: u64,
+}
+
+#[derive(Default)]
+struct EngineCounters {
+    queries: AtomicU64,
+    batches: AtomicU64,
+    bounds_cache_hits: AtomicU64,
+    bounds_cache_misses: AtomicU64,
+    labels_created: AtomicU64,
+    labels_expanded: AtomicU64,
+    incomplete: AtomicU64,
+}
+
+impl EngineCounters {
+    fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            queries: self.queries.load(AtomicOrdering::Relaxed),
+            batches: self.batches.load(AtomicOrdering::Relaxed),
+            bounds_cache_hits: self.bounds_cache_hits.load(AtomicOrdering::Relaxed),
+            bounds_cache_misses: self.bounds_cache_misses.load(AtomicOrdering::Relaxed),
+            labels_created: self.labels_created.load(AtomicOrdering::Relaxed),
+            labels_expanded: self.labels_expanded.load(AtomicOrdering::Relaxed),
+            incomplete: self.incomplete.load(AtomicOrdering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.queries.store(0, AtomicOrdering::Relaxed);
+        self.batches.store(0, AtomicOrdering::Relaxed);
+        self.bounds_cache_hits.store(0, AtomicOrdering::Relaxed);
+        self.bounds_cache_misses.store(0, AtomicOrdering::Relaxed);
+        self.labels_created.store(0, AtomicOrdering::Relaxed);
+        self.labels_expanded.store(0, AtomicOrdering::Relaxed);
+        self.incomplete.store(0, AtomicOrdering::Relaxed);
+    }
+}
+
+struct Label {
+    vertex: NodeId,
+    parent: u32,
+    edge: EdgeId,
+    /// The vertex this label's last edge departed from (the U-turn ban).
+    prev_vertex: NodeId,
+    offset: f64,
+    hist: Histogram,
+    /// Convolution certificate of `edge` (see [`ConvCertificate`]).
+    certified: bool,
+    alive: bool,
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+#[derive(Copy, Clone, PartialEq)]
+struct QueueEntry {
+    ub: f64,
+    id: u32,
+}
+
+impl Eq for QueueEntry {}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on the probability upper bound.
+        self.ub
+            .partial_cmp(&other.ub)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+enum Incumbent {
+    None,
+    Pivot(ExpectedTimeBaseline),
+    Label(u32),
+}
+
+/// Per-vertex Pareto sets with amortized compaction: retiring marks a
+/// label dead in the arena and counts it here; the entry list is only
+/// swept once dead entries outnumber the live ones. Entry vectors are
+/// sized to the graph once and reset through a touched list, so clearing
+/// between queries costs time proportional to the vertices the previous
+/// search actually visited.
+struct ParetoScratch {
+    entries: Vec<Vec<u32>>,
+    dead: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+impl ParetoScratch {
+    fn new() -> Self {
+        ParetoScratch {
+            entries: Vec::new(),
+            dead: Vec::new(),
+            touched: Vec::new(),
+        }
+    }
+
+    /// Sizes the per-node vectors (idempotent) and clears the previous
+    /// query's entries.
+    fn reset(&mut self, n: usize) {
+        if self.entries.len() < n {
+            self.entries.resize_with(n, Vec::new);
+            self.dead.resize(n, 0);
+        }
+        for &i in &self.touched {
+            self.entries[i as usize].clear();
+            self.dead[i as usize] = 0;
+        }
+        self.touched.clear();
+    }
+
+    fn push(&mut self, node: usize, id: u32) {
+        if self.entries[node].is_empty() {
+            self.touched.push(node as u32);
+        }
+        self.entries[node].push(id);
+    }
+}
+
+/// Reusable per-worker search scratch: the label arena, the best-first
+/// queue, the Pareto sets and the pivot baseline's Dijkstra state. One
+/// context serves any number of sequential queries; in steady state no
+/// per-query search containers are allocated (label *payloads* — the
+/// histograms carried by labels and returned in results — are data, not
+/// search state, and still allocate).
+///
+/// Obtain one from [`RoutingEngine::new_context`] (or [`Default`]); a
+/// context is engine-independent and may be moved between engines over
+/// the same or different graphs.
+pub struct SearchContext {
+    arena: Vec<Label>,
+    heap: BinaryHeap<QueueEntry>,
+    pareto: ParetoScratch,
+    baseline: DijkstraScratch,
+}
+
+impl Default for SearchContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SearchContext {
+    /// An empty context; buffers are sized lazily by the first query.
+    pub fn new() -> Self {
+        SearchContext {
+            arena: Vec::new(),
+            heap: BinaryHeap::new(),
+            pareto: ParetoScratch::new(),
+            baseline: DijkstraScratch::new(),
+        }
+    }
+
+    /// Current capacity of the label arena (diagnostic; lets tests assert
+    /// that steady-state serving reuses instead of reallocating).
+    pub fn arena_capacity(&self) -> usize {
+        self.arena.capacity()
+    }
+}
+
+/// Builder for [`RoutingEngine`]: one cost oracle + one [`RouterConfig`],
+/// with an optional precomputed [`ConvCertificate`] for callers that
+/// construct many engines over the same oracle (the differential suite,
+/// ablations).
+pub struct EngineBuilder {
+    cost: HybridCost,
+    cfg: RouterConfig,
+    certificate: Option<ConvCertificate>,
+}
+
+impl EngineBuilder {
+    /// Starts a builder over `cost` with the default [`RouterConfig`].
+    pub fn new(cost: HybridCost) -> Self {
+        EngineBuilder {
+            cost,
+            cfg: RouterConfig::default(),
+            certificate: None,
+        }
+    }
+
+    /// Sets the search configuration.
+    pub fn config(mut self, cfg: RouterConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Supplies a precomputed convolution certificate (it depends only on
+    /// the cost oracle, so it can be computed once and cloned into every
+    /// engine over that oracle). Without this, [`EngineBuilder::build`]
+    /// computes one itself whenever the configuration needs it.
+    pub fn certificate(mut self, certificate: ConvCertificate) -> Self {
+        self.certificate = Some(certificate);
+        self
+    }
+
+    /// Resolves all query-independent state — pruning policies, the
+    /// margin calibration, the convolution certificate, the support
+    /// envelope and the per-node minimum out-edge spans — and returns the
+    /// shareable engine.
+    pub fn build(self) -> RoutingEngine {
+        let EngineBuilder {
+            cost,
+            cfg,
+            certificate,
+        } = self;
+        let dominance = DominancePolicy::resolve(cfg.dominance, cost.model().calibration.as_ref());
+        let certificate = certificate.or_else(|| {
+            RoutingEngine::wants_certificate(&cfg).then(|| ConvCertificate::compute(&cost))
+        });
+        let envelope = (cfg.bound == BoundMode::CertifiedEnvelope)
+            .then(|| cost.model().envelope.clone())
+            .flatten();
+        // Only worth building when an envelope will consume it (legacy
+        // v1/v2 snapshots degrade to the certificate-only fallback).
+        let min_out_span = envelope.is_some().then(|| {
+            let g = cost.graph();
+            (0..g.num_nodes())
+                .map(|v| {
+                    g.out_edges(NodeId(v as u32))
+                        .map(|(e, _)| {
+                            let m = cost.marginal(e);
+                            m.end() - m.start()
+                        })
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect()
+        });
+        RoutingEngine {
+            cost,
+            cfg,
+            gate: BudgetGate {
+                enabled: cfg.budget_gate,
+            },
+            bound: BoundPolicy { mode: cfg.bound },
+            dominance,
+            certificate,
+            envelope,
+            min_out_span,
+            bounds_cache: RwLock::new(HashMap::new()),
+            counters: EngineCounters::default(),
+        }
+    }
+}
+
+/// The owning, `Send + Sync` query-serving engine. Construction (via
+/// [`EngineBuilder`]) resolves every query-independent decision once;
+/// serving shares the engine immutably across worker threads, each with
+/// its own [`SearchContext`].
+///
+/// The search itself is the paper's label-correcting best-first search
+/// with prunings (a)–(d) — see [`crate::routing::budget`] for the
+/// algorithmic story and [`crate::routing::policy`] for each pruning
+/// mode's soundness contract. The engine adds the serving architecture:
+/// target-keyed caching of [`OptimisticBounds`], scratch reuse, batch
+/// dispatch and aggregated [`EngineStats`].
+pub struct RoutingEngine {
+    cost: HybridCost,
+    cfg: RouterConfig,
+    gate: BudgetGate,
+    bound: BoundPolicy,
+    dominance: DominancePolicy,
+    certificate: Option<ConvCertificate>,
+    /// The model's support-mass envelope, when the bound mode consumes
+    /// it ([`BoundMode::CertifiedEnvelope`]).
+    envelope: Option<SupportEnvelope>,
+    /// Per-node minimum marginal span over out-edges — the envelope
+    /// bound's denominator floor. Computed once per engine, only for the
+    /// envelope mode.
+    min_out_span: Option<Vec<f64>>,
+    /// Target-keyed cache of the reverse optimistic-bound Dijkstra.
+    bounds_cache: RwLock<HashMap<NodeId, Arc<OptimisticBounds>>>,
+    counters: EngineCounters,
+}
+
+impl RoutingEngine {
+    /// An engine over `cost` with the default configuration.
+    pub fn new(cost: HybridCost) -> Self {
+        EngineBuilder::new(cost).build()
+    }
+
+    /// Whether `cfg` contains a certificate-consuming policy.
+    pub fn wants_certificate(cfg: &RouterConfig) -> bool {
+        cfg.dominance == DominanceMode::ConvGated
+            || cfg.bound == BoundMode::Certified
+            || cfg.bound == BoundMode::CertifiedEnvelope
+    }
+
+    /// The cost oracle served by this engine.
+    pub fn cost(&self) -> &HybridCost {
+        &self.cost
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RouterConfig {
+        &self.cfg
+    }
+
+    /// The resolved dominance policy (diagnostic: exposes the margin the
+    /// engine actually prunes with).
+    pub fn dominance_policy(&self) -> &DominancePolicy {
+        &self.dominance
+    }
+
+    /// The convolution certificate, when a configured policy required
+    /// computing one.
+    pub fn certificate(&self) -> Option<&ConvCertificate> {
+        self.certificate.as_ref()
+    }
+
+    /// A fresh per-worker scratch context.
+    pub fn new_context(&self) -> SearchContext {
+        SearchContext::new()
+    }
+
+    /// Snapshot of the aggregated serving counters.
+    pub fn stats(&self) -> EngineStats {
+        self.counters.snapshot()
+    }
+
+    /// Zeroes the aggregated serving counters (the bounds cache itself is
+    /// kept; see [`RoutingEngine::clear_bounds_cache`]).
+    pub fn reset_stats(&self) {
+        self.counters.reset();
+    }
+
+    /// Drops every cached per-target bound (useful for cold-start
+    /// measurements, or to bound memory on workloads with unbounded
+    /// target sets).
+    pub fn clear_bounds_cache(&self) {
+        self.bounds_cache.write().expect("bounds cache poisoned").clear();
+    }
+
+    /// Number of distinct targets currently cached.
+    pub fn bounds_cached(&self) -> usize {
+        self.bounds_cache.read().expect("bounds cache poisoned").len()
+    }
+
+    /// Validates a query against this engine's graph and configuration.
+    pub fn validate(&self, query: &Query) -> Result<(), EngineError> {
+        let num_nodes = self.cost.graph().num_nodes();
+        for node in [query.source, query.target] {
+            if node.index() >= num_nodes {
+                return Err(EngineError::NodeOutOfRange { node, num_nodes });
+            }
+        }
+        if !query.budget_s.is_finite() {
+            return Err(EngineError::InvalidBudget {
+                budget: query.budget_s,
+            });
+        }
+        if query.deadline == Some(Duration::ZERO) {
+            return Err(EngineError::ZeroDeadline);
+        }
+        Ok(())
+    }
+
+    /// Routes one query with a transient scratch context. Convenience
+    /// wrapper over [`RoutingEngine::route_with`] — steady-state callers
+    /// should hold a [`SearchContext`] (or use
+    /// [`RoutingEngine::route_batch`], which pools them) to avoid the
+    /// per-call scratch allocation.
+    pub fn route(&self, query: &Query) -> Result<RouteResult, EngineError> {
+        self.route_with(query, &mut SearchContext::new())
+    }
+
+    /// Routes one validated query, reusing `ctx`'s buffers for all search
+    /// state.
+    pub fn route_with(
+        &self,
+        query: &Query,
+        ctx: &mut SearchContext,
+    ) -> Result<RouteResult, EngineError> {
+        self.validate(query)?;
+        Ok(self.route_unchecked(query.source, query.target, query.budget_s, query.deadline, ctx))
+    }
+
+    /// Routes `queries` on a pool of `parallelism` workers (`0` = the
+    /// machine's available parallelism), each with its own
+    /// [`SearchContext`]. Work is stolen off a shared index so skewed
+    /// query costs balance; results are returned in input order and are
+    /// bitwise-identical regardless of the worker count.
+    pub fn route_batch(
+        &self,
+        queries: &[Query],
+        parallelism: usize,
+    ) -> Vec<Result<RouteResult, EngineError>> {
+        self.counters.batches.fetch_add(1, AtomicOrdering::Relaxed);
+        let workers = if parallelism == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            parallelism
+        }
+        .min(queries.len().max(1));
+
+        if workers <= 1 {
+            let mut ctx = SearchContext::new();
+            return queries.iter().map(|q| self.route_with(q, &mut ctx)).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let mut results: Vec<Option<Result<RouteResult, EngineError>>> =
+            (0..queries.len()).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut ctx = SearchContext::new();
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, AtomicOrdering::Relaxed);
+                            if i >= queries.len() {
+                                break;
+                            }
+                            local.push((i, self.route_with(&queries[i], &mut ctx)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, r) in handle.join().expect("engine worker panicked") {
+                    results[i] = Some(r);
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every query routed"))
+            .collect()
+    }
+
+    /// The per-target bounds, from the cache when warm.
+    fn bounds_for(&self, target: NodeId) -> Arc<OptimisticBounds> {
+        if let Some(b) = self
+            .bounds_cache
+            .read()
+            .expect("bounds cache poisoned")
+            .get(&target)
+        {
+            self.counters
+                .bounds_cache_hits
+                .fetch_add(1, AtomicOrdering::Relaxed);
+            return Arc::clone(b);
+        }
+        // Compute outside the lock; a concurrent duplicate computation is
+        // benign (the Dijkstra is deterministic) and the entry converges.
+        let bounds = Arc::new(OptimisticBounds::compute(self.cost.graph(), target, |e| {
+            self.cost.marginal(e).start().max(0.0)
+        }));
+        self.counters
+            .bounds_cache_misses
+            .fetch_add(1, AtomicOrdering::Relaxed);
+        self.bounds_cache
+            .write()
+            .expect("bounds cache poisoned")
+            .entry(target)
+            .or_insert(bounds)
+            .clone()
+    }
+
+    /// Solves one budget query with the legacy (pre-validation)
+    /// semantics: degenerate budgets answer with probability zero, a zero
+    /// deadline returns the pivot immediately. The deprecated
+    /// [`BudgetRouter`](crate::routing::BudgetRouter) shim calls this
+    /// directly so its behaviour is preserved bit for bit.
+    pub(crate) fn route_unchecked(
+        &self,
+        source: NodeId,
+        target: NodeId,
+        budget_s: f64,
+        deadline: Option<Duration>,
+        ctx: &mut SearchContext,
+    ) -> RouteResult {
+        let start_time = Instant::now();
+        let g = self.cost.graph();
+        let mut stats = SearchStats::default();
+
+        // Degenerate budgets: nothing arrives within a non-positive or
+        // non-finite budget, but the query is still answered (probability
+        // 0 on the expected-time path when one exists).
+        if !budget_s.is_finite() || budget_s < 0.0 {
+            stats.completed = true;
+            stats.elapsed = start_time.elapsed();
+            let baseline =
+                ExpectedTimeBaseline::solve_with(&self.cost, source, target, 0.0, &mut ctx.baseline);
+            return self.record(RouteResult {
+                probability: 0.0,
+                path: baseline.as_ref().map(|b| b.path.clone()),
+                distribution: baseline.and_then(|b| b.distribution),
+                stats,
+            });
+        }
+
+        if source == target {
+            stats.completed = true;
+            stats.elapsed = start_time.elapsed();
+            return self.record(RouteResult {
+                path: Some(Path {
+                    nodes: vec![source],
+                    edges: vec![],
+                }),
+                distribution: None,
+                probability: 1.0,
+                stats,
+            });
+        }
+
+        // Pruning (a): optimistic remaining cost to the target, under the
+        // smallest support value every marginal can realize — cached per
+        // target, since it depends only on (target, cost oracle).
+        let bounds = self.bounds_for(target);
+        if !bounds.reachable(source) {
+            stats.completed = true;
+            stats.elapsed = start_time.elapsed();
+            return self.record(RouteResult {
+                path: None,
+                distribution: None,
+                probability: 0.0,
+                stats,
+            });
+        }
+
+        // Pruning (b): pivot initialization from the expected-time path.
+        let mut best_prob = 0.0;
+        let mut incumbent = Incumbent::None;
+        if self.cfg.use_pivot_init {
+            if let Some(baseline) =
+                ExpectedTimeBaseline::solve_with(&self.cost, source, target, budget_s, &mut ctx.baseline)
+            {
+                best_prob = baseline.probability;
+                incumbent = Incumbent::Pivot(baseline);
+            }
+        }
+
+        ctx.arena.clear();
+        ctx.heap.clear();
+        ctx.pareto.reset(g.num_nodes());
+        let SearchContext {
+            arena,
+            heap,
+            pareto,
+            ..
+        } = ctx;
+
+        // Seed with the out-edges of the source.
+        for (e, head) in g.out_edges(source) {
+            if !bounds.reachable(head) {
+                continue;
+            }
+            let dist = self.cost.marginal(e).clone();
+            self.push_label(
+                arena,
+                pareto,
+                heap,
+                &bounds,
+                budget_s,
+                &mut best_prob,
+                &mut incumbent,
+                &mut stats,
+                NO_PARENT,
+                e,
+                source,
+                head,
+                dist,
+                target,
+            );
+        }
+
+        let mut pops = 0usize;
+        while let Some(QueueEntry { ub, id }) = heap.pop() {
+            pops += 1;
+            if pops.is_multiple_of(64) {
+                if let Some(limit) = deadline {
+                    if start_time.elapsed() >= limit {
+                        stats.completed = false;
+                        stats.elapsed = start_time.elapsed();
+                        return self.record(self.finish(incumbent, best_prob, arena, stats, budget_s));
+                    }
+                }
+            }
+            if self.bound.prunes() && ub <= best_prob {
+                // Best-first order: every remaining bound is no better.
+                break;
+            }
+            let label = &arena[id as usize];
+            if !label.alive {
+                continue;
+            }
+            if stats.labels_created >= self.cfg.max_labels {
+                stats.completed = false;
+                stats.elapsed = start_time.elapsed();
+                return self.record(self.finish(incumbent, best_prob, arena, stats, budget_s));
+            }
+            stats.labels_expanded += 1;
+
+            let vertex = label.vertex;
+            let offset = label.offset;
+            // Reconstruct the actual (unshifted) distribution for combining.
+            let pre_actual = if offset != 0.0 {
+                label.hist.shift(offset)
+            } else {
+                label.hist.clone()
+            };
+            let prev_edge = label.edge;
+            let prev_vertex = label.prev_vertex;
+
+            for (e, head) in g.out_edges(vertex) {
+                if head == prev_vertex {
+                    continue; // skip immediate U-turns
+                }
+                if !bounds.reachable(head) {
+                    continue;
+                }
+                let mut dist = self.cost.combine(&pre_actual, prev_edge, e);
+                if dist.num_bins() > self.cfg.max_bins {
+                    dist = dist
+                        .with_bins(self.cfg.max_bins)
+                        .expect("bin cap is positive");
+                }
+                self.push_label(
+                    arena,
+                    pareto,
+                    heap,
+                    &bounds,
+                    budget_s,
+                    &mut best_prob,
+                    &mut incumbent,
+                    &mut stats,
+                    id,
+                    e,
+                    vertex,
+                    head,
+                    dist,
+                    target,
+                );
+            }
+        }
+
+        stats.completed = true;
+        stats.elapsed = start_time.elapsed();
+        self.record(self.finish(incumbent, best_prob, arena, stats, budget_s))
+    }
+
+    /// Folds one finished query into the aggregated counters.
+    fn record(&self, result: RouteResult) -> RouteResult {
+        let c = &self.counters;
+        c.queries.fetch_add(1, AtomicOrdering::Relaxed);
+        c.labels_created
+            .fetch_add(result.stats.labels_created as u64, AtomicOrdering::Relaxed);
+        c.labels_expanded
+            .fetch_add(result.stats.labels_expanded as u64, AtomicOrdering::Relaxed);
+        if !result.stats.completed {
+            c.incomplete.fetch_add(1, AtomicOrdering::Relaxed);
+        }
+        result
+    }
+
+    /// Creates, prunes and enqueues one candidate label.
+    #[allow(clippy::too_many_arguments)]
+    fn push_label(
+        &self,
+        arena: &mut Vec<Label>,
+        pareto: &mut ParetoScratch,
+        heap: &mut BinaryHeap<QueueEntry>,
+        bounds: &OptimisticBounds,
+        budget_s: f64,
+        best_prob: &mut f64,
+        incumbent: &mut Incumbent,
+        stats: &mut SearchStats,
+        parent: u32,
+        edge: EdgeId,
+        prev_vertex: NodeId,
+        head: NodeId,
+        dist_actual: Histogram,
+        target: NodeId,
+    ) {
+        // Pruning (c): anchor at zero, carry the offset.
+        let (offset, hist) = if self.cfg.use_cost_shifting {
+            dist_actual.shifted_to_zero()
+        } else {
+            (0.0, dist_actual)
+        };
+        let certified = self
+            .certificate
+            .as_ref()
+            .is_some_and(|c| c.certified(edge));
+
+        if head == target {
+            // Complete path: candidate for the incumbent; never expanded
+            // further (any extension returns later, hence dominated).
+            let prob = hist.cdf(budget_s - offset);
+            stats.labels_created += 1;
+            arena.push(Label {
+                vertex: head,
+                parent,
+                edge,
+                prev_vertex,
+                offset,
+                hist,
+                certified,
+                alive: false,
+            });
+            if prob > *best_prob || matches!(incumbent, Incumbent::None) {
+                *best_prob = prob.max(*best_prob);
+                *incumbent = Incumbent::Label(arena.len() as u32 - 1);
+            }
+            return;
+        }
+
+        let ctx = PruneCtx {
+            budget_s,
+            remaining_s: bounds.remaining(head),
+            offset,
+            hist: &hist,
+            incumbent_prob: *best_prob,
+            certified,
+            envelope: self.envelope.as_ref(),
+            next_span_lb: self
+                .min_out_span
+                .as_ref()
+                .map_or(0.0, |s| s[head.index()]),
+        };
+
+        // The always-sound feasibility cut.
+        if !self.gate.admits(&ctx) {
+            stats.pruned_infeasible += 1;
+            return;
+        }
+
+        // Pruning (a)+(b): probability upper bound via the optimistic
+        // remaining cost, checked against the incumbent. The bound value
+        // doubles as the best-first queue key.
+        let ub = self.bound.upper_bound(&ctx);
+        if !self.bound.admits(&ctx) {
+            stats.pruned_bound += 1;
+            return;
+        }
+
+        // Pruning (d): dominance against the Pareto set at `head`.
+        if self.dominance.enabled() {
+            let g = self.cost.graph();
+            let candidate = LabelView {
+                offset,
+                hist: &hist,
+                certified,
+            };
+            let need_safety = self.dominance.needs_exchange_safety();
+            // A dominated newcomer is discarded outright (dead entries are
+            // skipped lazily; compaction is amortized below).
+            let n_entries = pareto.entries[head.index()].len();
+            for i in 0..n_entries {
+                let oid = pareto.entries[head.index()][i] as usize;
+                let other = &arena[oid];
+                if !other.alive {
+                    continue;
+                }
+                let safe =
+                    !need_safety || exchange_safe(g, head, other.prev_vertex, prev_vertex);
+                let keeper = LabelView {
+                    offset: other.offset,
+                    hist: &other.hist,
+                    certified: other.certified,
+                };
+                if self.dominance.discards(&keeper, &candidate, safe) {
+                    stats.pruned_dominance += 1;
+                    return;
+                }
+            }
+            // Retire incumbents the newcomer dominates. The newcomer is
+            // the keeper here, so its half of the exchange-safety check
+            // (no out-edge returns to its predecessor) is loop-invariant.
+            let newcomer_unbanned = need_safety
+                && g.out_edges(head).all(|(_, h)| h != prev_vertex);
+            for i in 0..n_entries {
+                let oid = pareto.entries[head.index()][i] as usize;
+                let other = &arena[oid];
+                if !other.alive {
+                    continue;
+                }
+                let safe =
+                    !need_safety || newcomer_unbanned || other.prev_vertex == prev_vertex;
+                let dominated = {
+                    let incumbent_view = LabelView {
+                        offset: other.offset,
+                        hist: &other.hist,
+                        certified: other.certified,
+                    };
+                    self.dominance.discards(&candidate, &incumbent_view, safe)
+                };
+                if dominated {
+                    arena[oid].alive = false;
+                    pareto.dead[head.index()] += 1;
+                    stats.pruned_dominance += 1;
+                    stats.dominance_retired += 1;
+                }
+            }
+            // Amortized compaction: sweep only once the dead outnumber
+            // the living, so each retired entry is paid for at most twice.
+            let dead = pareto.dead[head.index()] as usize;
+            if dead * 2 > pareto.entries[head.index()].len() {
+                let arena_ref = &arena;
+                pareto.entries[head.index()].retain(|&oid| arena_ref[oid as usize].alive);
+                pareto.dead[head.index()] = 0;
+                stats.pareto_compactions += 1;
+            }
+        }
+
+        let id = arena.len() as u32;
+        stats.labels_created += 1;
+        arena.push(Label {
+            vertex: head,
+            parent,
+            edge,
+            prev_vertex,
+            offset,
+            hist,
+            certified,
+            alive: true,
+        });
+        if self.dominance.enabled() {
+            pareto.push(head.index(), id);
+        }
+        heap.push(QueueEntry { ub, id });
+    }
+
+    fn finish(
+        &self,
+        incumbent: Incumbent,
+        best_prob: f64,
+        arena: &[Label],
+        stats: SearchStats,
+        budget_s: f64,
+    ) -> RouteResult {
+        match incumbent {
+            Incumbent::None => RouteResult {
+                path: None,
+                distribution: None,
+                probability: 0.0,
+                stats,
+            },
+            Incumbent::Pivot(b) => RouteResult {
+                probability: b.probability,
+                path: Some(b.path),
+                distribution: b.distribution,
+                stats,
+            },
+            Incumbent::Label(id) => {
+                // Walk parents to reconstruct the path.
+                let mut edges = Vec::new();
+                let mut cur = id;
+                loop {
+                    let l = &arena[cur as usize];
+                    edges.push(l.edge);
+                    if l.parent == NO_PARENT {
+                        break;
+                    }
+                    cur = l.parent;
+                }
+                edges.reverse();
+                let g = self.cost.graph();
+                let mut nodes = Vec::with_capacity(edges.len() + 1);
+                nodes.push(g.edge_source(edges[0]));
+                for &e in &edges {
+                    nodes.push(g.edge_target(e));
+                }
+                let label = &arena[id as usize];
+                let dist = label.hist.shift(label.offset);
+                debug_assert!((dist.prob_within(budget_s) - best_prob).abs() < 1e-6);
+                RouteResult {
+                    path: Some(Path { nodes, edges }),
+                    distribution: Some(dist),
+                    probability: best_prob,
+                    stats,
+                }
+            }
+        }
+    }
+}

@@ -2,9 +2,14 @@
 //!
 //! Given `(source, destination, budget t)`, find the path that maximizes
 //! `P(travel time <= t)`, using the hybrid cost model for path
-//! distributions. [`budget`] implements the label-correcting search with
-//! the paper's prunings (a)-(d) and the anytime deadline; [`policy`]
-//! factors the prunings into composable, individually-certifiable
+//! distributions. [`engine`] is the query-serving surface: an owning,
+//! `Send + Sync` [`RoutingEngine`] (built by [`EngineBuilder`]) that
+//! resolves pruning policies and certificates once, caches the
+//! per-target optimistic bounds, and serves typed [`Query`] values —
+//! singly or in worker-pool batches — from reusable [`SearchContext`]
+//! scratch; [`budget`] holds the search's configuration/result types and
+//! the deprecated one-shot [`BudgetRouter`] shim; [`policy`] factors the
+//! prunings into composable, individually-certifiable
 //! [`policy::PrunePolicy`] values; [`oracle`] provides the exhaustive
 //! enumeration router the differential tests certify pruning against;
 //! [`baseline`] provides the deterministic expected-time comparison
@@ -12,11 +17,15 @@
 
 pub mod baseline;
 pub mod budget;
+pub mod engine;
 pub mod oracle;
 pub mod policy;
 
 pub use baseline::{expected_time_path, ExpectedTimeBaseline, KPathsBaseline};
 pub use budget::{BudgetRouter, RouteResult, RouterConfig, SearchStats};
+pub use engine::{
+    EngineBuilder, EngineError, EngineStats, Query, RoutingEngine, SearchContext,
+};
 pub use oracle::{OracleRoute, OracleRouter};
 pub use policy::{
     BoundMode, BoundPolicy, BudgetGate, ConvCertificate, DominanceMode, DominancePolicy,

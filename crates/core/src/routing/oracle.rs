@@ -40,13 +40,13 @@ pub struct OracleRoute {
 
 /// Exhaustive budget router over a fixed cost oracle.
 pub struct OracleRouter<'a> {
-    cost: &'a HybridCost<'a>,
+    cost: &'a HybridCost,
     max_bins: usize,
     use_pivot: bool,
 }
 
-struct Enumeration<'b, 'a> {
-    cost: &'b HybridCost<'a>,
+struct Enumeration<'b> {
+    cost: &'b HybridCost,
     bounds: &'b OptimisticBounds,
     budget_s: f64,
     target: NodeId,
@@ -60,7 +60,7 @@ struct Enumeration<'b, 'a> {
     overflow: bool,
 }
 
-impl Enumeration<'_, '_> {
+impl Enumeration<'_> {
     /// Records a complete path, mirroring the router's incumbent rule
     /// (the first complete path is kept even at probability zero).
     fn complete(&mut self, prob: f64) {
@@ -114,7 +114,7 @@ impl<'a> OracleRouter<'a> {
     /// Creates an oracle mirroring `cfg`'s cost semantics (bucket cap and
     /// pivot participation; the pruning policies are irrelevant — that is
     /// the point).
-    pub fn from_config(cost: &'a HybridCost<'a>, cfg: &RouterConfig) -> Self {
+    pub fn from_config(cost: &'a HybridCost, cfg: &RouterConfig) -> Self {
         OracleRouter {
             cost,
             max_bins: cfg.max_bins,
@@ -123,7 +123,7 @@ impl<'a> OracleRouter<'a> {
     }
 
     /// Creates an oracle with the default router semantics.
-    pub fn new(cost: &'a HybridCost<'a>) -> Self {
+    pub fn new(cost: &'a HybridCost) -> Self {
         Self::from_config(cost, &RouterConfig::default())
     }
 
@@ -283,7 +283,7 @@ mod tests {
     /// small: (source, target, 1.02 × expected shortest time).
     fn tight_queries(
         world: &SyntheticWorld,
-        cost: &HybridCost<'_>,
+        cost: &HybridCost,
         n: usize,
     ) -> Vec<(NodeId, NodeId, f64)> {
         let g = &world.graph;

@@ -440,7 +440,7 @@ pub struct ConvCertificate {
 
 impl ConvCertificate {
     /// Computes the certificate for a cost oracle.
-    pub fn compute(cost: &HybridCost<'_>) -> Self {
+    pub fn compute(cost: &HybridCost) -> Self {
         let g = cost.graph();
         let ne = g.num_edges();
         match cost.policy {

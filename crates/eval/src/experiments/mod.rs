@@ -11,51 +11,37 @@ pub mod policy;
 pub mod quality;
 pub mod training_size;
 
-use srt_core::routing::{BudgetRouter, ConvCertificate, RouteResult, RouterConfig};
+use srt_core::routing::{EngineBuilder, RouteResult, RouterConfig};
 use srt_core::HybridCost;
 use srt_synth::Query;
 use std::time::Duration;
 
-/// Routes a query batch in parallel (`std::thread::scope`), preserving
-/// input order. The cost oracle is shared immutably; each thread owns its
-/// router and writes into a disjoint chunk of the result buffer. The
-/// convolution certificate (when the configuration needs one) is
-/// computed once and cloned into every thread's router.
+/// Routes a query batch on the routing engine's worker pool, preserving
+/// input order. The engine resolves the configuration (and its
+/// convolution certificate, when one is needed) once for the whole
+/// batch; per-target optimistic bounds are cached inside it, so repeated
+/// targets within a batch pay for one reverse Dijkstra.
 pub(crate) fn route_queries(
-    cost: &HybridCost<'_>,
+    cost: &HybridCost,
     cfg: RouterConfig,
     queries: &[Query],
     deadline: Option<Duration>,
 ) -> Vec<RouteResult> {
-    let certificate = BudgetRouter::wants_certificate(&cfg).then(|| ConvCertificate::compute(cost));
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(queries.len().max(1));
-    if threads <= 1 || queries.len() < 4 {
-        let router = BudgetRouter::with_certificate(cost, cfg, certificate);
-        return queries
-            .iter()
-            .map(|q| router.route(q.source, q.target, q.budget_s, deadline))
-            .collect();
-    }
-
-    let chunk = queries.len().div_ceil(threads);
-    let mut results: Vec<Option<RouteResult>> = vec![None; queries.len()];
-    std::thread::scope(|s| {
-        for (q_slice, r_slice) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            let certificate = certificate.clone();
-            s.spawn(move || {
-                let router = BudgetRouter::with_certificate(cost, cfg, certificate);
-                for (q, out) in q_slice.iter().zip(r_slice) {
-                    *out = Some(router.route(q.source, q.target, q.budget_s, deadline));
-                }
-            });
-        }
-    });
-    results
+    let engine = EngineBuilder::new(cost.clone()).config(cfg).build();
+    let batch: Vec<srt_core::routing::Query> = queries
+        .iter()
+        .map(|q| {
+            let q = srt_core::routing::Query::from(q);
+            match deadline {
+                Some(d) => q.with_deadline(d),
+                None => q,
+            }
+        })
+        .collect();
+    engine
+        .route_batch(&batch, 0)
         .into_iter()
-        .map(|r| r.expect("every query routed"))
+        .map(|r| r.expect("experiment queries are valid"))
         .collect()
 }
 
@@ -63,6 +49,7 @@ pub(crate) fn route_queries(
 mod tests {
     use super::*;
     use crate::setup::{build_context, Scale};
+    use srt_core::routing::BudgetRouter;
     use srt_core::CombinePolicy;
     use srt_synth::{DistanceCategory, QueryGenerator};
 

@@ -142,6 +142,134 @@ impl ShortestPaths {
     }
 }
 
+/// Reusable Dijkstra state for query-serving loops: the per-node arrays,
+/// the heap, and a touched list so a run resets in time proportional to
+/// the vertices it actually visited, not the graph size. One scratch
+/// serves any number of sequential [`DijkstraScratch::run`] calls without
+/// allocating per query (after the first run on a given graph size).
+///
+/// The traversal — heap ordering, relaxation order, early exit — is
+/// *identical* to [`dijkstra`], so results are bitwise-equal; the
+/// routing engine's determinism tests rely on that.
+pub struct DijkstraScratch {
+    dist: Vec<f64>,
+    pred_edge: Vec<Option<EdgeId>>,
+    pred_node: Vec<Option<NodeId>>,
+    settled: Vec<bool>,
+    heap: BinaryHeap<HeapEntry>,
+    touched: Vec<NodeId>,
+    source: NodeId,
+}
+
+impl Default for DijkstraScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DijkstraScratch {
+    /// An empty scratch; arrays are sized lazily on the first run.
+    pub fn new() -> Self {
+        DijkstraScratch {
+            dist: Vec::new(),
+            pred_edge: Vec::new(),
+            pred_node: Vec::new(),
+            settled: Vec::new(),
+            heap: BinaryHeap::new(),
+            touched: Vec::new(),
+            source: NodeId(0),
+        }
+    }
+
+    /// Runs Dijkstra from `source` (early exit once `target`, if given,
+    /// settles), reusing this scratch's buffers. Results are read back
+    /// through [`DijkstraScratch::distance`] /
+    /// [`DijkstraScratch::extract_path`] until the next run.
+    pub fn run<W>(&mut self, g: &RoadGraph, source: NodeId, target: Option<NodeId>, weight: W)
+    where
+        W: Fn(EdgeId) -> f64,
+    {
+        let n = g.num_nodes();
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.pred_edge.resize(n, None);
+            self.pred_node.resize(n, None);
+            self.settled.resize(n, false);
+        }
+        for &v in &self.touched {
+            let i = v.index();
+            self.dist[i] = f64::INFINITY;
+            self.pred_edge[i] = None;
+            self.pred_node[i] = None;
+            self.settled[i] = false;
+        }
+        self.touched.clear();
+        self.heap.clear();
+        self.source = source;
+
+        self.dist[source.index()] = 0.0;
+        self.touched.push(source);
+        self.heap.push(HeapEntry {
+            priority: 0.0,
+            node: source,
+        });
+
+        while let Some(HeapEntry { priority, node }) = self.heap.pop() {
+            if self.settled[node.index()] {
+                continue;
+            }
+            self.settled[node.index()] = true;
+            if Some(node) == target {
+                break;
+            }
+            for (e, head) in g.out_edges(node) {
+                let w = weight(e);
+                debug_assert!(w >= 0.0 && w.is_finite(), "invalid edge weight {w}");
+                let nd = priority + w;
+                let hi = head.index();
+                if nd < self.dist[hi] {
+                    if self.dist[hi].is_infinite() && self.pred_edge[hi].is_none() {
+                        self.touched.push(head);
+                    }
+                    self.dist[hi] = nd;
+                    self.pred_edge[hi] = Some(e);
+                    self.pred_node[hi] = Some(node);
+                    self.heap.push(HeapEntry {
+                        priority: nd,
+                        node: head,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Distance of the last run's source to `v` (`INFINITY` if `v` was
+    /// not reached).
+    pub fn distance(&self, v: NodeId) -> f64 {
+        self.dist.get(v.index()).copied().unwrap_or(f64::INFINITY)
+    }
+
+    /// Reconstructs the last run's shortest path to `target`, or `None`
+    /// if unreachable.
+    pub fn extract_path(&self, target: NodeId) -> Option<Path> {
+        if !self.distance(target).is_finite() {
+            return None;
+        }
+        let mut nodes = vec![target];
+        let mut edges = Vec::new();
+        let mut v = target;
+        while let (Some(e), Some(p)) = (self.pred_edge[v.index()], self.pred_node[v.index()]) {
+            edges.push(e);
+            nodes.push(p);
+            v = p;
+        }
+        nodes.reverse();
+        edges.reverse();
+        debug_assert_eq!(nodes[0], self.source);
+        Some(Path { nodes, edges })
+    }
+}
+
 /// Dijkstra from `source`; stops early once `target` (if given) settles.
 ///
 /// `weight` must return non-negative finite values.
@@ -583,6 +711,44 @@ mod tests {
         let p = sp.extract_path(NodeId(0)).unwrap();
         assert!(p.is_empty());
         assert_eq!(p.source(), p.target());
+    }
+
+    #[test]
+    fn dijkstra_scratch_matches_the_allocating_run() {
+        let g = line_with_shortcut();
+        let w = |e: EdgeId| g.attrs(e).freeflow_time_s();
+        let mut scratch = DijkstraScratch::new();
+        // Repeated runs over different sources must reset correctly and
+        // reproduce the allocating dijkstra exactly, paths included.
+        for round in 0..3 {
+            for s in g.node_ids() {
+                scratch.run(&g, s, None, w);
+                let sp = dijkstra_all(&g, s, w);
+                for v in g.node_ids() {
+                    let (a, b) = (scratch.distance(v), sp.distance(v));
+                    assert!(
+                        (a.is_infinite() && b.is_infinite()) || a == b,
+                        "round {round}, {s}->{v}: scratch {a} vs dijkstra {b}"
+                    );
+                    assert_eq!(scratch.extract_path(v), sp.extract_path(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_scratch_early_exit_matches() {
+        let g = line_with_shortcut();
+        let w = |e: EdgeId| g.attrs(e).freeflow_time_s();
+        let mut scratch = DijkstraScratch::new();
+        scratch.run(&g, NodeId(0), Some(NodeId(2)), w);
+        let sp = dijkstra(&g, NodeId(0), Some(NodeId(2)), w);
+        assert_eq!(scratch.distance(NodeId(2)), sp.distance(NodeId(2)));
+        assert_eq!(scratch.extract_path(NodeId(2)), sp.extract_path(NodeId(2)));
+        // Unreachable targets after a reused run report infinity.
+        scratch.run(&g, NodeId(2), None, w);
+        assert!(scratch.distance(NodeId(0)).is_infinite());
+        assert!(scratch.extract_path(NodeId(0)).is_none());
     }
 
     #[test]

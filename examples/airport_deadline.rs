@@ -10,7 +10,7 @@
 
 use stochastic_routing::core::model::training::{train_hybrid, TrainingConfig};
 use stochastic_routing::core::routing::baseline::ExpectedTimeBaseline;
-use stochastic_routing::core::routing::{BudgetRouter, RouterConfig};
+use stochastic_routing::core::routing::{EngineBuilder, Query, RouterConfig};
 use stochastic_routing::core::{CombinePolicy, HybridCost};
 use stochastic_routing::dist::Histogram;
 use stochastic_routing::synth::{DistanceCategory, QueryGenerator, SyntheticWorld, WorldConfig};
@@ -52,12 +52,17 @@ fn main() {
     };
     let (model, _) = train_hybrid(&world, &training).expect("training succeeds");
     let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
-    let router = BudgetRouter::new(&cost, RouterConfig::default());
+    let engine = EngineBuilder::new(cost.clone())
+        .config(RouterConfig::default())
+        .build();
+    let mut ctx = engine.new_context();
     let mut qg = QueryGenerator::new(7);
 
     for cat in [DistanceCategory::OneToFive, DistanceCategory::ZeroToOne] {
         for q in qg.generate(&world.graph, &world.model, cat, 40) {
-            let pbr = router.route(q.source, q.target, q.budget_s, None);
+            let pbr = engine
+                .route_with(&Query::new(q.source, q.target, q.budget_s), &mut ctx)
+                .expect("generated queries are valid");
             let base = match ExpectedTimeBaseline::solve(&cost, q.source, q.target, q.budget_s) {
                 Some(b) => b,
                 None => continue,

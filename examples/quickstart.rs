@@ -2,10 +2,11 @@
 //! probabilistic budget query.
 //!
 //! Demonstrates the minimal end-to-end path through the stack —
-//! `srt-synth` world → `srt-core` training → budget routing — and prints
-//! the held-out KL of the hybrid vs. plain convolution (the paper's
-//! headline: hybrid ≤ convolution) plus one routed query with its
-//! on-time probability against the expected-time baseline.
+//! `srt-synth` world → `srt-core` training → a `RoutingEngine` built
+//! once and queried — and prints the held-out KL of the hybrid vs. plain
+//! convolution (the paper's headline: hybrid ≤ convolution) plus one
+//! routed query with its on-time probability against the expected-time
+//! baseline.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -13,7 +14,7 @@
 
 use stochastic_routing::core::model::training::{train_hybrid, TrainingConfig};
 use stochastic_routing::core::routing::baseline::ExpectedTimeBaseline;
-use stochastic_routing::core::routing::{BudgetRouter, RouterConfig};
+use stochastic_routing::core::routing::{EngineBuilder, Query, RouterConfig};
 use stochastic_routing::core::{CombinePolicy, HybridCost};
 use stochastic_routing::synth::{DistanceCategory, QueryGenerator, SyntheticWorld, WorldConfig};
 
@@ -43,9 +44,13 @@ fn main() {
         report.n_train, report.kl_hybrid_mean, report.kl_convolution_mean
     );
 
-    // 3. Answer a probabilistic budget query.
+    // 3. Build the query-serving engine (policies, certificates and the
+    //    per-target bound cache are resolved once) and answer a
+    //    probabilistic budget query.
     let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
-    let router = BudgetRouter::new(&cost, RouterConfig::default());
+    let engine = EngineBuilder::new(cost.clone())
+        .config(RouterConfig::default())
+        .build();
     let mut qg = QueryGenerator::new(42);
     let query = qg
         .generate(&world.graph, &world.model, DistanceCategory::OneToFive, 1)
@@ -53,7 +58,9 @@ fn main() {
         .next()
         .expect("the small world hosts [1,5) km queries");
 
-    let result = router.route(query.source, query.target, query.budget_s, None);
+    let result = engine
+        .route(&Query::new(query.source, query.target, query.budget_s))
+        .expect("a generated query is valid");
     let baseline = ExpectedTimeBaseline::solve(&cost, query.source, query.target, query.budget_s)
         .expect("baseline exists");
 
@@ -78,4 +85,10 @@ fn main() {
     } else {
         println!("  -> both routes coincide here; try other seeds for a divergence.");
     }
+
+    let stats = engine.stats();
+    println!(
+        "engine: {} queries served, bounds cache {} hit(s) / {} miss(es)",
+        stats.queries, stats.bounds_cache_hits, stats.bounds_cache_misses
+    );
 }

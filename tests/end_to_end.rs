@@ -3,7 +3,9 @@
 
 use stochastic_routing::core::model::training::{train_hybrid, TrainingConfig};
 use stochastic_routing::core::routing::baseline::ExpectedTimeBaseline;
-use stochastic_routing::core::routing::{BoundMode, BudgetRouter, RouterConfig};
+use stochastic_routing::core::routing::{
+    BoundMode, BudgetRouter, EngineBuilder, Query, RouterConfig,
+};
 use stochastic_routing::core::{CombinePolicy, HybridCost};
 use stochastic_routing::ml::forest::ForestConfig;
 use stochastic_routing::synth::{DistanceCategory, QueryGenerator, SyntheticWorld, WorldConfig};
@@ -37,13 +39,17 @@ fn world_to_route_pipeline() {
     );
 
     let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
-    let router = BudgetRouter::new(&cost, RouterConfig::default());
+    let engine = EngineBuilder::new(cost.clone())
+        .config(RouterConfig::default())
+        .build();
     let mut qg = QueryGenerator::new(123);
     let queries = qg.generate(&world.graph, &world.model, DistanceCategory::ZeroToOne, 6);
     assert!(!queries.is_empty());
 
-    for q in &queries {
-        let r = router.route(q.source, q.target, q.budget_s, None);
+    let batch: Vec<Query> = queries.iter().map(Query::from).collect();
+    let results = engine.route_batch(&batch, 0);
+    for (q, r) in queries.iter().zip(results) {
+        let r = r.expect("generated queries are valid");
         let path = r.path.expect("target reachable in an SCC world");
         path.validate(&world.graph).expect("valid path");
         assert_eq!(path.source(), q.source);
@@ -54,6 +60,12 @@ fn world_to_route_pipeline() {
             .expect("baseline exists");
         assert!(r.probability >= base.probability - 1e-9);
     }
+    let stats = engine.stats();
+    assert_eq!(stats.queries, queries.len() as u64);
+    assert_eq!(
+        stats.bounds_cache_hits + stats.bounds_cache_misses,
+        queries.len() as u64
+    );
 }
 
 #[test]

@@ -1,0 +1,301 @@
+//! Engine parity + concurrency certification for the query-serving
+//! redesign:
+//!
+//! * **determinism** — `route_batch` across 1/2/8 worker threads returns
+//!   bitwise-identical `RouteResult`s (probabilities compared by bit
+//!   pattern, paths, distributions and every counter except wall-clock
+//!   `elapsed`) to sequential routing through the deprecated
+//!   `BudgetRouter` shim,
+//! * **validation** — the typed `Query` API rejects NaN/infinite
+//!   budgets, out-of-range node ids and zero anytime deadlines with the
+//!   matching `EngineError`, without poisoning the rest of a batch,
+//! * **caching** — the target-keyed `OptimisticBounds` cache reports
+//!   hits/misses through `EngineStats` and never changes an answer,
+//! * **scratch reuse** — a `SearchContext` reused across queries returns
+//!   the same answers as fresh contexts and stops growing its arena once
+//!   warm (steady-state serving reuses search state instead of
+//!   reallocating it).
+
+use std::sync::OnceLock;
+use std::time::Duration;
+use stochastic_routing::core::model::training::{train_hybrid, TrainingConfig};
+use stochastic_routing::core::routing::{
+    BudgetRouter, EngineBuilder, EngineError, Query, RouteResult, RouterConfig, RoutingEngine,
+};
+use stochastic_routing::core::{CombinePolicy, HybridCost, HybridModel};
+use stochastic_routing::graph::NodeId;
+use stochastic_routing::ml::forest::ForestConfig;
+use stochastic_routing::synth::{DistanceCategory, QueryGenerator, SyntheticWorld, WorldConfig};
+
+fn fixture() -> &'static (SyntheticWorld, HybridModel) {
+    static FIX: OnceLock<(SyntheticWorld, HybridModel)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let world = SyntheticWorld::build(WorldConfig::tiny());
+        let cfg = TrainingConfig {
+            train_pairs: 120,
+            test_pairs: 40,
+            min_obs: 5,
+            bins: 10,
+            forest: ForestConfig {
+                n_trees: 6,
+                ..ForestConfig::default()
+            },
+            ..TrainingConfig::default()
+        };
+        let (model, _) = train_hybrid(&world, &cfg).expect("fixture trains");
+        (world, model)
+    })
+}
+
+fn cost() -> HybridCost {
+    let (world, model) = fixture();
+    HybridCost::from_ground_truth(world, model, CombinePolicy::Hybrid)
+}
+
+/// A workload with deliberately repeated targets so the bounds cache has
+/// something to hit.
+fn workload(n: usize) -> Vec<Query> {
+    let (world, _) = fixture();
+    let mut qg = QueryGenerator::new(0xEB);
+    let mut queries: Vec<Query> = qg
+        .generate(&world.graph, &world.model, DistanceCategory::ZeroToOne, n)
+        .iter()
+        .map(Query::from)
+        .collect();
+    // Duplicate every query with a perturbed budget: same target, new
+    // budget — a cache hit that must not change any answer.
+    let dup: Vec<Query> = queries
+        .iter()
+        .map(|q| Query::new(q.source, q.target, q.budget_s * 1.01))
+        .collect();
+    queries.extend(dup);
+    queries
+}
+
+/// Full bitwise comparison, ignoring only the wall-clock field.
+fn assert_identical(a: &RouteResult, b: &RouteResult, what: &str) {
+    assert_eq!(
+        a.probability.to_bits(),
+        b.probability.to_bits(),
+        "{what}: probability differs: {} vs {}",
+        a.probability,
+        b.probability
+    );
+    let path_a = a.path.as_ref().map(|p| (&p.nodes, &p.edges));
+    let path_b = b.path.as_ref().map(|p| (&p.nodes, &p.edges));
+    assert_eq!(path_a, path_b, "{what}: path differs");
+    assert_eq!(a.distribution, b.distribution, "{what}: distribution differs");
+    let (sa, sb) = (a.stats, b.stats);
+    assert_eq!(
+        (sa.labels_created, sa.labels_expanded, sa.pruned_bound, sa.pruned_infeasible),
+        (sb.labels_created, sb.labels_expanded, sb.pruned_bound, sb.pruned_infeasible),
+        "{what}: work counters differ"
+    );
+    assert_eq!(
+        (sa.pruned_dominance, sa.dominance_retired, sa.pareto_compactions, sa.completed),
+        (sb.pruned_dominance, sb.dominance_retired, sb.pareto_compactions, sb.completed),
+        "{what}: dominance counters differ"
+    );
+}
+
+#[test]
+fn engine_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RoutingEngine>();
+    assert_send_sync::<Query>();
+    assert_send_sync::<EngineError>();
+}
+
+#[test]
+fn route_batch_is_deterministic_across_worker_counts() {
+    let cost = cost();
+    let queries = workload(8);
+
+    // The sequential reference goes through the deprecated shim — the
+    // parity contract that lets existing callers migrate fearlessly.
+    let shim = BudgetRouter::new(&cost, RouterConfig::default());
+    let reference: Vec<RouteResult> = queries
+        .iter()
+        .map(|q| shim.route(q.source, q.target, q.budget_s, None))
+        .collect();
+
+    for workers in [1usize, 2, 8] {
+        let engine = EngineBuilder::new(cost.clone())
+            .config(RouterConfig::default())
+            .build();
+        let results = engine.route_batch(&queries, workers);
+        assert_eq!(results.len(), queries.len());
+        for (i, (r, expected)) in results.iter().zip(&reference).enumerate() {
+            let r = r.as_ref().expect("workload queries are valid");
+            assert_identical(r, expected, &format!("query {i} with {workers} worker(s)"));
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.queries, queries.len() as u64);
+        assert_eq!(stats.batches, 1);
+    }
+}
+
+#[test]
+fn invalid_queries_are_rejected_with_typed_errors() {
+    let engine = EngineBuilder::new(cost()).build();
+    let n = engine.cost().graph().num_nodes();
+    let valid = workload(1)[0];
+
+    let nan = Query::new(valid.source, valid.target, f64::NAN);
+    match engine.route(&nan) {
+        // NaN != NaN, so match the variant and check the payload's bits.
+        Err(EngineError::InvalidBudget { budget }) => assert!(budget.is_nan()),
+        other => panic!("NaN budget produced {other:?}"),
+    }
+
+    let inf = Query::new(valid.source, valid.target, f64::INFINITY);
+    assert!(matches!(
+        engine.route(&inf),
+        Err(EngineError::InvalidBudget { .. })
+    ));
+
+    let bogus = Query::new(valid.source, NodeId(n as u32 + 7), 100.0);
+    assert_eq!(
+        engine.route(&bogus).unwrap_err(),
+        EngineError::NodeOutOfRange {
+            node: NodeId(n as u32 + 7),
+            num_nodes: n
+        }
+    );
+
+    let zero = valid.with_deadline(Duration::ZERO);
+    assert_eq!(engine.route(&zero).unwrap_err(), EngineError::ZeroDeadline);
+
+    // Negative *finite* budgets stay answerable (probability zero), as
+    // documented on EngineError::InvalidBudget.
+    let late = Query::new(valid.source, valid.target, -5.0);
+    let r = engine.route(&late).expect("negative budgets are answerable");
+    assert_eq!(r.probability, 0.0);
+
+    // A bad query inside a batch rejects alone; its neighbours route.
+    let batch = [valid, bogus, late];
+    let results = engine.route_batch(&batch, 2);
+    assert!(results[0].is_ok());
+    assert!(matches!(
+        results[1],
+        Err(EngineError::NodeOutOfRange { .. })
+    ));
+    assert!(results[2].is_ok());
+
+    // Error values render for operators.
+    let msg = engine.route(&zero).unwrap_err().to_string();
+    assert!(msg.contains("deadline"), "unhelpful error display: {msg}");
+}
+
+#[test]
+fn warm_bounds_cache_counts_hits_and_preserves_answers() {
+    let cost = cost();
+    let engine = EngineBuilder::new(cost.clone())
+        .config(RouterConfig::default())
+        .build();
+    let queries = workload(6);
+    let distinct_targets = {
+        let mut t: Vec<NodeId> = queries.iter().map(|q| q.target).collect();
+        t.sort_unstable();
+        t.dedup();
+        t.len()
+    };
+
+    // Cold pass: every distinct target misses exactly once.
+    let cold = engine.route_batch(&queries, 1);
+    let s1 = engine.stats();
+    assert_eq!(s1.bounds_cache_misses, distinct_targets as u64);
+    assert_eq!(
+        s1.bounds_cache_hits,
+        queries.len() as u64 - distinct_targets as u64
+    );
+    assert_eq!(engine.bounds_cached(), distinct_targets);
+
+    // Warm pass: all hits, bitwise-identical answers.
+    let warm = engine.route_batch(&queries, 1);
+    let s2 = engine.stats();
+    assert_eq!(s2.bounds_cache_misses, s1.bounds_cache_misses, "warm pass recomputed bounds");
+    assert_eq!(
+        s2.bounds_cache_hits,
+        s1.bounds_cache_hits + queries.len() as u64
+    );
+    for (i, (c, w)) in cold.iter().zip(&warm).enumerate() {
+        assert_identical(
+            c.as_ref().unwrap(),
+            w.as_ref().unwrap(),
+            &format!("query {i} cold vs warm"),
+        );
+    }
+
+    // Clearing the cache restores cold behaviour (and still the same
+    // answers).
+    engine.clear_bounds_cache();
+    assert_eq!(engine.bounds_cached(), 0);
+    let recold = engine.route_batch(&queries, 1);
+    let s3 = engine.stats();
+    assert_eq!(
+        s3.bounds_cache_misses,
+        s2.bounds_cache_misses + distinct_targets as u64
+    );
+    for (i, (c, r)) in cold.iter().zip(&recold).enumerate() {
+        assert_identical(
+            c.as_ref().unwrap(),
+            r.as_ref().unwrap(),
+            &format!("query {i} cold vs re-cold"),
+        );
+    }
+
+    // reset_stats zeroes counters without dropping the cache.
+    engine.reset_stats();
+    assert_eq!(engine.stats(), Default::default());
+    assert_eq!(engine.bounds_cached(), distinct_targets);
+}
+
+#[test]
+fn search_context_reuse_is_answer_preserving_and_stops_allocating() {
+    let engine = EngineBuilder::new(cost())
+        .config(RouterConfig::default())
+        .build();
+    let queries = workload(6);
+
+    let mut shared = engine.new_context();
+    let mut capacities = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        let reused = engine.route_with(q, &mut shared).unwrap();
+        let fresh = engine.route(q).unwrap();
+        assert_identical(&reused, &fresh, &format!("query {i} shared vs fresh ctx"));
+        capacities.push(shared.arena_capacity());
+    }
+    // Steady state: replaying the workload through the warm context must
+    // not grow the label arena again — the scratch is reused, not
+    // reallocated per query.
+    let warm_capacity = shared.arena_capacity();
+    for q in &queries {
+        engine.route_with(q, &mut shared).unwrap();
+        assert_eq!(
+            shared.arena_capacity(),
+            warm_capacity,
+            "warm context reallocated its arena"
+        );
+    }
+}
+
+#[test]
+fn shim_and_engine_agree_on_anytime_queries() {
+    let cost = cost();
+    let shim = BudgetRouter::new(&cost, RouterConfig::default());
+    let engine = EngineBuilder::new(cost.clone())
+        .config(RouterConfig::default())
+        .build();
+    let q = workload(1)[0];
+    // Unbounded: exact parity (deterministic search).
+    let a = shim.route(q.source, q.target, q.budget_s, None);
+    let b = engine.route(&q).unwrap();
+    assert_identical(&a, &b, "unbounded anytime query");
+    // With a generous deadline the search completes and parity holds.
+    let deadline = Duration::from_secs(60);
+    let c = shim.route(q.source, q.target, q.budget_s, Some(deadline));
+    let d = engine.route(&q.with_deadline(deadline)).unwrap();
+    assert!(c.stats.completed && d.stats.completed);
+    assert_identical(&c, &d, "deadlined anytime query");
+}

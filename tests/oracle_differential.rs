@@ -3,7 +3,10 @@
 //! synthetic worlds — dense/wide grids, a hub-and-spoke wheel, and a
 //! heavy-tailed-congestion grid — a *sound* pruning configuration must
 //! reproduce the oracle's probability exactly, and margin dominance must
-//! stay within its calibrated `eps`.
+//! stay within its calibrated `eps`. Every routed probe goes through the
+//! production [`RoutingEngine`] API (one engine per configuration), so
+//! the suite certifies the serving surface end to end — typed queries,
+//! per-target bound caching and all.
 //!
 //! Per topology the matrix covers every termination-safe combination of
 //! the three composable pruning policies — bound {off, certified,
@@ -28,7 +31,8 @@ use proptest::TestCaseError;
 use std::sync::OnceLock;
 use stochastic_routing::core::model::training::{train_hybrid, TrainingConfig};
 use stochastic_routing::core::routing::{
-    BoundMode, BudgetRouter, ConvCertificate, DominanceMode, OracleRouter, RouterConfig,
+    BoundMode, ConvCertificate, DominanceMode, EngineBuilder, OracleRouter, Query, RouteResult,
+    RouterConfig, RoutingEngine,
 };
 use stochastic_routing::core::{CombinePolicy, HybridCost, HybridModel};
 use stochastic_routing::graph::NodeId;
@@ -179,6 +183,32 @@ fn certificate_for(w: usize, combine: CombinePolicy) -> &'static ConvCertificate
     }
 }
 
+/// Routes one query through the production query-serving surface — a
+/// [`RoutingEngine`] built for `cfg` — so the whole scenario matrix
+/// certifies the engine itself (the deprecated `BudgetRouter` shim is a
+/// thin delegate to the same search; its parity is pinned separately in
+/// `tests/engine_parity.rs`). A precomputed certificate is cloned in
+/// when the configuration consumes one.
+fn engine_route(
+    cost: &stochastic_routing::core::HybridCost,
+    cfg: RouterConfig,
+    certificate: Option<&ConvCertificate>,
+    src: NodeId,
+    dst: NodeId,
+    budget: f64,
+) -> RouteResult {
+    let mut builder = EngineBuilder::new(cost.clone()).config(cfg);
+    if RoutingEngine::wants_certificate(&cfg) {
+        if let Some(c) = certificate {
+            builder = builder.certificate(c.clone());
+        }
+    }
+    builder
+        .build()
+        .route(&Query::new(src, dst, budget))
+        .expect("matrix queries are valid")
+}
+
 /// Every termination-safe combination of the bound and budget-gate
 /// policies (the bound uses its sound modes when on — `Certified` and
 /// the support-aware `CertifiedEnvelope` default; gate-off requires the
@@ -224,7 +254,7 @@ fn tolerances(dominance: DominanceMode, eps: f64) -> (f64, f64) {
 /// tolerance), and renders the repro report.
 #[allow(clippy::too_many_arguments)]
 fn minimized_failure(
-    cost: &HybridCost<'_>,
+    cost: &HybridCost,
     cfg: RouterConfig,
     src: NodeId,
     dst: NodeId,
@@ -235,7 +265,7 @@ fn minimized_failure(
 ) -> String {
     let mismatches = |c: &RouterConfig| {
         let (tol_lo, tol_hi) = tolerances(c.dominance, eps);
-        let r = BudgetRouter::new(cost, *c).route(src, dst, budget, None);
+        let r = engine_route(cost, *c, None, src, dst, budget);
         let o = OracleRouter::from_config(cost, c)
             .route(src, dst, budget, ORACLE_CAP)
             .map(|o| o.probability)
@@ -277,7 +307,7 @@ fn minimized_failure(
             break;
         }
     }
-    let r = BudgetRouter::new(cost, min_cfg).route(src, dst, budget, None);
+    let r = engine_route(cost, min_cfg, None, src, dst, budget);
     format!(
         "{context}: {src:?}->{dst:?} budget {budget:.3}\n\
          full config: {cfg:?}\n\
@@ -336,12 +366,7 @@ fn certify_query(
             DominanceMode::Margin { eps: None },
         ] {
             let cfg = RouterConfig { dominance, ..base };
-            let router = if BudgetRouter::wants_certificate(&cfg) {
-                BudgetRouter::with_certificate(&cost, cfg, Some(certificate.clone()))
-            } else {
-                BudgetRouter::new(&cost, cfg)
-            };
-            let r = router.route(src, dst, budget, None);
+            let r = engine_route(&cost, cfg, Some(certificate), src, dst, budget);
             prop_assert!(
                 r.stats.completed,
                 "search did not finish: {cfg:?} on {src:?}->{dst:?}"
@@ -435,7 +460,7 @@ proptest! {
             ..RouterConfig::default()
         };
         if let Some(o) = OracleRouter::from_config(&cost, &cfg).route(src, dst, budget, ORACLE_CAP) {
-            let r = BudgetRouter::new(&cost, cfg).route(src, dst, budget, None);
+            let r = engine_route(&cost, cfg, Some(certificate_for(w, CombinePolicy::AlwaysConvolve)), src, dst, budget);
             prop_assert!(
                 (r.probability - o.probability).abs() < 1e-9,
                 "optimistic bound drifted under convolution: {} vs {}",
@@ -465,8 +490,8 @@ proptest! {
                 ..RouterConfig::default()
             };
             let without_gate = RouterConfig { budget_gate: false, ..with_gate };
-            let a = BudgetRouter::new(&cost, with_gate).route(src, dst, budget, None);
-            let b = BudgetRouter::new(&cost, without_gate).route(src, dst, budget, None);
+            let a = engine_route(&cost, with_gate, Some(certificate_for(w, CombinePolicy::Hybrid)), src, dst, budget);
+            let b = engine_route(&cost, without_gate, Some(certificate_for(w, CombinePolicy::Hybrid)), src, dst, budget);
             prop_assert!(a.stats.completed && b.stats.completed);
             prop_assert!(
                 (a.probability - b.probability).abs() < 1e-12,
@@ -509,16 +534,14 @@ fn optimistic_drift_witnesses_are_fixed_by_the_envelope_bound() {
         };
         let route = |bound| {
             let cfg = mk(bound);
-            let router = if BudgetRouter::wants_certificate(&cfg) {
-                BudgetRouter::with_certificate(
-                    &cost,
-                    cfg,
-                    Some(certificate_for(w, CombinePolicy::Hybrid).clone()),
-                )
-            } else {
-                BudgetRouter::new(&cost, cfg)
-            };
-            let r = router.route(src, dst, budget, None);
+            let r = engine_route(
+                &cost,
+                cfg,
+                Some(certificate_for(w, CombinePolicy::Hybrid)),
+                src,
+                dst,
+                budget,
+            );
             assert!(r.stats.completed, "{}: {bound:?} hit the label cap", sc.name);
             r
         };
