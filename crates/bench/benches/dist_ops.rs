@@ -2,7 +2,10 @@
 //! path-cost computation and routing-label maintenance.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use srt_dist::{convolve, convolve_bounded, dominance, kl_divergence, wasserstein1, Histogram};
+use srt_dist::{
+    convolve, convolve_bounded, convolve_bounded_into, dominance, kl_divergence, wasserstein1,
+    Histogram, HistogramPool,
+};
 
 fn hist(bins: usize, seed: u64) -> Histogram {
     let probs: Vec<f64> = (0..bins)
@@ -34,6 +37,52 @@ fn bench_rebin(c: &mut Criterion) {
             bch.iter(|| black_box(&a).with_bins(t).unwrap())
         });
     }
+    g.finish();
+}
+
+/// The in-place operator group: each `_into` operator against its
+/// value-returning twin on the same inputs. The `_into` rows run on a
+/// warm pool (buffers recycled every iteration), i.e. the routing
+/// engine's steady-state shape; the value rows pay the per-call
+/// allocation the pool eliminates.
+fn bench_into_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dist/into_ops");
+    let mut pool = HistogramPool::new();
+    for bins in [10usize, 20, 40] {
+        let a = hist(bins, 11);
+        let b = hist(bins, 12);
+        let cap = bins; // the exact result (2*bins - 1) always re-bins
+        g.bench_with_input(BenchmarkId::new("bounded_value", bins), &bins, |bch, _| {
+            bch.iter(|| convolve_bounded(black_box(&a), black_box(&b), cap).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("bounded_into", bins), &bins, |bch, _| {
+            bch.iter(|| {
+                let mut out = pool.checkout();
+                convolve_bounded_into(
+                    &black_box(&a).view(),
+                    &black_box(&b).view(),
+                    cap,
+                    &mut out,
+                    &mut pool,
+                )
+                .unwrap();
+                pool.checkin_buf(out);
+            })
+        });
+    }
+    let src = hist(64, 13);
+    g.bench_function("rebin_value", |bch| {
+        bch.iter(|| black_box(&src).with_bins(16).unwrap())
+    });
+    let mut masses = Vec::new();
+    g.bench_function("rebin_into", |bch| {
+        bch.iter(|| {
+            let v = black_box(&src).view();
+            v.rebin_into(v.start(), (v.end() - v.start()) / 16.0, 16, &mut masses)
+                .unwrap();
+            black_box(&masses);
+        })
+    });
     g.finish();
 }
 
@@ -80,6 +129,7 @@ criterion_group!(
     benches,
     bench_convolution,
     bench_rebin,
+    bench_into_ops,
     bench_divergences,
     bench_dominance,
     bench_cdf

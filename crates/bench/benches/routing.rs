@@ -249,6 +249,37 @@ fn bench_engine_throughput(c: &mut Criterion) {
         b.iter(|| black_box(engine.route_batch(qs, 1)))
     });
 
+    // The pooled-vs-unpooled pair: identical search, identical warm
+    // bounds cache — the only difference is whether label payloads come
+    // from a warm histogram pool (shared context) or are minted afresh
+    // (a brand-new context per call). The gap is the price of per-label
+    // allocation.
+    let mut shared_ctx = engine.new_context();
+    g.bench_with_input(
+        BenchmarkId::from_parameter("per_query_pooled"),
+        &batch,
+        |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    black_box(engine.route_with(q, &mut shared_ctx).unwrap());
+                }
+            })
+        },
+    );
+    g.bench_with_input(
+        BenchmarkId::from_parameter("per_query_unpooled"),
+        &batch,
+        |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    // A fresh context: cold arena, cold histogram pool.
+                    let mut cold = engine.new_context();
+                    black_box(engine.route_with(q, &mut cold).unwrap());
+                }
+            })
+        },
+    );
+
     // Engine, worker pool at the machine's parallelism.
     g.bench_with_input(BenchmarkId::from_parameter("batch_par_warm"), &batch, |b, qs| {
         b.iter(|| black_box(engine.route_batch(qs, 0)))
@@ -267,8 +298,13 @@ fn bench_engine_throughput(c: &mut Criterion) {
 
     let stats = engine.stats();
     eprintln!(
-        "routing/engine_throughput: {} queries served, bounds cache {} hits / {} misses",
-        stats.queries, stats.bounds_cache_hits, stats.bounds_cache_misses
+        "routing/engine_throughput: {} queries served, bounds cache {} hits / {} misses, \
+         histogram pool {} reuses / {} mints",
+        stats.queries,
+        stats.bounds_cache_hits,
+        stats.bounds_cache_misses,
+        stats.pool_reuse,
+        stats.pool_misses
     );
 }
 

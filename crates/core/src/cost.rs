@@ -7,9 +7,9 @@
 //! costs of longer paths by treating the path so far (pre-path) as a
 //! 'virtual' edge."
 
-use crate::model::features::pair_features;
+use crate::model::features::pair_features_view;
 use crate::model::hybrid::HybridModel;
-use srt_dist::Histogram;
+use srt_dist::{with_local_pool, Histogram, HistogramBuf, HistogramPool, HistogramView};
 use srt_graph::{EdgeId, RoadGraph};
 use srt_synth::SyntheticWorld;
 use std::sync::Arc;
@@ -124,31 +124,93 @@ impl HybridCost {
 
     /// Combines the path-so-far distribution `pre` (whose last edge is
     /// `prev_edge`) with `next_edge` under the configured policy.
+    ///
+    /// A thin wrapper over [`HybridCost::combine_pooled`] (temporaries
+    /// from the thread-local pool) — bit-identical to the pooled form by
+    /// construction.
     pub fn combine(&self, pre: &Histogram, prev_edge: EdgeId, next_edge: EdgeId) -> Histogram {
+        with_local_pool(|pool| self.combine_pooled(&pre.view(), prev_edge, next_edge, None, pool))
+    }
+
+    /// In-place core of the combine step: writes the combined masses into
+    /// `out`, raw in the [`HistogramBuf`] sense (one normalization
+    /// pending, applied by `out.into_histogram()`). Returns whether the
+    /// estimator arm was used. Temporaries — the convolution product
+    /// grid, the gate's scratch row — come from `pool`; with a warm pool
+    /// the step performs zero heap allocation.
+    pub fn combine_into(
+        &self,
+        pre: &HistogramView<'_>,
+        prev_edge: EdgeId,
+        next_edge: EdgeId,
+        out: &mut HistogramBuf,
+        pool: &mut HistogramPool,
+    ) -> bool {
         let next_marginal = self.marginal(next_edge);
         match self.policy {
-            CombinePolicy::Hybrid => {
-                self.model
-                    .combine(&self.graph, pre, prev_edge, next_edge, next_marginal)
-                    .0
+            CombinePolicy::Hybrid => self
+                .model
+                .combine_into(&self.graph, pre, prev_edge, next_edge, next_marginal, out, pool),
+            CombinePolicy::AlwaysConvolve => {
+                self.model.convolve_into(pre, next_marginal, out, pool);
+                false
             }
-            CombinePolicy::AlwaysConvolve => self.model.convolve(pre, next_marginal),
             CombinePolicy::AlwaysEstimate => {
                 let features =
-                    pair_features(&self.graph, pre, prev_edge, next_edge, next_marginal);
-                self.model.estimate(pre, next_marginal, &features)
+                    pair_features_view(&self.graph, pre, prev_edge, next_edge, next_marginal);
+                self.model.estimate_into(pre, next_marginal, &features, out);
+                true
             }
         }
+    }
+
+    /// The search's combine-and-cap step on pooled storage: combines
+    /// `pre` with `next_edge`, optionally re-bins the result down to
+    /// `max_bins` buckets, and promotes it to a [`Histogram`] whose mass
+    /// vector was drawn from `pool`. Equivalent — bit for bit — to
+    /// `combine(..)` followed by `with_bins(max_bins)` when the result
+    /// exceeds the cap; this is the one code path both the routing engine
+    /// and the oracle router execute, which is what keeps their
+    /// semantics identical.
+    pub fn combine_pooled(
+        &self,
+        pre: &HistogramView<'_>,
+        prev_edge: EdgeId,
+        next_edge: EdgeId,
+        max_bins: Option<usize>,
+        pool: &mut HistogramPool,
+    ) -> Histogram {
+        let mut out = pool.checkout();
+        self.combine_into(pre, prev_edge, next_edge, &mut out, pool);
+        if let Some(cap) = max_bins {
+            out.cap_bins(cap, pool).expect("bin cap is positive");
+        }
+        out.into_histogram()
+            .expect("combining valid histograms yields a valid histogram")
     }
 
     /// Full travel-time distribution of a path (edges in travel order).
     /// Returns `None` for an empty path.
     pub fn path_distribution(&self, edges: &[EdgeId]) -> Option<Histogram> {
+        with_local_pool(|pool| self.path_distribution_pooled(edges, pool))
+    }
+
+    /// [`HybridCost::path_distribution`] folding through `pool`: every
+    /// intermediate prefix distribution is recycled, and the returned
+    /// histogram's mass vector is checked out of the pool (it does *not*
+    /// return on drop — recycle it explicitly to keep a pool's
+    /// steady-state accounting allocation-free).
+    pub fn path_distribution_pooled(
+        &self,
+        edges: &[EdgeId],
+        pool: &mut HistogramPool,
+    ) -> Option<Histogram> {
         let (&first, rest) = edges.split_first()?;
-        let mut dist = self.marginal(first).clone();
+        let mut dist = self.marginal(first).pooled_clone(pool);
         let mut prev = first;
         for &e in rest {
-            dist = self.combine(&dist, prev, e);
+            let next = self.combine_pooled(&dist.view(), prev, e, None, pool);
+            pool.recycle(std::mem::replace(&mut dist, next));
             prev = e;
         }
         Some(dist)

@@ -58,5 +58,5 @@ pub use model::hybrid::HybridModel;
 pub use model::training::{train_hybrid, TrainReport, TrainingConfig};
 pub use routing::{
     BoundMode, BudgetRouter, DominanceMode, EngineBuilder, EngineError, EngineStats, OracleRouter,
-    Query, RouteResult, RouterConfig, RoutingEngine, SearchContext, SearchStats,
+    Query, RouteResult, RouterConfig, RoutingEngine, SearchContext, SearchStats, StatsSnapshot,
 };

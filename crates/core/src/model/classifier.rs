@@ -77,7 +77,9 @@ impl DependenceClassifier {
     /// convolution at this intersection.
     pub fn prob_dependent(&self, features: &[f64]) -> f64 {
         match &self.inner {
-            Inner::Forest(f) => f.predict_proba_row(features)[1],
+            // The class-scalar query allocates nothing and is
+            // bit-identical to `predict_proba_row(features)[1]`.
+            Inner::Forest(f) => f.predict_proba_class(features, 1),
             Inner::Logistic { scaler, model } => {
                 let mut row = features.to_vec();
                 scaler.transform_row(&mut row);
@@ -86,9 +88,30 @@ impl DependenceClassifier {
         }
     }
 
+    /// [`DependenceClassifier::prob_dependent`] through a caller-provided
+    /// scratch row, so the hot combine loop queries the gate without any
+    /// allocation on either backend. Bit-identical to the plain form.
+    pub fn prob_dependent_scratch(&self, features: &[f64], scratch: &mut Vec<f64>) -> f64 {
+        match &self.inner {
+            Inner::Forest(f) => f.predict_proba_class(features, 1),
+            Inner::Logistic { scaler, model } => {
+                scratch.clear();
+                scratch.extend_from_slice(features);
+                scaler.transform_row(scratch);
+                model.predict_proba_row(scratch)
+            }
+        }
+    }
+
     /// The gate decision: `true` = use the estimation model.
     pub fn use_estimation(&self, features: &[f64]) -> bool {
         self.prob_dependent(features) >= self.threshold
+    }
+
+    /// [`DependenceClassifier::use_estimation`] through a caller-provided
+    /// scratch row (see [`DependenceClassifier::prob_dependent_scratch`]).
+    pub fn use_estimation_scratch(&self, features: &[f64], scratch: &mut Vec<f64>) -> bool {
+        self.prob_dependent_scratch(features, scratch) >= self.threshold
     }
 
     /// Bounds on `P(dependent)` over *every* completion of the unknown

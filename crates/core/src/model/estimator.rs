@@ -57,9 +57,19 @@ impl DistributionEstimator {
     /// Predicts the bucket-mass vector (clipped to non-negative and
     /// renormalized to unit mass).
     pub fn predict_masses(&self, features: &[f64]) -> Vec<f64> {
-        let mut masses = self.forest.predict_row(features);
+        let mut masses = Vec::new();
+        self.predict_masses_into(features, &mut masses);
+        masses
+    }
+
+    /// [`DistributionEstimator::predict_masses`] writing into a
+    /// caller-provided buffer — the allocation-free form the routing
+    /// engine's estimator arm runs on. Bit-identical to the
+    /// value-returning form, which delegates here.
+    pub fn predict_masses_into(&self, features: &[f64], masses: &mut Vec<f64>) {
+        self.forest.predict_row_into(features, masses);
         let mut total = 0.0;
-        for m in &mut masses {
+        for m in masses.iter_mut() {
             if !m.is_finite() || *m < 0.0 {
                 *m = 0.0;
             }
@@ -72,7 +82,6 @@ impl DistributionEstimator {
         } else {
             masses.iter_mut().for_each(|m| *m /= total);
         }
-        masses
     }
 
     /// Appends the binary snapshot of the estimator to `buf`.
@@ -154,14 +163,35 @@ impl DistributionEstimator {
     /// Panics if `support_hi <= support_lo` (caller passes histogram
     /// bounds, which are always ordered).
     pub fn predict(&self, features: &[f64], support_lo: f64, support_hi: f64) -> Histogram {
+        let mut out = srt_dist::HistogramBuf::new();
+        self.predict_into(features, support_lo, support_hi, &mut out);
+        out.into_histogram()
+            .expect("clipped, normalized masses form a valid histogram")
+    }
+
+    /// [`DistributionEstimator::predict`] writing into a caller-provided
+    /// buffer. The masses written are raw in the [`srt_dist::HistogramBuf`]
+    /// sense (one normalization pending — the one
+    /// [`srt_dist::HistogramBuf::into_histogram`] applies), so promoting
+    /// the buffer is bit-identical to the value-returning form.
+    ///
+    /// # Panics
+    /// Panics if `support_hi <= support_lo` (caller passes histogram
+    /// bounds, which are always ordered).
+    pub fn predict_into(
+        &self,
+        features: &[f64],
+        support_lo: f64,
+        support_hi: f64,
+        out: &mut srt_dist::HistogramBuf,
+    ) {
         assert!(
             support_hi > support_lo,
             "estimator support must be non-degenerate"
         );
-        let masses = self.predict_masses(features);
+        self.predict_masses_into(features, out.reset_masses());
         let width = (support_hi - support_lo) / self.bins as f64;
-        Histogram::new(support_lo, width, masses)
-            .expect("clipped, normalized masses form a valid histogram")
+        out.set_grid(support_lo, width);
     }
 }
 

@@ -6,7 +6,7 @@
 //! pre-distribution, the next edge's marginal and static road/junction
 //! attributes — no quantity that only exists at training time leaks in.
 
-use srt_dist::Histogram;
+use srt_dist::{Histogram, HistogramView};
 use srt_graph::{EdgeId, RoadGraph};
 
 /// Dimension of the pair feature vector.
@@ -47,6 +47,20 @@ pub const FEATURE_NAMES: [&str; FEATURE_COUNT] = [
 pub fn pair_features(
     g: &RoadGraph,
     pre: &Histogram,
+    prev_edge: EdgeId,
+    next_edge: EdgeId,
+    next_marginal: &Histogram,
+) -> [f64; FEATURE_COUNT] {
+    pair_features_view(g, &pre.view(), prev_edge, next_edge, next_marginal)
+}
+
+/// [`pair_features`] over a borrowed pre-distribution — the form the
+/// routing engine's expansion loop uses, so a label's offset-translated
+/// histogram feeds the model without being materialized. Bit-identical
+/// to the `Histogram` form (which delegates here).
+pub fn pair_features_view(
+    g: &RoadGraph,
+    pre: &HistogramView<'_>,
     prev_edge: EdgeId,
     next_edge: EdgeId,
     next_marginal: &Histogram,

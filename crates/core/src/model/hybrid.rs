@@ -5,9 +5,11 @@ use crate::model::calibration::DominanceCalibration;
 use crate::model::classifier::DependenceClassifier;
 use crate::model::envelope::SupportEnvelope;
 use crate::model::estimator::DistributionEstimator;
-use crate::model::features::pair_features;
+use crate::model::features::{pair_features, pair_features_view};
 use serde::{Deserialize, Serialize};
-use srt_dist::{convolve_bounded, Histogram};
+use srt_dist::{
+    convolve_bounded, convolve_bounded_into, Histogram, HistogramBuf, HistogramPool, HistogramView,
+};
 use srt_graph::{EdgeId, RoadGraph};
 
 /// A fitted hybrid model: one estimator plus its gate classifier
@@ -68,6 +70,68 @@ impl HybridModel {
     /// The convolution arm (bucket-capped).
     pub fn convolve(&self, pre: &Histogram, next_marginal: &Histogram) -> Histogram {
         convolve_bounded(pre, next_marginal, self.bins)
+            .expect("bounded convolution of valid histograms succeeds")
+    }
+
+    /// In-place twin of [`HybridModel::combine`]: gates on the classifier
+    /// (through a pooled scratch row — no allocation on either backend)
+    /// and writes the combined masses into `out`, raw in the
+    /// [`HistogramBuf`] sense (one normalization pending). Promoting
+    /// `out` is bit-identical to the value-returning form. Returns
+    /// whether the estimator arm was used.
+    pub fn combine_into(
+        &self,
+        g: &RoadGraph,
+        pre: &HistogramView<'_>,
+        prev_edge: EdgeId,
+        next_edge: EdgeId,
+        next_marginal: &Histogram,
+        out: &mut HistogramBuf,
+        pool: &mut HistogramPool,
+    ) -> bool {
+        let features = pair_features_view(g, pre, prev_edge, next_edge, next_marginal);
+        // Only the logistic backend needs a scratch row; the (default)
+        // forest gate answers through the allocation-free class-scalar
+        // query, keeping the pool counters a pure label-payload measure.
+        let use_est = match self.classifier.backend() {
+            crate::model::ClassifierBackend::Forest => self.classifier.use_estimation(&features),
+            crate::model::ClassifierBackend::Logistic => {
+                let mut scratch = pool.checkout_vec();
+                let r = self.classifier.use_estimation_scratch(&features, &mut scratch);
+                pool.checkin(scratch);
+                r
+            }
+        };
+        if use_est {
+            self.estimate_into(pre, next_marginal, &features, out);
+        } else {
+            self.convolve_into(pre, next_marginal, out, pool);
+        }
+        use_est
+    }
+
+    /// In-place twin of [`HybridModel::estimate`].
+    pub fn estimate_into(
+        &self,
+        pre: &HistogramView<'_>,
+        next_marginal: &Histogram,
+        features: &[f64],
+        out: &mut HistogramBuf,
+    ) {
+        let lo = pre.start() + next_marginal.start();
+        let hi = pre.end() + next_marginal.end();
+        self.estimator.predict_into(features, lo, hi, out);
+    }
+
+    /// In-place twin of [`HybridModel::convolve`].
+    pub fn convolve_into(
+        &self,
+        pre: &HistogramView<'_>,
+        next_marginal: &Histogram,
+        out: &mut HistogramBuf,
+        pool: &mut HistogramPool,
+    ) {
+        convolve_bounded_into(pre, &next_marginal.view(), self.bins, out, pool)
             .expect("bounded convolution of valid histograms succeeds")
     }
 }

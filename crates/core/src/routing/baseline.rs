@@ -7,7 +7,7 @@
 //! quantity the quality table compares PBR against.
 
 use crate::cost::HybridCost;
-use srt_dist::Histogram;
+use srt_dist::{with_local_pool, Histogram, HistogramPool};
 use srt_graph::algo::{dijkstra, DijkstraScratch, Path};
 use srt_graph::NodeId;
 
@@ -41,25 +41,41 @@ impl ExpectedTimeBaseline {
         target: NodeId,
         budget_s: f64,
     ) -> Option<Self> {
-        Self::solve_with(cost, source, target, budget_s, &mut DijkstraScratch::new())
+        with_local_pool(|pool| {
+            Self::solve_with(cost, source, target, budget_s, &mut DijkstraScratch::new(), pool)
+        })
     }
 
     /// Like [`ExpectedTimeBaseline::solve`], but running the Dijkstra
-    /// through a reusable scratch so steady-state query serving (the
-    /// routing engine's pivot initialization) performs no per-query
-    /// allocation of search arrays. Identical traversal, identical
+    /// through a reusable scratch and folding the path distribution
+    /// through a reusable histogram pool, so steady-state query serving
+    /// (the routing engine's pivot initialization) performs no per-query
+    /// allocation of search arrays and no per-edge allocation of
+    /// intermediate distributions. Identical traversal, identical
     /// results.
+    ///
+    /// The returned distribution is an ordinary owned histogram (it
+    /// escapes into the caller's result); every intermediate prefix is
+    /// recycled into `pool`, which therefore shows zero net buffer
+    /// checkout after the call.
     pub fn solve_with(
         cost: &HybridCost,
         source: NodeId,
         target: NodeId,
         budget_s: f64,
         scratch: &mut DijkstraScratch,
+        pool: &mut HistogramPool,
     ) -> Option<Self> {
         let g = cost.graph();
         scratch.run(g, source, Some(target), |e| cost.marginal(e).mean());
         let path = scratch.extract_path(target)?;
-        let distribution = cost.path_distribution(&path.edges);
+        let distribution = cost.path_distribution_pooled(&path.edges, pool).map(|d| {
+            // The result outlives the pool: hand back the pooled buffer
+            // and keep an exact-size owned copy (bit-identical).
+            let owned = d.clone();
+            pool.recycle(d);
+            owned
+        });
         let probability = distribution
             .as_ref()
             .map(|d| d.prob_within(budget_s))

@@ -16,9 +16,11 @@
 //!   and the configuration,
 //! * **per target** (the engine's bounds cache): the reverse Dijkstra
 //!   behind [`OptimisticBounds`] depends only on `(target, cost
-//!   oracle)`, so it is computed once per distinct target and shared —
-//!   [`EngineStats::bounds_cache_hits`] /
-//!   [`EngineStats::bounds_cache_misses`] count its effectiveness,
+//!   oracle)`, so it is computed once per distinct target and shared,
+//!   LRU-bounded at [`EngineBuilder::bounds_cache_capacity`] —
+//!   [`StatsSnapshot::bounds_cache_hits`] /
+//!   [`StatsSnapshot::bounds_cache_misses`] /
+//!   [`StatsSnapshot::bounds_evictions`] count its effectiveness,
 //! * **per worker** ([`SearchContext`]): the label arena, best-first
 //!   heap, Pareto sets and the pivot baseline's Dijkstra scratch — reused
 //!   across queries so steady-state serving allocates no per-query
@@ -31,6 +33,42 @@
 //! pool (scoped threads, work stealing, deterministic output order);
 //! results are bitwise-identical to sequential routing regardless of the
 //! worker count.
+//!
+//! # Memory model
+//!
+//! Steady-state serving performs **zero per-label heap allocation**; the
+//! ownership rules that make that true:
+//!
+//! * **Label payloads are pooled.** Every label's histogram is built by
+//!   [`HybridCost::combine_pooled`] on a mass vector checked out of the
+//!   worker's [`srt_dist::HistogramPool`] (inside its
+//!   [`SearchContext`]). The label owns the payload while it lives in
+//!   the arena.
+//! * **Buffers return to the pool at retirement.** A label retired by
+//!   dominance pruning hands its payload back immediately (the Pareto
+//!   compaction sweep only drops the already-empty entries); every
+//!   payload still in the arena when the next query begins is recycled
+//!   in bulk before the search seeds. Expansion reads a label through a
+//!   staging buffer ([`srt_dist::HistogramBuf`]) owned by the context —
+//!   a bounded memcpy, never a clone.
+//! * **Results are plain owned values.** Whatever escapes into a
+//!   [`RouteResult`] (the winning distribution, the pivot's
+//!   distribution, the reconstructed path) is an ordinary exact-size
+//!   allocation made once per query — pool buffers never leave the
+//!   context, so [`StatsSnapshot::pool_misses`] stays flat once the pool
+//!   is warm (the allocation-accounting regression test in
+//!   `tests/pool_accounting.rs` asserts exactly this).
+//! * **Contexts themselves are pooled.** [`RoutingEngine::route`] and
+//!   [`RoutingEngine::route_batch`] draw their [`SearchContext`]s from
+//!   an engine-level free list, so repeated batches reuse warm label
+//!   arenas and histogram pools. Callers holding their own context
+//!   ([`RoutingEngine::route_with`]) get the same behaviour with full
+//!   control over worker affinity.
+//!
+//! The per-worker pool bounds its retention (buffer count and per-buffer
+//! capacity), so a one-off giant query cannot pin its high-water mark
+//! forever — the same fix applied to the old hidden thread-local
+//! convolution scratch in `srt-dist`.
 //!
 //! ```no_run
 //! use srt_core::routing::{EngineBuilder, Query, RouterConfig};
@@ -55,7 +93,8 @@ use crate::routing::policy::{
     exchange_safe, BoundMode, BoundPolicy, BudgetGate, ConvCertificate, DominanceMode,
     DominancePolicy, LabelView, PruneCtx, PrunePolicy,
 };
-use srt_dist::Histogram;
+use serde::{Deserialize, Serialize};
+use srt_dist::{Histogram, HistogramBuf, HistogramPool, PoolStats};
 use srt_graph::algo::{DijkstraScratch, Path};
 use srt_graph::bounds::OptimisticBounds;
 use srt_graph::{EdgeId, NodeId};
@@ -63,7 +102,7 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// One typed budget query: "what is the most reliable way from `source`
@@ -157,11 +196,14 @@ impl fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
-/// Aggregated serving counters, engine-wide and monotone (see
-/// [`RoutingEngine::stats`]). Per-query counters stay on each
+/// A plain-value snapshot of the engine's aggregated serving counters —
+/// `Copy`, comparable, and (via the vendored serde derives) serializable,
+/// so a metrics sink can spill it on a schedule instead of reading raw
+/// atomics. Obtained from [`EngineStats::snapshot`] (or the
+/// [`RoutingEngine::stats`] convenience). Per-query counters stay on each
 /// [`RouteResult`]'s [`SearchStats`].
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
-pub struct EngineStats {
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct StatsSnapshot {
     /// Queries routed (valid ones; rejected queries are not counted).
     pub queries: u64,
     /// [`RoutingEngine::route_batch`] invocations.
@@ -171,46 +213,72 @@ pub struct EngineStats {
     pub bounds_cache_hits: u64,
     /// Bounds-cache misses: targets whose bounds had to be computed.
     pub bounds_cache_misses: u64,
+    /// Cached per-target bounds evicted by the LRU capacity policy.
+    pub bounds_evictions: u64,
     /// Labels created, summed over all queries.
     pub labels_created: u64,
     /// Labels expanded, summed over all queries.
     pub labels_expanded: u64,
     /// Searches cut short by a deadline or the label cap.
     pub incomplete: u64,
+    /// Histogram-buffer checkouts served from a worker pool's free list.
+    /// In steady state all payload traffic lands here.
+    pub pool_reuse: u64,
+    /// Histogram-buffer checkouts that had to mint a fresh allocation.
+    /// Flat `pool_misses` across a warm workload is the engine's
+    /// allocation-free-serving guarantee, pinned by the
+    /// allocation-accounting regression test.
+    pub pool_misses: u64,
 }
 
+/// Aggregated, engine-wide, monotone serving counters — the live atomic
+/// handle. Read it as plain values via [`EngineStats::snapshot`]; zero it
+/// with [`EngineStats::reset`]. Shared by reference from
+/// [`RoutingEngine::stats_handle`] so metrics sinks can poll without
+/// going through the engine.
 #[derive(Default)]
-struct EngineCounters {
+pub struct EngineStats {
     queries: AtomicU64,
     batches: AtomicU64,
     bounds_cache_hits: AtomicU64,
     bounds_cache_misses: AtomicU64,
+    bounds_evictions: AtomicU64,
     labels_created: AtomicU64,
     labels_expanded: AtomicU64,
     incomplete: AtomicU64,
+    pool_reuse: AtomicU64,
+    pool_misses: AtomicU64,
 }
 
-impl EngineCounters {
-    fn snapshot(&self) -> EngineStats {
-        EngineStats {
+impl EngineStats {
+    /// Materializes the counters into a plain [`StatsSnapshot`].
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
             queries: self.queries.load(AtomicOrdering::Relaxed),
             batches: self.batches.load(AtomicOrdering::Relaxed),
             bounds_cache_hits: self.bounds_cache_hits.load(AtomicOrdering::Relaxed),
             bounds_cache_misses: self.bounds_cache_misses.load(AtomicOrdering::Relaxed),
+            bounds_evictions: self.bounds_evictions.load(AtomicOrdering::Relaxed),
             labels_created: self.labels_created.load(AtomicOrdering::Relaxed),
             labels_expanded: self.labels_expanded.load(AtomicOrdering::Relaxed),
             incomplete: self.incomplete.load(AtomicOrdering::Relaxed),
+            pool_reuse: self.pool_reuse.load(AtomicOrdering::Relaxed),
+            pool_misses: self.pool_misses.load(AtomicOrdering::Relaxed),
         }
     }
 
-    fn reset(&self) {
+    /// Zeroes every counter (e.g. after a sink has spilled a snapshot).
+    pub fn reset(&self) {
         self.queries.store(0, AtomicOrdering::Relaxed);
         self.batches.store(0, AtomicOrdering::Relaxed);
         self.bounds_cache_hits.store(0, AtomicOrdering::Relaxed);
         self.bounds_cache_misses.store(0, AtomicOrdering::Relaxed);
+        self.bounds_evictions.store(0, AtomicOrdering::Relaxed);
         self.labels_created.store(0, AtomicOrdering::Relaxed);
         self.labels_expanded.store(0, AtomicOrdering::Relaxed);
         self.incomplete.store(0, AtomicOrdering::Relaxed);
+        self.pool_reuse.store(0, AtomicOrdering::Relaxed);
+        self.pool_misses.store(0, AtomicOrdering::Relaxed);
     }
 }
 
@@ -221,7 +289,12 @@ struct Label {
     /// The vertex this label's last edge departed from (the U-turn ban).
     prev_vertex: NodeId,
     offset: f64,
-    hist: Histogram,
+    /// The pooled payload. `Some` while the label owns its distribution;
+    /// taken (and checked back into the worker's pool) the moment the
+    /// label is retired by dominance pruning. Target-completion labels
+    /// keep theirs (`alive == false` but payload retained) because the
+    /// incumbent's distribution is read at finish.
+    hist: Option<Histogram>,
     /// Convolution certificate of `edge` (see [`ConvCertificate`]).
     certified: bool,
     alive: bool,
@@ -303,11 +376,12 @@ impl ParetoScratch {
 }
 
 /// Reusable per-worker search scratch: the label arena, the best-first
-/// queue, the Pareto sets and the pivot baseline's Dijkstra state. One
-/// context serves any number of sequential queries; in steady state no
-/// per-query search containers are allocated (label *payloads* — the
-/// histograms carried by labels and returned in results — are data, not
-/// search state, and still allocate).
+/// queue, the Pareto sets, the pivot baseline's Dijkstra state, the
+/// expansion staging buffer, and the worker's [`HistogramPool`] of label
+/// payloads. One context serves any number of sequential queries; in
+/// steady state neither search containers *nor label payloads* are
+/// allocated — payload buffers cycle between the arena and the pool (see
+/// the module-level memory model).
 ///
 /// Obtain one from [`RoutingEngine::new_context`] (or [`Default`]); a
 /// context is engine-independent and may be moved between engines over
@@ -317,6 +391,12 @@ pub struct SearchContext {
     heap: BinaryHeap<QueueEntry>,
     pareto: ParetoScratch,
     baseline: DijkstraScratch,
+    /// Staging buffer for the label under expansion (its payload,
+    /// translated by its offset) — a memcpy per expansion instead of the
+    /// historical clone-per-expansion.
+    expand: HistogramBuf,
+    /// The worker's recycled label-payload slab.
+    pool: HistogramPool,
 }
 
 impl Default for SearchContext {
@@ -333,6 +413,8 @@ impl SearchContext {
             heap: BinaryHeap::new(),
             pareto: ParetoScratch::new(),
             baseline: DijkstraScratch::new(),
+            expand: HistogramBuf::new(),
+            pool: HistogramPool::new(),
         }
     }
 
@@ -340,6 +422,13 @@ impl SearchContext {
     /// that steady-state serving reuses instead of reallocating).
     pub fn arena_capacity(&self) -> usize {
         self.arena.capacity()
+    }
+
+    /// Counters of this context's histogram pool (diagnostic; the engine
+    /// aggregates the same numbers into [`StatsSnapshot::pool_reuse`] /
+    /// [`StatsSnapshot::pool_misses`]).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 }
 
@@ -351,7 +440,15 @@ pub struct EngineBuilder {
     cost: HybridCost,
     cfg: RouterConfig,
     certificate: Option<ConvCertificate>,
+    bounds_cache_capacity: usize,
 }
+
+/// Default cap on distinct targets the engine's bounds cache retains.
+/// Generous — a reverse Dijkstra per target is cheap to keep and
+/// expensive to recompute — but finite, so a workload with an unbounded
+/// target set (every query a fresh destination) cannot grow the engine
+/// without limit.
+pub const DEFAULT_BOUNDS_CACHE_CAPACITY: usize = 4096;
 
 impl EngineBuilder {
     /// Starts a builder over `cost` with the default [`RouterConfig`].
@@ -360,12 +457,23 @@ impl EngineBuilder {
             cost,
             cfg: RouterConfig::default(),
             certificate: None,
+            bounds_cache_capacity: DEFAULT_BOUNDS_CACHE_CAPACITY,
         }
     }
 
     /// Sets the search configuration.
     pub fn config(mut self, cfg: RouterConfig) -> Self {
         self.cfg = cfg;
+        self
+    }
+
+    /// Caps the number of distinct targets whose [`OptimisticBounds`] the
+    /// engine caches; beyond it the least-recently-used entry is evicted
+    /// (counted in [`StatsSnapshot::bounds_evictions`]). Values below one
+    /// are clamped to one. Default:
+    /// [`DEFAULT_BOUNDS_CACHE_CAPACITY`].
+    pub fn bounds_cache_capacity(mut self, capacity: usize) -> Self {
+        self.bounds_cache_capacity = capacity.max(1);
         self
     }
 
@@ -387,6 +495,7 @@ impl EngineBuilder {
             cost,
             cfg,
             certificate,
+            bounds_cache_capacity,
         } = self;
         let dominance = DominancePolicy::resolve(cfg.dominance, cost.model().calibration.as_ref());
         let certificate = certificate.or_else(|| {
@@ -422,7 +531,10 @@ impl EngineBuilder {
             envelope,
             min_out_span,
             bounds_cache: RwLock::new(HashMap::new()),
-            counters: EngineCounters::default(),
+            bounds_cache_capacity,
+            bounds_clock: AtomicU64::new(0),
+            contexts: Mutex::new(Vec::new()),
+            counters: EngineStats::default(),
         }
     }
 }
@@ -452,10 +564,29 @@ pub struct RoutingEngine {
     /// bound's denominator floor. Computed once per engine, only for the
     /// envelope mode.
     min_out_span: Option<Vec<f64>>,
-    /// Target-keyed cache of the reverse optimistic-bound Dijkstra.
-    bounds_cache: RwLock<HashMap<NodeId, Arc<OptimisticBounds>>>,
-    counters: EngineCounters,
+    /// Target-keyed cache of the reverse optimistic-bound Dijkstra, with
+    /// LRU eviction at `bounds_cache_capacity` entries.
+    bounds_cache: RwLock<HashMap<NodeId, BoundsEntry>>,
+    bounds_cache_capacity: usize,
+    /// Monotone logical clock stamping bounds-cache uses (LRU order).
+    bounds_clock: AtomicU64,
+    /// Free list of warm [`SearchContext`]s serving
+    /// [`RoutingEngine::route`] / [`RoutingEngine::route_batch`].
+    contexts: Mutex<Vec<SearchContext>>,
+    counters: EngineStats,
 }
+
+/// One bounds-cache slot: the shared bounds plus its last-use stamp
+/// (updated under the read lock, so hits stay concurrent).
+struct BoundsEntry {
+    bounds: Arc<OptimisticBounds>,
+    last_used: AtomicU64,
+}
+
+/// Cap on idle contexts the engine retains (a context is small — its
+/// buffers are bounded by the largest query it served — but a runaway
+/// `parallelism` argument should not pin memory forever).
+const MAX_POOLED_CONTEXTS: usize = 64;
 
 impl RoutingEngine {
     /// An engine over `cost` with the default configuration.
@@ -498,14 +629,42 @@ impl RoutingEngine {
     }
 
     /// Snapshot of the aggregated serving counters.
-    pub fn stats(&self) -> EngineStats {
+    pub fn stats(&self) -> StatsSnapshot {
         self.counters.snapshot()
+    }
+
+    /// The live atomic counters, for metrics sinks that poll on their own
+    /// schedule ([`EngineStats::snapshot`] / [`EngineStats::reset`]).
+    pub fn stats_handle(&self) -> &EngineStats {
+        &self.counters
     }
 
     /// Zeroes the aggregated serving counters (the bounds cache itself is
     /// kept; see [`RoutingEngine::clear_bounds_cache`]).
     pub fn reset_stats(&self) {
         self.counters.reset();
+    }
+
+    /// Draws a warm context from the engine's free list (or makes one).
+    fn checkout_context(&self) -> SearchContext {
+        self.contexts
+            .lock()
+            .expect("context pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Parks a context back on the free list (dropped when full).
+    fn checkin_context(&self, ctx: SearchContext) {
+        let mut pool = self.contexts.lock().expect("context pool poisoned");
+        if pool.len() < MAX_POOLED_CONTEXTS {
+            pool.push(ctx);
+        }
+    }
+
+    /// Idle contexts currently parked on the engine (diagnostic).
+    pub fn pooled_contexts(&self) -> usize {
+        self.contexts.lock().expect("context pool poisoned").len()
     }
 
     /// Drops every cached per-target bound (useful for cold-start
@@ -539,13 +698,15 @@ impl RoutingEngine {
         Ok(())
     }
 
-    /// Routes one query with a transient scratch context. Convenience
-    /// wrapper over [`RoutingEngine::route_with`] — steady-state callers
-    /// should hold a [`SearchContext`] (or use
-    /// [`RoutingEngine::route_batch`], which pools them) to avoid the
-    /// per-call scratch allocation.
+    /// Routes one query through a context drawn from the engine's warm
+    /// context pool (returned afterwards). Callers that pin workers to
+    /// contexts use [`RoutingEngine::route_with`] directly; the answers
+    /// are identical either way.
     pub fn route(&self, query: &Query) -> Result<RouteResult, EngineError> {
-        self.route_with(query, &mut SearchContext::new())
+        let mut ctx = self.checkout_context();
+        let result = self.route_with(query, &mut ctx);
+        self.checkin_context(ctx);
+        result
     }
 
     /// Routes one validated query, reusing `ctx`'s buffers for all search
@@ -580,8 +741,10 @@ impl RoutingEngine {
         .min(queries.len().max(1));
 
         if workers <= 1 {
-            let mut ctx = SearchContext::new();
-            return queries.iter().map(|q| self.route_with(q, &mut ctx)).collect();
+            let mut ctx = self.checkout_context();
+            let results = queries.iter().map(|q| self.route_with(q, &mut ctx)).collect();
+            self.checkin_context(ctx);
+            return results;
         }
 
         let next = AtomicUsize::new(0);
@@ -591,7 +754,7 @@ impl RoutingEngine {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
-                        let mut ctx = SearchContext::new();
+                        let mut ctx = self.checkout_context();
                         let mut local = Vec::new();
                         loop {
                             let i = next.fetch_add(1, AtomicOrdering::Relaxed);
@@ -600,6 +763,7 @@ impl RoutingEngine {
                             }
                             local.push((i, self.route_with(&queries[i], &mut ctx)));
                         }
+                        self.checkin_context(ctx);
                         local
                     })
                 })
@@ -616,18 +780,23 @@ impl RoutingEngine {
             .collect()
     }
 
-    /// The per-target bounds, from the cache when warm.
+    /// The per-target bounds, from the cache when warm. The cache is
+    /// LRU-bounded at the builder's capacity: hits refresh a logical-use
+    /// stamp under the read lock; an insert past capacity evicts the
+    /// stalest entry (and counts it).
     fn bounds_for(&self, target: NodeId) -> Arc<OptimisticBounds> {
-        if let Some(b) = self
+        if let Some(entry) = self
             .bounds_cache
             .read()
             .expect("bounds cache poisoned")
             .get(&target)
         {
+            let stamp = self.bounds_clock.fetch_add(1, AtomicOrdering::Relaxed);
+            entry.last_used.store(stamp, AtomicOrdering::Relaxed);
             self.counters
                 .bounds_cache_hits
                 .fetch_add(1, AtomicOrdering::Relaxed);
-            return Arc::clone(b);
+            return Arc::clone(&entry.bounds);
         }
         // Compute outside the lock; a concurrent duplicate computation is
         // benign (the Dijkstra is deterministic) and the entry converges.
@@ -637,11 +806,30 @@ impl RoutingEngine {
         self.counters
             .bounds_cache_misses
             .fetch_add(1, AtomicOrdering::Relaxed);
-        self.bounds_cache
-            .write()
-            .expect("bounds cache poisoned")
+        let mut cache = self.bounds_cache.write().expect("bounds cache poisoned");
+        if !cache.contains_key(&target) && cache.len() >= self.bounds_cache_capacity {
+            // Evict the least recently used entry. A linear scan is fine:
+            // eviction only happens once the (generous) capacity is hit,
+            // and it is already paying for a reverse Dijkstra.
+            if let Some(&stale) = cache
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(AtomicOrdering::Relaxed))
+                .map(|(k, _)| k)
+            {
+                cache.remove(&stale);
+                self.counters
+                    .bounds_evictions
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+            }
+        }
+        let stamp = self.bounds_clock.fetch_add(1, AtomicOrdering::Relaxed);
+        cache
             .entry(target)
-            .or_insert(bounds)
+            .or_insert(BoundsEntry {
+                bounds,
+                last_used: AtomicU64::new(stamp),
+            })
+            .bounds
             .clone()
     }
 
@@ -651,6 +839,26 @@ impl RoutingEngine {
     /// [`BudgetRouter`](crate::routing::BudgetRouter) shim calls this
     /// directly so its behaviour is preserved bit for bit.
     pub(crate) fn route_unchecked(
+        &self,
+        source: NodeId,
+        target: NodeId,
+        budget_s: f64,
+        deadline: Option<Duration>,
+        ctx: &mut SearchContext,
+    ) -> RouteResult {
+        let pool_before = ctx.pool.stats();
+        let result = self.route_inner(source, target, budget_s, deadline, ctx);
+        let pool_after = ctx.pool.stats();
+        self.counters
+            .pool_reuse
+            .fetch_add(pool_after.reuses - pool_before.reuses, AtomicOrdering::Relaxed);
+        self.counters
+            .pool_misses
+            .fetch_add(pool_after.mints - pool_before.mints, AtomicOrdering::Relaxed);
+        result
+    }
+
+    fn route_inner(
         &self,
         source: NodeId,
         target: NodeId,
@@ -668,8 +876,14 @@ impl RoutingEngine {
         if !budget_s.is_finite() || budget_s < 0.0 {
             stats.completed = true;
             stats.elapsed = start_time.elapsed();
-            let baseline =
-                ExpectedTimeBaseline::solve_with(&self.cost, source, target, 0.0, &mut ctx.baseline);
+            let baseline = ExpectedTimeBaseline::solve_with(
+                &self.cost,
+                source,
+                target,
+                0.0,
+                &mut ctx.baseline,
+                &mut ctx.pool,
+            );
             return self.record(RouteResult {
                 probability: 0.0,
                 path: baseline.as_ref().map(|b| b.path.clone()),
@@ -711,34 +925,49 @@ impl RoutingEngine {
         let mut best_prob = 0.0;
         let mut incumbent = Incumbent::None;
         if self.cfg.use_pivot_init {
-            if let Some(baseline) =
-                ExpectedTimeBaseline::solve_with(&self.cost, source, target, budget_s, &mut ctx.baseline)
-            {
+            if let Some(baseline) = ExpectedTimeBaseline::solve_with(
+                &self.cost,
+                source,
+                target,
+                budget_s,
+                &mut ctx.baseline,
+                &mut ctx.pool,
+            ) {
                 best_prob = baseline.probability;
                 incumbent = Incumbent::Pivot(baseline);
             }
         }
 
-        ctx.arena.clear();
-        ctx.heap.clear();
-        ctx.pareto.reset(g.num_nodes());
         let SearchContext {
             arena,
             heap,
             pareto,
+            expand,
+            pool,
             ..
         } = ctx;
+        // Recycle the previous query's label payloads before clearing the
+        // arena — this is where pool buffers come home, and what makes a
+        // warm engine's second pass over a batch mint nothing.
+        for label in arena.drain(..) {
+            if let Some(h) = label.hist {
+                pool.recycle(h);
+            }
+        }
+        heap.clear();
+        pareto.reset(g.num_nodes());
 
         // Seed with the out-edges of the source.
         for (e, head) in g.out_edges(source) {
             if !bounds.reachable(head) {
                 continue;
             }
-            let dist = self.cost.marginal(e).clone();
+            let dist = self.cost.marginal(e).pooled_clone(pool);
             self.push_label(
                 arena,
                 pareto,
                 heap,
+                pool,
                 &bounds,
                 budget_s,
                 &mut best_prob,
@@ -782,12 +1011,13 @@ impl RoutingEngine {
 
             let vertex = label.vertex;
             let offset = label.offset;
-            // Reconstruct the actual (unshifted) distribution for combining.
-            let pre_actual = if offset != 0.0 {
-                label.hist.shift(offset)
-            } else {
-                label.hist.clone()
-            };
+            // Stage the actual (unshifted) distribution for combining: a
+            // bounded memcpy into the context's staging buffer, replacing
+            // the historical clone-per-expansion.
+            expand.stage(
+                label.hist.as_ref().expect("live labels carry payloads"),
+                offset,
+            );
             let prev_edge = label.edge;
             let prev_vertex = label.prev_vertex;
 
@@ -798,16 +1028,18 @@ impl RoutingEngine {
                 if !bounds.reachable(head) {
                     continue;
                 }
-                let mut dist = self.cost.combine(&pre_actual, prev_edge, e);
-                if dist.num_bins() > self.cfg.max_bins {
-                    dist = dist
-                        .with_bins(self.cfg.max_bins)
-                        .expect("bin cap is positive");
-                }
+                let dist = self.cost.combine_pooled(
+                    &expand.as_view(),
+                    prev_edge,
+                    e,
+                    Some(self.cfg.max_bins),
+                    pool,
+                );
                 self.push_label(
                     arena,
                     pareto,
                     heap,
+                    pool,
                     &bounds,
                     budget_s,
                     &mut best_prob,
@@ -849,6 +1081,7 @@ impl RoutingEngine {
         arena: &mut Vec<Label>,
         pareto: &mut ParetoScratch,
         heap: &mut BinaryHeap<QueueEntry>,
+        pool: &mut HistogramPool,
         bounds: &OptimisticBounds,
         budget_s: f64,
         best_prob: &mut f64,
@@ -861,9 +1094,13 @@ impl RoutingEngine {
         dist_actual: Histogram,
         target: NodeId,
     ) {
-        // Pruning (c): anchor at zero, carry the offset.
+        // Pruning (c): anchor at zero, carry the offset — in place, the
+        // payload buffer is untouched.
         let (offset, hist) = if self.cfg.use_cost_shifting {
-            dist_actual.shifted_to_zero()
+            let offset = dist_actual.start();
+            let mut hist = dist_actual;
+            hist.shift_in_place(-offset);
+            (offset, hist)
         } else {
             (0.0, dist_actual)
         };
@@ -874,7 +1111,9 @@ impl RoutingEngine {
 
         if head == target {
             // Complete path: candidate for the incumbent; never expanded
-            // further (any extension returns later, hence dominated).
+            // further (any extension returns later, hence dominated). The
+            // payload is retained — the incumbent's distribution is read
+            // at finish.
             let prob = hist.cdf(budget_s - offset);
             stats.labels_created += 1;
             arena.push(Label {
@@ -883,7 +1122,7 @@ impl RoutingEngine {
                 edge,
                 prev_vertex,
                 offset,
-                hist,
+                hist: Some(hist),
                 certified,
                 alive: false,
             });
@@ -898,7 +1137,7 @@ impl RoutingEngine {
             budget_s,
             remaining_s: bounds.remaining(head),
             offset,
-            hist: &hist,
+            hist: hist.view(),
             incumbent_prob: *best_prob,
             certified,
             envelope: self.envelope.as_ref(),
@@ -911,6 +1150,7 @@ impl RoutingEngine {
         // The always-sound feasibility cut.
         if !self.gate.admits(&ctx) {
             stats.pruned_infeasible += 1;
+            pool.recycle(hist);
             return;
         }
 
@@ -920,6 +1160,7 @@ impl RoutingEngine {
         let ub = self.bound.upper_bound(&ctx);
         if !self.bound.admits(&ctx) {
             stats.pruned_bound += 1;
+            pool.recycle(hist);
             return;
         }
 
@@ -928,7 +1169,7 @@ impl RoutingEngine {
             let g = self.cost.graph();
             let candidate = LabelView {
                 offset,
-                hist: &hist,
+                hist: hist.view(),
                 certified,
             };
             let need_safety = self.dominance.needs_exchange_safety();
@@ -945,11 +1186,16 @@ impl RoutingEngine {
                     !need_safety || exchange_safe(g, head, other.prev_vertex, prev_vertex);
                 let keeper = LabelView {
                     offset: other.offset,
-                    hist: &other.hist,
+                    hist: other
+                        .hist
+                        .as_ref()
+                        .expect("live labels carry payloads")
+                        .view(),
                     certified: other.certified,
                 };
                 if self.dominance.discards(&keeper, &candidate, safe) {
                     stats.pruned_dominance += 1;
+                    pool.recycle(hist);
                     return;
                 }
             }
@@ -969,13 +1215,23 @@ impl RoutingEngine {
                 let dominated = {
                     let incumbent_view = LabelView {
                         offset: other.offset,
-                        hist: &other.hist,
+                        hist: other
+                            .hist
+                            .as_ref()
+                            .expect("live labels carry payloads")
+                            .view(),
                         certified: other.certified,
                     };
                     self.dominance.discards(&candidate, &incumbent_view, safe)
                 };
                 if dominated {
-                    arena[oid].alive = false;
+                    let retired = &mut arena[oid];
+                    retired.alive = false;
+                    // A dominance-retired label is never expanded or
+                    // compared again: its payload goes home immediately.
+                    if let Some(h) = retired.hist.take() {
+                        pool.recycle(h);
+                    }
                     pareto.dead[head.index()] += 1;
                     stats.pruned_dominance += 1;
                     stats.dominance_retired += 1;
@@ -1000,7 +1256,7 @@ impl RoutingEngine {
             edge,
             prev_vertex,
             offset,
-            hist,
+            hist: Some(hist),
             certified,
             alive: true,
         });
@@ -1051,7 +1307,13 @@ impl RoutingEngine {
                     nodes.push(g.edge_target(e));
                 }
                 let label = &arena[id as usize];
-                let dist = label.hist.shift(label.offset);
+                // The result escapes the context: one exact-size owned
+                // allocation per query, never a pool buffer.
+                let dist = label
+                    .hist
+                    .as_ref()
+                    .expect("incumbent labels retain their payloads")
+                    .shift(label.offset);
                 debug_assert!((dist.prob_within(budget_s) - best_prob).abs() < 1e-6);
                 RouteResult {
                     path: Some(Path { nodes, edges }),

@@ -19,7 +19,7 @@
 use crate::cost::HybridCost;
 use crate::routing::baseline::ExpectedTimeBaseline;
 use crate::routing::budget::RouterConfig;
-use srt_dist::Histogram;
+use srt_dist::{Histogram, HistogramPool};
 use srt_graph::algo::Path;
 use srt_graph::bounds::OptimisticBounds;
 use srt_graph::{EdgeId, NodeId};
@@ -58,6 +58,14 @@ struct Enumeration<'b> {
     best_edges: Option<Vec<EdgeId>>,
     edges: Vec<EdgeId>,
     overflow: bool,
+    /// Walk-prefix distributions are pooled: each recursion level's
+    /// combined histogram is recycled when the walk backtracks, so the
+    /// enumeration allocates proportionally to walk *depth*, not to the
+    /// (exponential) number of walks. Semantics are untouched — the
+    /// combine runs through the same `combine_pooled` path the engine
+    /// uses, which is the point: the oracle stays the soundness
+    /// reference.
+    pool: HistogramPool,
 }
 
 impl Enumeration<'_> {
@@ -90,10 +98,13 @@ impl Enumeration<'_> {
                 self.overflow = true;
                 return;
             }
-            let mut next = self.cost.combine(dist, prev_edge, e);
-            if next.num_bins() > self.max_bins {
-                next = next.with_bins(self.max_bins).expect("bin cap is positive");
-            }
+            let next = self.cost.combine_pooled(
+                &dist.view(),
+                prev_edge,
+                e,
+                Some(self.max_bins),
+                &mut self.pool,
+            );
             self.edges.push(e);
             if head == self.target {
                 let prob = next.prob_within(self.budget_s);
@@ -103,6 +114,7 @@ impl Enumeration<'_> {
                 self.extend(head, e, vertex, &next);
             }
             self.edges.pop();
+            self.pool.recycle(next);
             if self.overflow {
                 return;
             }
@@ -186,6 +198,7 @@ impl<'a> OracleRouter<'a> {
             best_edges: None,
             edges: Vec::new(),
             overflow: false,
+            pool: HistogramPool::new(),
         };
 
         // Seed walks with the source's out-edges; the seed marginal is
@@ -199,7 +212,7 @@ impl<'a> OracleRouter<'a> {
                 en.overflow = true;
                 break;
             }
-            let dist = self.cost.marginal(e).clone();
+            let dist = self.cost.marginal(e).pooled_clone(&mut en.pool);
             en.edges.push(e);
             if head == target {
                 let prob = dist.prob_within(budget_s);
@@ -208,6 +221,7 @@ impl<'a> OracleRouter<'a> {
                 en.extend(head, e, source, &dist);
             }
             en.edges.pop();
+            en.pool.recycle(dist);
             if en.overflow {
                 break;
             }

@@ -38,8 +38,8 @@ use crate::cost::{CombinePolicy, HybridCost};
 use crate::model::calibration::DominanceCalibration;
 use crate::model::envelope::SupportEnvelope;
 use crate::model::features::pair_features_partial;
-use srt_dist::dominance::dominates_with_margin_shifted;
-use srt_dist::Histogram;
+use srt_dist::dominance::dominates_with_margin_shifted_views;
+use srt_dist::HistogramView;
 use srt_graph::{EdgeId, NodeId, RoadGraph};
 
 /// How pruning (a) bounds a label's achievable on-time probability.
@@ -119,8 +119,9 @@ pub struct PruneCtx<'a> {
     /// The label's scalar cost offset (pruning (c)).
     pub offset: f64,
     /// The label's zero-anchored (or absolute, when shifting is off)
-    /// travel-time distribution.
-    pub hist: &'a Histogram,
+    /// travel-time distribution — a borrowed view, so policies evaluate
+    /// pooled label payloads without cloning.
+    pub hist: HistogramView<'a>,
     /// Best complete on-time probability found so far.
     pub incumbent_prob: f64,
     /// Whether the label's remaining extensions are certified to
@@ -141,8 +142,9 @@ pub struct PruneCtx<'a> {
 pub struct LabelView<'a> {
     /// Scalar cost offset.
     pub offset: f64,
-    /// Zero-anchored (or absolute) distribution.
-    pub hist: &'a Histogram,
+    /// Zero-anchored (or absolute) distribution, as a borrowed view over
+    /// the label's pooled payload.
+    pub hist: HistogramView<'a>,
     /// Convolution certificate of the label's arrival edge.
     pub certified: bool,
 }
@@ -348,10 +350,10 @@ impl PrunePolicy for DominancePolicy {
             DominanceMode::Off => false,
             // Legacy behaviour: weak first-order dominance, no exchange
             // check (its miss is part of the documented drift tolerance).
-            DominanceMode::FirstOrder => dominates_with_margin_shifted(
-                keeper.hist,
+            DominanceMode::FirstOrder => dominates_with_margin_shifted_views(
+                &keeper.hist,
                 keeper.offset,
-                candidate.hist,
+                &candidate.hist,
                 candidate.offset,
                 0.0,
             ),
@@ -360,20 +362,20 @@ impl PrunePolicy for DominancePolicy {
                     && keeper.certified
                     && candidate.certified
                     && (same_lattice(keeper, candidate) || supports_disjoint(keeper, candidate))
-                    && dominates_with_margin_shifted(
-                        keeper.hist,
+                    && dominates_with_margin_shifted_views(
+                        &keeper.hist,
                         keeper.offset,
-                        candidate.hist,
+                        &candidate.hist,
                         candidate.offset,
                         0.0,
                     )
             }
             DominanceMode::Margin { .. } => {
                 exchange_safe
-                    && dominates_with_margin_shifted(
-                        keeper.hist,
+                    && dominates_with_margin_shifted_views(
+                        &keeper.hist,
                         keeper.offset,
-                        candidate.hist,
+                        &candidate.hist,
                         candidate.offset,
                         self.eps,
                     )
@@ -525,6 +527,7 @@ mod tests {
     use crate::cost::CombinePolicy;
     use crate::model::training::{train_hybrid, TrainingConfig};
     use crate::HybridModel;
+    use srt_dist::Histogram;
     use srt_ml::forest::ForestConfig;
     use srt_synth::{SyntheticWorld, WorldConfig};
     use std::sync::OnceLock;
@@ -558,7 +561,7 @@ mod tests {
             budget_s: budget,
             remaining_s: remaining,
             offset: 0.0,
-            hist: h,
+            hist: h.view(),
             incumbent_prob: best,
             certified: false,
             envelope: None,
@@ -670,12 +673,12 @@ mod tests {
         let slow = hist(0.0, &[0.4, 0.6]);
         let keeper = LabelView {
             offset: 0.0,
-            hist: &fast,
+            hist: fast.view(),
             certified: true,
         };
         let candidate = LabelView {
             offset: 0.0,
-            hist: &slow,
+            hist: slow.view(),
             certified: true,
         };
         let first = DominancePolicy::resolve(DominanceMode::FirstOrder, None);
@@ -701,7 +704,7 @@ mod tests {
         let slow_offgrid = hist(0.25, &[0.4, 0.6]);
         let offgrid = LabelView {
             offset: 0.0,
-            hist: &slow_offgrid,
+            hist: slow_offgrid.view(),
             certified: true,
         };
         assert!(!gated.discards(&keeper, &offgrid, true), "off-lattice pair must be kept");
@@ -709,7 +712,7 @@ mod tests {
         let far = hist(10.0, &[1.0]);
         let disjoint = LabelView {
             offset: 0.0,
-            hist: &far,
+            hist: far.view(),
             certified: true,
         };
         assert!(gated.discards(&keeper, &disjoint, true), "disjoint supports are safe");

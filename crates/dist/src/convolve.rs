@@ -8,39 +8,110 @@
 //! [`convolve`]; [`convolve_bounded`] additionally caps the output bucket
 //! count so search labels stay small (see `RouterConfig::max_bins` in
 //! `srt-core`).
+//!
+//! Every operator exists in two forms. The `_into` form
+//! ([`convolve_into`], [`convolve_bounded_into`]) writes into a
+//! caller-provided [`HistogramBuf`], drawing temporaries from a
+//! caller-provided [`HistogramPool`] — zero heap allocation once the pool
+//! is warm. The value-returning form is a thin wrapper: it runs the same
+//! `_into` code with a thread-local pool for temporaries and promotes the
+//! buffer once, so the two forms are bit-for-bit identical (proptested in
+//! `tests/proptest_dist.rs`). The wrapper pool replaces the old hidden
+//! high-water-mark `SCRATCH` buffer: retained capacity is bounded and
+//! shrunk, instead of pinned forever on every thread that ever convolved.
+//!
+//! Output masses written by the `_into` operators are **raw** in the
+//! [`HistogramBuf`] sense: exactly one normalization is pending, applied
+//! by [`HistogramBuf::into_histogram`] — matching the single final
+//! `Histogram::new` of the value pipeline.
 
 use crate::error::DistError;
-use crate::histogram::{redistribute, Histogram};
+use crate::histogram::{redistribute_into, Histogram, HistogramView};
+use crate::pool::{normalize_masses, HistogramBuf, HistogramPool};
 use std::cell::RefCell;
 
 thread_local! {
-    /// Scratch buffer for the capped convolution: the full product grid is
-    /// accumulated here and re-bucketed into the (single) output
-    /// allocation, keeping the hot path free of intermediate allocations.
-    static SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    /// Temporaries for the value-returning wrappers (and any other
+    /// cold-path caller via [`with_local_pool`]). Bounded retention: at
+    /// most a handful of buffers, each shrunk to the pool's capacity
+    /// bound on checkin — the fix for the old `SCRATCH` thread-local,
+    /// which retained its largest-ever product grid forever.
+    static LOCAL_POOL: RefCell<HistogramPool> = RefCell::new(HistogramPool::with_limits(8, 4096));
+}
+
+/// Runs `f` with this thread's shared scratch [`HistogramPool`] — the
+/// pool the value-returning wrappers draw their temporaries from. Lets
+/// cold paths (one-shot conversions, tests, CLI tools) reuse pooled
+/// operators without owning a pool.
+pub fn with_local_pool<R>(f: impl FnOnce(&mut HistogramPool) -> R) -> R {
+    LOCAL_POOL.with(|p| f(&mut p.borrow_mut()))
 }
 
 /// Accumulates the aligned (equal-width) convolution of `a` and `b` into
 /// `out`, which must hold `a.num_bins() + b.num_bins() - 1` zeros.
-fn accumulate_aligned(a: &Histogram, b: &Histogram, out: &mut [f64]) {
-    for (i, &pa) in a.probs().iter().enumerate() {
+fn accumulate_aligned(a: &[f64], b: &[f64], out: &mut [f64]) {
+    for (i, &pa) in a.iter().enumerate() {
         if pa == 0.0 {
             continue;
         }
-        for (j, &pb) in b.probs().iter().enumerate() {
+        for (j, &pb) in b.iter().enumerate() {
             out[i + j] += pa * pb;
         }
     }
 }
 
-/// Convolution of two histograms with the same bucket width: bucket-index
-/// sums, exactly the paper's discrete treatment. `{10: .5, 15: .5}`
-/// convolved with `{20: .5, 25: .5}` gives `{30: .25, 35: .5, 40: .25}`.
-fn convolve_aligned(a: &Histogram, b: &Histogram) -> Histogram {
-    let mut out = vec![0.0; a.num_bins() + b.num_bins() - 1];
-    accumulate_aligned(a, b, &mut out);
-    Histogram::new(a.start() + b.start(), a.width(), out)
-        .expect("convolution of valid histograms is valid")
+/// Writes the aligned convolution's raw masses and grid into `out`.
+fn convolve_aligned_into(a: &HistogramView<'_>, b: &HistogramView<'_>, out: &mut HistogramBuf) {
+    let n = a.num_bins() + b.num_bins() - 1;
+    let masses = out.reset_masses();
+    masses.resize(n, 0.0);
+    accumulate_aligned(a.probs(), b.probs(), masses);
+    out.set_grid(a.start() + b.start(), a.width());
+}
+
+/// Projects `h` onto the finer lattice of width `w` (anchored at `h`'s
+/// own start) into a pooled temporary, reproducing the value pipeline's
+/// `rebin_onto` + `Histogram::new` normalization. The returned vector is
+/// checked out of `pool`; the caller checks it back in when done.
+fn project_fine(h: &HistogramView<'_>, w: f64, pool: &mut HistogramPool) -> Vec<f64> {
+    let span = h.end() - h.start();
+    let nbins = ((span / w) - 1e-9).ceil().max(1.0) as usize;
+    let mut tmp = pool.checkout_vec();
+    redistribute_into(h.start(), h.width(), h.probs(), h.start(), w, nbins, &mut tmp);
+    // The value pipeline materialized the projection through
+    // `Histogram::new`, normalizing it before the aligned convolution.
+    normalize_masses(&mut tmp);
+    tmp
+}
+
+/// In-place twin of [`convolve`]: writes the (raw) convolution of `a` and
+/// `b` into `out`. Mismatched widths are projected onto the finer lattice
+/// using temporaries from `pool`; aligned inputs touch the pool not at
+/// all.
+pub fn convolve_into(
+    a: &HistogramView<'_>,
+    b: &HistogramView<'_>,
+    out: &mut HistogramBuf,
+    pool: &mut HistogramPool,
+) {
+    if a.width() == b.width() {
+        convolve_aligned_into(a, b, out);
+        return;
+    }
+    // `min` returns one of its arguments, so exactly one side is coarser
+    // and needs projecting onto the finer lattice.
+    let w = a.width().min(b.width());
+    if a.width() == w {
+        let fb = project_fine(b, w, pool);
+        let vb = HistogramView::from_raw(b.start(), w, &fb);
+        convolve_aligned_into(a, &vb, out);
+        pool.checkin(fb);
+    } else {
+        let fa = project_fine(a, w, pool);
+        let va = HistogramView::from_raw(a.start(), w, &fa);
+        convolve_aligned_into(&va, b, out);
+        pool.checkin(fa);
+    }
 }
 
 /// Travel-time distribution of the sum of two independent histograms.
@@ -49,6 +120,10 @@ fn convolve_aligned(a: &Histogram, b: &Histogram) -> Histogram {
 /// lattice (`na + nb - 1` output buckets anchored at the sum of the
 /// supports' left edges). Mismatched widths are first projected onto the
 /// finer of the two widths, then convolved on that lattice.
+///
+/// A thin wrapper over [`convolve_into`] (temporaries from the
+/// thread-local pool; one final promotion) — bit-identical to the
+/// in-place form by construction.
 ///
 /// ```
 /// use srt_dist::{convolve, Histogram};
@@ -63,22 +138,60 @@ fn convolve_aligned(a: &Histogram, b: &Histogram) -> Histogram {
 /// assert_eq!(sum.start(), 30.0);
 /// ```
 pub fn convolve(a: &Histogram, b: &Histogram) -> Histogram {
-    if a.width() == b.width() {
-        return convolve_aligned(a, b);
+    with_local_pool(|pool| {
+        let mut out = HistogramBuf::new();
+        convolve_into(&a.view(), &b.view(), &mut out, pool);
+        out.into_histogram()
+            .expect("convolution of valid histograms is valid")
+    })
+}
+
+/// In-place twin of [`convolve_bounded`]: writes the (raw) capped
+/// convolution of `a` and `b` into `out`, drawing every temporary — the
+/// full product grid, projections — from `pool`. This is the routing
+/// label expansion's workhorse: with a warm pool the whole step performs
+/// zero heap allocation.
+///
+/// # Errors
+/// [`DistError::ZeroBins`] when `max_bins == 0`.
+pub fn convolve_bounded_into(
+    a: &HistogramView<'_>,
+    b: &HistogramView<'_>,
+    max_bins: usize,
+    out: &mut HistogramBuf,
+    pool: &mut HistogramPool,
+) -> Result<(), DistError> {
+    if max_bins == 0 {
+        return Err(DistError::ZeroBins);
     }
-    // Mismatched widths: project both onto the finer lattice (anchored at
-    // each histogram's own start), then convolve aligned.
-    let w = a.width().min(b.width());
-    let fine = |h: &Histogram| -> Histogram {
-        if h.width() == w {
-            return h.clone();
-        }
-        let span = h.end() - h.start();
-        let nbins = ((span / w) - 1e-9).ceil().max(1.0) as usize;
-        h.rebin_onto(h.start(), w, nbins)
-            .expect("finer grid over the same support is valid")
-    };
-    convolve_aligned(&fine(a), &fine(b))
+    if a.width() != b.width() {
+        // Cold path: mismatched widths go through the projecting
+        // convolve, then the generic bucket cap (which reproduces the
+        // value pipeline's materialize-then-`with_bins` normalization).
+        convolve_into(a, b, out, pool);
+        out.cap_bins(max_bins, pool)?;
+        return Ok(());
+    }
+    let n = a.num_bins() + b.num_bins() - 1;
+    if n <= max_bins {
+        convolve_aligned_into(a, b, out);
+        return Ok(());
+    }
+    // Capped aligned path: accumulate the full product grid in a pooled
+    // temporary, re-bucket straight into the output. The value pipeline
+    // ran exactly this (scratch -> redistribute -> one Histogram::new),
+    // so the raw masses here see no intermediate normalization.
+    let mut grid = pool.checkout_vec();
+    grid.resize(n, 0.0);
+    accumulate_aligned(a.probs(), b.probs(), &mut grid);
+    let start = a.start() + b.start();
+    let span = a.width() * n as f64;
+    let width = span / max_bins as f64;
+    let masses = out.reset_masses();
+    redistribute_into(start, a.width(), &grid, start, width, max_bins, masses);
+    pool.checkin(grid);
+    out.set_grid(start, width);
+    Ok(())
 }
 
 /// [`convolve`] with a cap on the number of output buckets — the pruning
@@ -87,9 +200,9 @@ pub fn convolve(a: &Histogram, b: &Histogram) -> Histogram {
 ///
 /// When the exact result exceeds `max_bins` buckets it is re-bucketed onto
 /// `max_bins` equal buckets over the same support (mass split by interval
-/// overlap). The intermediate product grid lives in a reused thread-local
-/// buffer, so the only allocation on the hot path is the returned
-/// histogram itself.
+/// overlap). A thin wrapper over [`convolve_bounded_into`] (temporaries
+/// from the thread-local pool, whose retention is bounded and shrunk; one
+/// final promotion) — bit-identical to the in-place form by construction.
 ///
 /// # Errors
 /// [`DistError::ZeroBins`] when `max_bins == 0`.
@@ -98,31 +211,10 @@ pub fn convolve_bounded(
     b: &Histogram,
     max_bins: usize,
 ) -> Result<Histogram, DistError> {
-    if max_bins == 0 {
-        return Err(DistError::ZeroBins);
-    }
-    if a.width() != b.width() {
-        // Cold path: mismatched widths go through the projecting convolve.
-        let full = convolve(a, b);
-        if full.num_bins() <= max_bins {
-            return Ok(full);
-        }
-        return full.with_bins(max_bins);
-    }
-    let n = a.num_bins() + b.num_bins() - 1;
-    if n <= max_bins {
-        return Ok(convolve_aligned(a, b));
-    }
-    SCRATCH.with(|scratch| {
-        let mut buf = scratch.borrow_mut();
-        buf.clear();
-        buf.resize(n, 0.0);
-        accumulate_aligned(a, b, &mut buf);
-        let start = a.start() + b.start();
-        let span = a.width() * n as f64;
-        let width = span / max_bins as f64;
-        let out = redistribute(start, a.width(), &buf, start, width, max_bins);
-        Histogram::new(start, width, out)
+    with_local_pool(|pool| {
+        let mut out = HistogramBuf::new();
+        convolve_bounded_into(&a.view(), &b.view(), max_bins, &mut out, pool)?;
+        out.into_histogram()
     })
 }
 
@@ -204,6 +296,12 @@ mod tests {
     fn bounded_convolution_rejects_a_zero_cap() {
         let a = h(0.0, 1.0, &[1.0]);
         assert_eq!(convolve_bounded(&a, &a, 0), Err(DistError::ZeroBins));
+        let mut out = HistogramBuf::new();
+        let mut pool = HistogramPool::new();
+        assert_eq!(
+            convolve_bounded_into(&a.view(), &a.view(), 0, &mut out, &mut pool),
+            Err(DistError::ZeroBins)
+        );
     }
 
     #[test]
@@ -218,5 +316,62 @@ mod tests {
         }
         // 31 edges, each at least 10s: the support floor must track it.
         assert!(acc.start() >= 309.0);
+    }
+
+    #[test]
+    fn into_forms_are_bit_identical_to_value_forms() {
+        let cases = [
+            (h(0.0, 1.0, &[0.5, 0.5]), h(3.0, 1.0, &[0.25, 0.75])),
+            (h(10.0, 2.0, &[0.1; 10]), h(20.0, 2.0, &[0.05; 20])),
+            (h(30.0, 5.0, &[0.5, 0.5]), h(18.0, 4.0, &[0.25; 4])),
+            (h(1.0, 0.75, &[0.2, 0.3, 0.5]), h(2.0, 3.0, &[0.6, 0.4])),
+        ];
+        let mut pool = HistogramPool::new();
+        for (a, b) in &cases {
+            let mut out = pool.checkout();
+            convolve_into(&a.view(), &b.view(), &mut out, &mut pool);
+            let pooled = out.into_histogram().unwrap();
+            let direct = convolve(a, b);
+            assert_eq!(pooled, direct);
+            for (x, y) in pooled.probs().iter().zip(direct.probs()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            pool.recycle(pooled);
+            for cap in [1usize, 3, 12, 64] {
+                let mut out = pool.checkout();
+                convolve_bounded_into(&a.view(), &b.view(), cap, &mut out, &mut pool).unwrap();
+                let pooled = out.into_histogram().unwrap();
+                let direct = convolve_bounded(a, b, cap).unwrap();
+                assert_eq!(pooled, direct, "cap {cap}");
+                for (x, y) in pooled.probs().iter().zip(direct.probs()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "cap {cap}");
+                }
+                pool.recycle(pooled);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_pool_convolution_mints_nothing() {
+        let a = h(10.0, 2.0, &[0.1; 10]);
+        let b = h(20.0, 2.0, &[0.05; 20]);
+        let mut pool = HistogramPool::new();
+        // Warm-up pass establishes the high-water mark.
+        for cap in [8usize, 12, 30] {
+            let mut out = pool.checkout();
+            convolve_bounded_into(&a.view(), &b.view(), cap, &mut out, &mut pool).unwrap();
+            pool.checkin_buf(out);
+        }
+        let warm = pool.stats();
+        // Steady state: the same work mints no new buffers.
+        for _ in 0..10 {
+            for cap in [8usize, 12, 30] {
+                let mut out = pool.checkout();
+                convolve_bounded_into(&a.view(), &b.view(), cap, &mut out, &mut pool).unwrap();
+                pool.checkin_buf(out);
+            }
+        }
+        assert_eq!(pool.stats().mints, warm.mints, "warm pool minted a buffer");
+        assert!(pool.stats().reuses > warm.reuses);
     }
 }

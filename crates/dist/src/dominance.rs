@@ -8,7 +8,7 @@
 //! Both CDFs are piecewise linear, so comparing them at every bucket
 //! boundary of *either* histogram decides the relation exactly.
 
-use crate::histogram::Histogram;
+use crate::histogram::{Histogram, HistogramView};
 
 /// Outcome of a first-order dominance comparison.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -30,17 +30,17 @@ const EPS: f64 = 1e-12;
 /// Visits the union of both histograms' bucket boundaries in ascending
 /// order (a two-pointer merge; no allocation).
 pub(crate) fn for_each_breakpoint(a: &Histogram, b: &Histogram, f: impl FnMut(f64)) {
-    for_each_breakpoint_shifted(a, 0.0, b, 0.0, f)
+    for_each_breakpoint_shifted_views(&a.view(), 0.0, &b.view(), 0.0, f)
 }
 
-/// Like [`for_each_breakpoint`], but with each histogram translated by its
-/// own scalar offset — the router's pruning-(c) label representation
-/// `(offset, zero-anchored shape)` compares without re-materializing the
-/// shifted histograms.
-pub(crate) fn for_each_breakpoint_shifted(
-    a: &Histogram,
+/// Like [`for_each_breakpoint`], but over borrowed views, each translated
+/// by its own scalar offset — the router's pruning-(c) label
+/// representation `(offset, zero-anchored shape)` compares without
+/// re-materializing the shifted histograms.
+pub(crate) fn for_each_breakpoint_shifted_views(
+    a: &HistogramView<'_>,
     oa: f64,
-    b: &Histogram,
+    b: &HistogramView<'_>,
     ob: f64,
     mut f: impl FnMut(f64),
 ) {
@@ -151,6 +151,20 @@ pub fn dominates_with_margin_shifted(
     ob: f64,
     eps: f64,
 ) -> bool {
+    dominates_with_margin_shifted_views(&a.view(), oa, &b.view(), ob, eps)
+}
+
+/// [`dominates_with_margin_shifted`] over borrowed [`HistogramView`]s —
+/// the form the router's Pareto sets call so pooled label payloads
+/// compare without cloning. Bit-identical to the `Histogram` form (which
+/// delegates here).
+pub fn dominates_with_margin_shifted_views(
+    a: &HistogramView<'_>,
+    oa: f64,
+    b: &HistogramView<'_>,
+    ob: f64,
+    eps: f64,
+) -> bool {
     let eps = if eps.is_nan() {
         f64::INFINITY
     } else {
@@ -162,7 +176,7 @@ pub fn dominates_with_margin_shifted(
         return false;
     }
     let mut ok = true;
-    for_each_breakpoint_shifted(a, oa, b, ob, |x| {
+    for_each_breakpoint_shifted_views(a, oa, b, ob, |x| {
         if !ok {
             return;
         }

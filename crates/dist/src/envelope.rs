@@ -36,7 +36,7 @@
 //! bounds the final on-time probability.
 
 use crate::error::DistError;
-use crate::histogram::Histogram;
+use crate::histogram::{Histogram, HistogramView};
 
 /// Float tolerance for envelope containment checks: absorbs the
 /// convolve/re-bin rounding noise of the routing pipeline.
@@ -163,6 +163,13 @@ impl MassEnvelope {
     /// tolerance). Both sides are piecewise linear, so checking the union
     /// of the two knot lattices decides the relation exactly.
     pub fn contains(&self, h: &Histogram) -> bool {
+        self.contains_view(&h.view())
+    }
+
+    /// [`MassEnvelope::contains`] over a borrowed [`HistogramView`], so
+    /// pooled buffers and offset-translated labels are checked without
+    /// materializing a histogram.
+    pub fn contains_view(&self, h: &HistogramView<'_>) -> bool {
         let mut ok = true;
         let mut check = |x: f64| ok &= h.cdf(x) <= self.bound_at(x) + CONTAIN_TOL;
         for k in 0..self.bounds.len() {

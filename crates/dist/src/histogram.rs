@@ -5,9 +5,200 @@
 //! and each bucket is associated with the probability mass that falls into
 //! it." Within a bucket the mass is treated as uniformly distributed, so
 //! the CDF is piecewise linear and the mean sits at the bucket centre.
+//!
+//! Two representations share one set of query semantics: the owning
+//! [`Histogram`] and the borrowed [`HistogramView`] (grid scalars + a
+//! borrowed mass slice). Every read-only query is implemented once, on
+//! the view; `Histogram` methods delegate through [`Histogram::view`], so
+//! pooled buffers and offset-translated labels evaluate `cdf`, `quantile`
+//! and the moments without materializing a fresh allocation.
 
 use crate::error::DistError;
+use crate::pool::HistogramPool;
 use serde::{Deserialize, Serialize};
+
+/// A borrowed histogram: the bucket grid plus a borrowed slice of
+/// normalized masses. The allocation-free counterpart of [`Histogram`]
+/// for read-only queries — routing labels, pooled scratch buffers and
+/// offset-translated distributions evaluate their CDFs, quantiles and
+/// moments through a view without cloning the mass vector.
+///
+/// Obtain one from [`Histogram::view`], [`Histogram::view_shifted`], or
+/// [`HistogramView::from_raw`] for masses living in caller-owned storage.
+/// All queries assume the masses are normalized (non-negative, summing to
+/// one), exactly as [`Histogram`] guarantees after construction.
+#[derive(Copy, Clone, Debug)]
+pub struct HistogramView<'a> {
+    start: f64,
+    width: f64,
+    probs: &'a [f64],
+}
+
+impl<'a> HistogramView<'a> {
+    /// A view over caller-owned masses. The caller guarantees a valid
+    /// grid (finite `start`, positive finite `width`, non-empty
+    /// normalized `probs`); queries on a degenerate view return
+    /// unspecified (but non-UB) values, mirroring what the equivalent
+    /// `Histogram` could never represent.
+    pub fn from_raw(start: f64, width: f64, probs: &'a [f64]) -> Self {
+        debug_assert!(!probs.is_empty(), "view over an empty mass slice");
+        debug_assert!(width.is_finite() && width > 0.0, "invalid view width");
+        HistogramView { start, width, probs }
+    }
+
+    /// Left edge of the support.
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+
+    /// Right edge of the support (exclusive).
+    pub fn end(&self) -> f64 {
+        self.start + self.width * self.probs.len() as f64
+    }
+
+    /// Bucket width in the same unit as the support.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Number of buckets.
+    pub fn num_bins(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// The borrowed bucket masses.
+    pub fn probs(&self) -> &'a [f64] {
+        self.probs
+    }
+
+    /// Mass of bucket `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= num_bins()`.
+    pub fn prob(&self, i: usize) -> f64 {
+        self.probs[i]
+    }
+
+    /// Expected value: masses sit at bucket centres.
+    pub fn mean(&self) -> f64 {
+        let centers: f64 = self
+            .probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i as f64 + 0.5) * p)
+            .sum();
+        self.start + self.width * centers
+    }
+
+    /// Variance under the uniform-within-bucket reading (includes the
+    /// `width^2 / 12` within-bucket term).
+    pub fn variance(&self) -> f64 {
+        let mean = self.mean();
+        let spread: f64 = self
+            .probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let c = self.start + (i as f64 + 0.5) * self.width;
+                p * (c - mean) * (c - mean)
+            })
+            .sum();
+        spread + self.width * self.width / 12.0
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().max(0.0).sqrt()
+    }
+
+    /// Shannon entropy of the bucket masses (nats). Zero buckets
+    /// contribute nothing.
+    pub fn entropy(&self) -> f64 {
+        -self
+            .probs
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.ln())
+            .sum::<f64>()
+    }
+
+    /// Largest single-bucket mass (the mode's mass).
+    pub fn max_prob(&self) -> f64 {
+        self.probs.iter().fold(0.0, |m, &p| m.max(p))
+    }
+
+    /// `P(X <= x)` under the piecewise-linear (uniform within bucket) CDF.
+    /// Zero below the support, one above it; `NaN` maps to zero.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if !x.is_finite() {
+            return if x == f64::INFINITY { 1.0 } else { 0.0 };
+        }
+        let t = (x - self.start) / self.width;
+        if t <= 0.0 {
+            return 0.0;
+        }
+        if t >= self.probs.len() as f64 {
+            return 1.0;
+        }
+        let full = t.floor() as usize;
+        let head: f64 = self.probs[..full].iter().sum();
+        (head + (t - full as f64) * self.probs[full]).clamp(0.0, 1.0)
+    }
+
+    /// On-time probability for budget `t`: an alias of
+    /// [`HistogramView::cdf`] named for the routing use case.
+    pub fn prob_within(&self, t: f64) -> f64 {
+        self.cdf(t)
+    }
+
+    /// Inverse CDF. `q` is clamped to `[0, 1]`; returns `start()` for
+    /// `q <= 0` and `end()` for `q >= 1`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        if q <= 0.0 {
+            return self.start;
+        }
+        let mut cum = 0.0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            if p > 0.0 && cum + p >= q {
+                return self.start + self.width * (i as f64 + (q - cum) / p);
+            }
+            cum += p;
+        }
+        self.end()
+    }
+
+    /// Projects the viewed distribution onto the target grid
+    /// `[lo, lo + width * nbins)`, writing the redistributed masses into
+    /// `out` (cleared first). The allocation-free core of
+    /// [`Histogram::rebin_onto`]; the masses written are raw — promote
+    /// them through [`Histogram::new`] (or
+    /// [`crate::pool::HistogramBuf::into_histogram`]) to apply the final
+    /// normalization the value-returning API performs.
+    ///
+    /// # Errors
+    /// [`DistError::ZeroBins`], [`DistError::InvalidWidth`] or
+    /// [`DistError::NonFinite`] for a degenerate target grid.
+    pub fn rebin_into(
+        &self,
+        lo: f64,
+        width: f64,
+        nbins: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), DistError> {
+        if nbins == 0 {
+            return Err(DistError::ZeroBins);
+        }
+        if !width.is_finite() || width <= 0.0 {
+            return Err(DistError::InvalidWidth(width));
+        }
+        if !lo.is_finite() {
+            return Err(DistError::NonFinite);
+        }
+        redistribute_into(self.start, self.width, self.probs, lo, width, nbins, out);
+        Ok(())
+    }
+}
 
 /// An equi-width histogram over travel-time buckets.
 ///
@@ -102,6 +293,27 @@ impl Histogram {
         Histogram::new(start, width, probs)
     }
 
+    /// A borrowed view of this histogram (same grid, borrowed masses).
+    pub fn view(&self) -> HistogramView<'_> {
+        HistogramView {
+            start: self.start,
+            width: self.width,
+            probs: &self.probs,
+        }
+    }
+
+    /// A borrowed view of this histogram translated by `dt` seconds —
+    /// exactly [`Histogram::shift`] without materializing the clone. The
+    /// router's `(offset, zero-anchored shape)` labels reconstruct their
+    /// actual distribution through this.
+    pub fn view_shifted(&self, dt: f64) -> HistogramView<'_> {
+        HistogramView {
+            start: self.start + dt,
+            width: self.width,
+            probs: &self.probs,
+        }
+    }
+
     /// Left edge of the support.
     pub fn start(&self) -> f64 {
         self.start
@@ -109,7 +321,7 @@ impl Histogram {
 
     /// Right edge of the support (exclusive).
     pub fn end(&self) -> f64 {
-        self.start + self.width * self.probs.len() as f64
+        self.view().end()
     }
 
     /// Bucket width in the same unit as the support (seconds throughout
@@ -138,68 +350,35 @@ impl Histogram {
 
     /// Expected value: masses sit at bucket centres.
     pub fn mean(&self) -> f64 {
-        let centers: f64 = self
-            .probs
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (i as f64 + 0.5) * p)
-            .sum();
-        self.start + self.width * centers
+        self.view().mean()
     }
 
     /// Variance under the uniform-within-bucket reading (includes the
     /// `width^2 / 12` within-bucket term).
     pub fn variance(&self) -> f64 {
-        let mean = self.mean();
-        let spread: f64 = self
-            .probs
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| {
-                let c = self.start + (i as f64 + 0.5) * self.width;
-                p * (c - mean) * (c - mean)
-            })
-            .sum();
-        spread + self.width * self.width / 12.0
+        self.view().variance()
     }
 
     /// Standard deviation.
     pub fn std_dev(&self) -> f64 {
-        self.variance().max(0.0).sqrt()
+        self.view().std_dev()
     }
 
     /// Shannon entropy of the bucket masses (nats). Zero buckets
     /// contribute nothing.
     pub fn entropy(&self) -> f64 {
-        -self
-            .probs
-            .iter()
-            .filter(|&&p| p > 0.0)
-            .map(|&p| p * p.ln())
-            .sum::<f64>()
+        self.view().entropy()
     }
 
     /// Largest single-bucket mass (the mode's mass).
     pub fn max_prob(&self) -> f64 {
-        self.probs.iter().fold(0.0, |m, &p| m.max(p))
+        self.view().max_prob()
     }
 
     /// `P(X <= x)` under the piecewise-linear (uniform within bucket) CDF.
     /// Zero below the support, one above it; `NaN` maps to zero.
     pub fn cdf(&self, x: f64) -> f64 {
-        if !x.is_finite() {
-            return if x == f64::INFINITY { 1.0 } else { 0.0 };
-        }
-        let t = (x - self.start) / self.width;
-        if t <= 0.0 {
-            return 0.0;
-        }
-        if t >= self.probs.len() as f64 {
-            return 1.0;
-        }
-        let full = t.floor() as usize;
-        let head: f64 = self.probs[..full].iter().sum();
-        (head + (t - full as f64) * self.probs[full]).clamp(0.0, 1.0)
+        self.view().cdf(x)
     }
 
     /// On-time probability for budget `t`: an alias of [`Histogram::cdf`]
@@ -211,18 +390,7 @@ impl Histogram {
     /// Inverse CDF. `q` is clamped to `[0, 1]`; returns `start()` for
     /// `q <= 0` and `end()` for `q >= 1`.
     pub fn quantile(&self, q: f64) -> f64 {
-        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
-        if q <= 0.0 {
-            return self.start;
-        }
-        let mut cum = 0.0;
-        for (i, &p) in self.probs.iter().enumerate() {
-            if p > 0.0 && cum + p >= q {
-                return self.start + self.width * (i as f64 + (q - cum) / p);
-            }
-            cum += p;
-        }
-        self.end()
+        self.view().quantile(q)
     }
 
     /// The same distribution translated by `dt` seconds.
@@ -231,6 +399,32 @@ impl Histogram {
             start: self.start + dt,
             width: self.width,
             probs: self.probs.clone(),
+        }
+    }
+
+    /// Translates the distribution by `dt` seconds without touching the
+    /// mass vector — the in-place twin of [`Histogram::shift`].
+    pub fn shift_in_place(&mut self, dt: f64) {
+        self.start += dt;
+    }
+
+    /// Consumes the histogram, releasing its mass vector — the hand-off
+    /// point into [`HistogramPool::checkin`], so a retired routing label
+    /// returns its buffer capacity instead of dropping it.
+    pub fn into_probs(self) -> Vec<f64> {
+        self.probs
+    }
+
+    /// A clone whose mass vector is drawn from `pool` instead of a fresh
+    /// allocation. Bit-identical to [`Clone::clone`] (the masses are
+    /// copied verbatim, never re-normalized).
+    pub fn pooled_clone(&self, pool: &mut HistogramPool) -> Histogram {
+        let mut probs = pool.checkout_vec();
+        probs.extend_from_slice(&self.probs);
+        Histogram {
+            start: self.start,
+            width: self.width,
+            probs,
         }
     }
 
@@ -290,7 +484,26 @@ pub(crate) fn redistribute(
     width: f64,
     nbins: usize,
 ) -> Vec<f64> {
-    let mut out = vec![0.0; nbins];
+    let mut out = Vec::new();
+    redistribute_into(src_start, src_width, src, lo, width, nbins, &mut out);
+    out
+}
+
+/// [`redistribute`] writing into a caller-provided buffer (cleared and
+/// zero-filled to `nbins` first) — the allocation-free core every re-bin
+/// in the stack funnels through.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn redistribute_into(
+    src_start: f64,
+    src_width: f64,
+    src: &[f64],
+    lo: f64,
+    width: f64,
+    nbins: usize,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.resize(nbins, 0.0);
     let hi = lo + width * nbins as f64;
     for (i, &p) in src.iter().enumerate() {
         if p <= 0.0 {
@@ -322,7 +535,6 @@ pub(crate) fn redistribute(
             }
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -7,7 +7,18 @@
 //! * [`convolve`] / [`convolve_bounded`] — the independence-assuming
 //!   combination step; the bounded variant caps output buckets so
 //!   routing labels stay small (pruning (c)'s zero-anchored shapes are
-//!   produced by [`Histogram::shifted_to_zero`]),
+//!   produced by [`Histogram::shifted_to_zero`]). Each has an in-place
+//!   twin ([`convolve_into`] / [`convolve_bounded_into`]) writing into a
+//!   caller-provided buffer — the allocation-free forms the routing
+//!   engine's hot loop runs on,
+//! * [`pool`] — [`HistogramPool`] / [`HistogramBuf`], the recycled
+//!   payload slab behind the in-place operators: checked-out buffers
+//!   reuse retired capacity (with mint/reuse accounting, bounded and
+//!   shrunk retention), so steady-state serving mints no fresh mass
+//!   vectors,
+//! * [`HistogramView`] — borrowed histograms (grid + borrowed masses):
+//!   every read-only query (`cdf`, `quantile`, moments, dominance,
+//!   envelope containment) runs on borrowed bins without cloning,
 //! * [`empirical`] — fitting histograms from observed travel times,
 //! * [`dominance`] — first-order stochastic dominance, the order behind
 //!   pruning (d)'s per-vertex Pareto sets, plus the margin-calibrated
@@ -60,14 +71,18 @@
 pub mod dominance;
 pub mod empirical;
 pub mod envelope;
+pub mod pool;
 
 mod convolve;
 mod error;
 mod histogram;
 mod metrics;
 
-pub use convolve::{convolve, convolve_bounded};
+pub use convolve::{
+    convolve, convolve_bounded, convolve_bounded_into, convolve_into, with_local_pool,
+};
 pub use envelope::MassEnvelope;
 pub use error::DistError;
-pub use histogram::Histogram;
+pub use histogram::{Histogram, HistogramView};
 pub use metrics::{kl_divergence, total_variation, wasserstein1};
+pub use pool::{HistogramBuf, HistogramPool, PoolStats};

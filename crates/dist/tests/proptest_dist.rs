@@ -1,9 +1,27 @@
 //! Property-based tests of the distribution algebra: conservation laws of
-//! convolution and the partial-order laws of first-order dominance.
+//! convolution, the partial-order laws of first-order dominance, and the
+//! bit-for-bit equivalence of every in-place (`_into`) operator with its
+//! value-returning twin — the contract the routing engine's pooled label
+//! payloads rest on.
 
 use proptest::prelude::*;
+use proptest::TestCaseError;
 use srt_dist::dominance::{self, Dominance};
-use srt_dist::{convolve, convolve_bounded, Histogram};
+use srt_dist::{
+    convolve, convolve_bounded, convolve_bounded_into, convolve_into, Histogram, HistogramPool,
+};
+
+/// Asserts two histograms are bitwise identical (grid scalars and every
+/// mass compared by bit pattern, not by float equality).
+fn assert_bits_eq(a: &Histogram, b: &Histogram) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.start().to_bits(), b.start().to_bits(), "start differs");
+    prop_assert_eq!(a.width().to_bits(), b.width().to_bits(), "width differs");
+    prop_assert_eq!(a.num_bins(), b.num_bins(), "bin count differs");
+    for (i, (x, y)) in a.probs().iter().zip(b.probs()).enumerate() {
+        prop_assert_eq!(x.to_bits(), y.to_bits(), "mass {} differs: {} vs {}", i, x, y);
+    }
+    Ok(())
+}
 
 /// Random bucket masses with at least one strictly positive entry.
 fn arb_masses(max_bins: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -222,6 +240,92 @@ proptest! {
         if gap > 1e-9 {
             prop_assert!(!dominance::dominates_with_margin(&b, &a, eps));
         }
+    }
+
+    /// Every `_into` operator is bit-for-bit identical to its
+    /// value-returning twin, through both a cold and a warm (recycled)
+    /// pool — the identity the engine's allocation-free serving relies
+    /// on.
+    #[test]
+    fn into_operators_match_value_twins_bitwise(a in arb_histogram(),
+                                                b in arb_histogram(),
+                                                cap in 1usize..24) {
+        let mut pool = HistogramPool::new();
+        // Two rounds: round 0 runs on a cold pool (every buffer minted),
+        // round 1 on recycled capacity — results must not depend on it.
+        for round in 0..2 {
+            let mut out = pool.checkout();
+            convolve_into(&a.view(), &b.view(), &mut out, &mut pool);
+            let pooled = out.into_histogram().expect("valid");
+            assert_bits_eq(&pooled, &convolve(&a, &b))?;
+            pool.recycle(pooled);
+
+            let mut out = pool.checkout();
+            convolve_bounded_into(&a.view(), &b.view(), cap, &mut out, &mut pool)
+                .expect("cap is positive");
+            let pooled = out.into_histogram().expect("valid");
+            assert_bits_eq(&pooled, &convolve_bounded(&a, &b, cap).expect("cap is positive"))?;
+            pool.recycle(pooled);
+
+            let _ = round;
+        }
+    }
+
+    /// `rebin_into` (through a view) matches `rebin_onto` bit for bit on
+    /// arbitrary target grids.
+    #[test]
+    fn rebin_into_matches_rebin_onto_bitwise(h in arb_histogram(),
+                                             lo in 0.0f64..400.0,
+                                             width in 0.5f64..10.0,
+                                             nbins in 1usize..24) {
+        let mut masses = Vec::new();
+        h.view().rebin_into(lo, width, nbins, &mut masses).expect("valid grid");
+        let pooled = Histogram::new(lo, width, masses).expect("valid");
+        let direct = h.rebin_onto(lo, width, nbins).expect("valid grid");
+        assert_bits_eq(&pooled, &direct)?;
+    }
+
+    /// A `HistogramView` answers every read-only query bit-identically
+    /// to its owning histogram, and `view_shifted` matches a
+    /// materialized `shift`.
+    #[test]
+    fn views_match_owned_queries_bitwise(h in arb_histogram(),
+                                         x in -50.0f64..600.0,
+                                         q in 0.0f64..1.0,
+                                         dt in -50.0f64..50.0) {
+        let v = h.view();
+        prop_assert_eq!(v.cdf(x).to_bits(), h.cdf(x).to_bits());
+        prop_assert_eq!(v.quantile(q).to_bits(), h.quantile(q).to_bits());
+        prop_assert_eq!(v.mean().to_bits(), h.mean().to_bits());
+        prop_assert_eq!(v.variance().to_bits(), h.variance().to_bits());
+        prop_assert_eq!(v.entropy().to_bits(), h.entropy().to_bits());
+        prop_assert_eq!(v.max_prob().to_bits(), h.max_prob().to_bits());
+        prop_assert_eq!(v.end().to_bits(), h.end().to_bits());
+
+        let shifted = h.shift(dt);
+        let sv = h.view_shifted(dt);
+        prop_assert_eq!(sv.start().to_bits(), shifted.start().to_bits());
+        prop_assert_eq!(sv.cdf(x).to_bits(), shifted.cdf(x).to_bits());
+
+        // In-place shift agrees with the materialized one.
+        let mut inplace = h.clone();
+        inplace.shift_in_place(dt);
+        assert_bits_eq(&inplace, &shifted)?;
+
+        // Pooled clones are bitwise clones.
+        let mut pool = HistogramPool::new();
+        assert_bits_eq(&h.pooled_clone(&mut pool), &h)?;
+    }
+
+    /// The view-based margin-dominance entry point agrees with the
+    /// `Histogram` form on every input.
+    #[test]
+    fn view_margin_dominance_matches(a in arb_on_lattice(), b in arb_on_lattice(),
+                                     oa in -20.0f64..20.0, ob in -20.0f64..20.0,
+                                     eps in 0.0f64..0.5) {
+        prop_assert_eq!(
+            dominance::dominates_with_margin_shifted_views(&a.view(), oa, &b.view(), ob, eps),
+            dominance::dominates_with_margin_shifted(&a, oa, &b, ob, eps));
     }
 
     /// The CDF is monotone and hits 0/1 at the support edges.

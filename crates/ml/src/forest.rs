@@ -106,22 +106,33 @@ impl RandomForestRegressor {
 
     /// Mean prediction across trees for one feature row.
     pub fn predict_row(&self, features: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.predict_row_into(features, &mut out);
+        out
+    }
+
+    /// [`RandomForestRegressor::predict_row`] writing into a
+    /// caller-provided buffer (cleared and zero-filled first) — the
+    /// allocation-free form hot loops (the hybrid router's estimator arm,
+    /// batch scoring over snapshot-decoded models) run on. Bit-identical
+    /// to the value-returning form, which delegates here.
+    pub fn predict_row_into(&self, features: &[f64], out: &mut Vec<f64>) {
         assert_eq!(
             features.len(),
             self.n_features,
             "feature count mismatch in RandomForestRegressor::predict_row"
         );
-        let mut out = vec![0.0; self.n_outputs];
+        out.clear();
+        out.resize(self.n_outputs, 0.0);
         for t in &self.trees {
             for (o, v) in out.iter_mut().zip(t.predict_row(features)) {
                 *o += v;
             }
         }
         let k = self.trees.len() as f64;
-        for o in &mut out {
+        for o in out.iter_mut() {
             *o /= k;
         }
-        out
     }
 
     /// Predicts every row of `x`.
@@ -275,22 +286,55 @@ impl RandomForestClassifier {
 
     /// Mean class-probability vector across trees.
     pub fn predict_proba_row(&self, features: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.predict_proba_row_into(features, &mut out);
+        out
+    }
+
+    /// [`RandomForestClassifier::predict_proba_row`] writing into a
+    /// caller-provided buffer (cleared and zero-filled first) — the
+    /// allocation-free form. Bit-identical to the value-returning form,
+    /// which delegates here.
+    pub fn predict_proba_row_into(&self, features: &[f64], out: &mut Vec<f64>) {
         assert_eq!(
             features.len(),
             self.n_features,
             "feature count mismatch in RandomForestClassifier::predict_proba_row"
         );
-        let mut out = vec![0.0; self.n_classes];
+        out.clear();
+        out.resize(self.n_classes, 0.0);
         for t in &self.trees {
             for (o, v) in out.iter_mut().zip(t.predict_proba_row(features)) {
                 *o += v;
             }
         }
         let k = self.trees.len() as f64;
-        for o in &mut out {
+        for o in out.iter_mut() {
             *o /= k;
         }
-        out
+    }
+
+    /// Mean probability of a single class across trees, with no output
+    /// allocation at all — the hybrid gate's hot-path query (one scalar
+    /// per combine step). The accumulation order per tree matches
+    /// [`RandomForestClassifier::predict_proba_row`] element-for-element,
+    /// so the scalar is bit-identical to `predict_proba_row(..)[class]`.
+    ///
+    /// # Panics
+    /// Panics on a feature-count mismatch or `class >= n_classes`
+    /// (programming errors).
+    pub fn predict_proba_class(&self, features: &[f64], class: usize) -> f64 {
+        assert_eq!(
+            features.len(),
+            self.n_features,
+            "feature count mismatch in RandomForestClassifier::predict_proba_class"
+        );
+        assert!(class < self.n_classes, "class out of range");
+        let mut acc = 0.0;
+        for t in &self.trees {
+            acc += t.predict_proba_row(features)[class];
+        }
+        acc / self.trees.len() as f64
     }
 
     /// Mean class-probability *bounds* across trees for a partially-known
@@ -470,6 +514,40 @@ mod tests {
         for i in 0..60 {
             let p = f.predict_row(&[i as f64, ((i * 7) % 13) as f64])[0];
             assert!(lo <= p + 1e-12 && p <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn into_and_scalar_forms_match_value_forms_bitwise() {
+        let (x, y) = step_data();
+        let f = RandomForestRegressor::fit(&x, &y, &ForestConfig::default(), 4).unwrap();
+        let mut scratch = Vec::new();
+        for i in 0..10 {
+            let row = [i as f64 * 5.0, ((i * 3) % 7) as f64];
+            f.predict_row_into(&row, &mut scratch);
+            let value = f.predict_row(&row);
+            assert_eq!(scratch.len(), value.len());
+            for (a, b) in scratch.iter().zip(&value) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        let labels: Vec<usize> = (0..60).map(|i| usize::from(i >= 30)).collect();
+        let c = RandomForestClassifier::fit(&x, &labels, 2, &ForestConfig::default(), 4).unwrap();
+        let mut proba = Vec::new();
+        for i in 0..10 {
+            let row = [i as f64 * 5.0, ((i * 3) % 7) as f64];
+            c.predict_proba_row_into(&row, &mut proba);
+            let value = c.predict_proba_row(&row);
+            for (a, b) in proba.iter().zip(&value) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for class in 0..2 {
+                assert_eq!(
+                    c.predict_proba_class(&row, class).to_bits(),
+                    value[class].to_bits()
+                );
+            }
         }
     }
 

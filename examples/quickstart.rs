@@ -88,7 +88,12 @@ fn main() {
 
     let stats = engine.stats();
     println!(
-        "engine: {} queries served, bounds cache {} hit(s) / {} miss(es)",
-        stats.queries, stats.bounds_cache_hits, stats.bounds_cache_misses
+        "engine: {} queries served, bounds cache {} hit(s) / {} miss(es), \
+         histogram pool {} reuse(s) / {} mint(s)",
+        stats.queries,
+        stats.bounds_cache_hits,
+        stats.bounds_cache_misses,
+        stats.pool_reuse,
+        stats.pool_misses
     );
 }

@@ -281,6 +281,70 @@ fn search_context_reuse_is_answer_preserving_and_stops_allocating() {
 }
 
 #[test]
+fn lru_bounded_cache_evicts_but_never_changes_answers() {
+    let cost = cost();
+    let queries = workload(8);
+    let distinct_targets = {
+        let mut t: Vec<NodeId> = queries.iter().map(|q| q.target).collect();
+        t.sort_unstable();
+        t.dedup();
+        t.len()
+    };
+    assert!(distinct_targets > 2, "workload needs target diversity");
+
+    // Reference: an engine whose cache comfortably holds every target.
+    let unbounded = EngineBuilder::new(cost.clone())
+        .config(RouterConfig::default())
+        .build();
+    let reference = unbounded.route_batch(&queries, 1);
+    assert_eq!(unbounded.stats().bounds_evictions, 0);
+
+    // A capacity of 2 forces evictions on the same workload.
+    let bounded = EngineBuilder::new(cost.clone())
+        .config(RouterConfig::default())
+        .bounds_cache_capacity(2)
+        .build();
+    let results = bounded.route_batch(&queries, 1);
+    let stats = bounded.stats();
+    assert!(bounded.bounds_cached() <= 2, "capacity not enforced");
+    assert!(
+        stats.bounds_evictions >= (distinct_targets - 2) as u64,
+        "expected evictions past capacity, saw {}",
+        stats.bounds_evictions
+    );
+    // Eviction costs recomputation, never correctness.
+    for (i, (r, expected)) in results.iter().zip(&reference).enumerate() {
+        assert_identical(
+            r.as_ref().unwrap(),
+            expected.as_ref().unwrap(),
+            &format!("query {i} bounded vs unbounded cache"),
+        );
+    }
+
+    // An LRU round trip: re-routing the workload in order re-misses
+    // evicted targets (the cache is a capacity bound, not a correctness
+    // device).
+    let miss_before = stats.bounds_cache_misses;
+    bounded.route_batch(&queries, 1);
+    assert!(bounded.stats().bounds_cache_misses > miss_before);
+
+    // Capacity zero clamps to one instead of disabling the engine.
+    let tiny = EngineBuilder::new(cost)
+        .config(RouterConfig::default())
+        .bounds_cache_capacity(0)
+        .build();
+    let clamped = tiny.route_batch(&queries, 1);
+    assert!(tiny.bounds_cached() <= 1);
+    for (i, (r, expected)) in clamped.iter().zip(&reference).enumerate() {
+        assert_identical(
+            r.as_ref().unwrap(),
+            expected.as_ref().unwrap(),
+            &format!("query {i} capacity-1 cache"),
+        );
+    }
+}
+
+#[test]
 fn shim_and_engine_agree_on_anytime_queries() {
     let cost = cost();
     let shim = BudgetRouter::new(&cost, RouterConfig::default());
