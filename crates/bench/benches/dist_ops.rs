@@ -69,6 +69,23 @@ fn bench_into_ops(c: &mut Criterion) {
                 pool.checkin_buf(out);
             })
         });
+        // The retained scalar reference (materialize-then-redistribute,
+        // per-element branches): the fused kernel's speedup is this row
+        // over `bounded_into`, measured on identical inputs.
+        g.bench_with_input(BenchmarkId::new("bounded_into_ref", bins), &bins, |bch, _| {
+            bch.iter(|| {
+                let mut out = pool.checkout();
+                srt_dist::reference::convolve_bounded_into_ref(
+                    &black_box(&a).view(),
+                    &black_box(&b).view(),
+                    cap,
+                    &mut out,
+                    &mut pool,
+                )
+                .unwrap();
+                pool.checkin_buf(out);
+            })
+        });
     }
     let src = hist(64, 13);
     g.bench_function("rebin_value", |bch| {
@@ -103,26 +120,55 @@ fn bench_divergences(c: &mut Criterion) {
     g.finish();
 }
 
+/// Dominance across bin counts: the incremental `CdfScanner` makes the
+/// breakpoint sweep O(na + nb), so the larger rows are where the win
+/// over the historical re-summing (O(na · nb)) shows.
 fn bench_dominance(c: &mut Criterion) {
     let mut g = c.benchmark_group("dist/dominance");
-    let fast = hist(20, 7);
-    let slow = fast.shift(25.0);
-    g.bench_function("dominant_pair", |bch| {
-        bch.iter(|| dominance::compare(black_box(&fast), black_box(&slow)))
-    });
-    let x = hist(20, 8);
-    let y = hist(20, 9);
-    g.bench_function("incomparable_pair", |bch| {
-        bch.iter(|| dominance::compare(black_box(&x), black_box(&y)))
-    });
+    for bins in [20usize, 80, 320] {
+        let fast = hist(bins, 7);
+        let slow = fast.shift(25.0);
+        g.bench_with_input(BenchmarkId::new("dominant_pair", bins), &bins, |bch, _| {
+            bch.iter(|| dominance::compare(black_box(&fast), black_box(&slow)))
+        });
+        let x = hist(bins, 8);
+        let y = hist(bins, 9);
+        g.bench_with_input(
+            BenchmarkId::new("incomparable_pair", bins),
+            &bins,
+            |bch, _| bch.iter(|| dominance::compare(black_box(&x), black_box(&y))),
+        );
+        g.bench_with_input(BenchmarkId::new("margin_shifted", bins), &bins, |bch, _| {
+            bch.iter(|| {
+                dominance::dominates_with_margin_shifted_views(
+                    &black_box(&fast).view(),
+                    1.5,
+                    &black_box(&slow).view(),
+                    -1.5,
+                    0.05,
+                )
+            })
+        });
+    }
     g.finish();
 }
 
 fn bench_cdf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dist/scans");
     let a = hist(20, 10);
-    c.bench_function("dist/cdf", |bch| {
+    g.bench_function("cdf", |bch| {
         bch.iter(|| black_box(&a).cdf(black_box(55.0)))
     });
+    g.bench_function("quantile", |bch| {
+        bch.iter(|| black_box(&a).quantile(black_box(0.73)))
+    });
+    g.bench_function("moments", |bch| {
+        bch.iter(|| {
+            let h = black_box(&a);
+            (h.mean(), h.variance())
+        })
+    });
+    g.finish();
 }
 
 criterion_group!(

@@ -8,7 +8,7 @@
 //! 'virtual' edge."
 
 use crate::model::features::pair_features_view;
-use crate::model::hybrid::HybridModel;
+use crate::model::hybrid::{CombineOutcome, HybridModel};
 use srt_dist::{with_local_pool, Histogram, HistogramBuf, HistogramPool, HistogramView};
 use srt_graph::{EdgeId, RoadGraph};
 use srt_synth::SyntheticWorld;
@@ -134,10 +134,11 @@ impl HybridCost {
 
     /// In-place core of the combine step: writes the combined masses into
     /// `out`, raw in the [`HistogramBuf`] sense (one normalization
-    /// pending, applied by `out.into_histogram()`). Returns whether the
-    /// estimator arm was used. Temporaries — the convolution product
-    /// grid, the gate's scratch row — come from `pool`; with a warm pool
-    /// the step performs zero heap allocation.
+    /// pending, applied by `out.into_histogram()`). Returns a
+    /// [`CombineOutcome`] (which arm ran, and which convolution route).
+    /// Temporaries — the mismatched-width projections, the gate's scratch
+    /// row — come from `pool`; with a warm pool the step performs zero
+    /// heap allocation.
     pub fn combine_into(
         &self,
         pre: &HistogramView<'_>,
@@ -145,21 +146,27 @@ impl HybridCost {
         next_edge: EdgeId,
         out: &mut HistogramBuf,
         pool: &mut HistogramPool,
-    ) -> bool {
+    ) -> CombineOutcome {
         let next_marginal = self.marginal(next_edge);
         match self.policy {
             CombinePolicy::Hybrid => self
                 .model
                 .combine_into(&self.graph, pre, prev_edge, next_edge, next_marginal, out, pool),
             CombinePolicy::AlwaysConvolve => {
-                self.model.convolve_into(pre, next_marginal, out, pool);
-                false
+                let route = self.model.convolve_into(pre, next_marginal, out, pool);
+                CombineOutcome {
+                    used_estimator: false,
+                    route: Some(route),
+                }
             }
             CombinePolicy::AlwaysEstimate => {
                 let features =
                     pair_features_view(&self.graph, pre, prev_edge, next_edge, next_marginal);
                 self.model.estimate_into(pre, next_marginal, &features, out);
-                true
+                CombineOutcome {
+                    used_estimator: true,
+                    route: None,
+                }
             }
         }
     }
@@ -180,13 +187,32 @@ impl HybridCost {
         max_bins: Option<usize>,
         pool: &mut HistogramPool,
     ) -> Histogram {
+        self.combine_pooled_traced(pre, prev_edge, next_edge, max_bins, pool)
+            .0
+    }
+
+    /// [`HybridCost::combine_pooled`] plus the step's [`CombineOutcome`]
+    /// — the form the routing engine calls so its `lattice_fast_path`
+    /// counter can tally shared-lattice convolutions without a second
+    /// dispatch. The histogram returned is bit-identical to
+    /// [`HybridCost::combine_pooled`]'s (that method delegates here).
+    pub fn combine_pooled_traced(
+        &self,
+        pre: &HistogramView<'_>,
+        prev_edge: EdgeId,
+        next_edge: EdgeId,
+        max_bins: Option<usize>,
+        pool: &mut HistogramPool,
+    ) -> (Histogram, CombineOutcome) {
         let mut out = pool.checkout();
-        self.combine_into(pre, prev_edge, next_edge, &mut out, pool);
+        let outcome = self.combine_into(pre, prev_edge, next_edge, &mut out, pool);
         if let Some(cap) = max_bins {
             out.cap_bins(cap, pool).expect("bin cap is positive");
         }
-        out.into_histogram()
-            .expect("combining valid histograms yields a valid histogram")
+        let h = out
+            .into_histogram()
+            .expect("combining valid histograms yields a valid histogram");
+        (h, outcome)
     }
 
     /// Full travel-time distribution of a path (edges in travel order).

@@ -8,9 +8,29 @@ use crate::model::estimator::DistributionEstimator;
 use crate::model::features::{pair_features, pair_features_view};
 use serde::{Deserialize, Serialize};
 use srt_dist::{
-    convolve_bounded, convolve_bounded_into, Histogram, HistogramBuf, HistogramPool, HistogramView,
+    convolve_bounded, convolve_bounded_into, ConvRoute, Histogram, HistogramBuf, HistogramPool,
+    HistogramView,
 };
 use srt_graph::{EdgeId, RoadGraph};
+
+/// What one combine step did — telemetry returned by
+/// [`HybridModel::combine_into`] (and threaded through
+/// `HybridCost::combine_pooled_traced` up to the engine's counters).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CombineOutcome {
+    /// `true` when the classifier routed the step to the estimator arm.
+    pub used_estimator: bool,
+    /// The convolution route taken (`None` on the estimator arm).
+    pub route: Option<ConvRoute>,
+}
+
+impl CombineOutcome {
+    /// `true` when the step convolved on the shared-lattice fast route —
+    /// what `EngineStats::lattice_fast_path` tallies.
+    pub fn lattice_hit(self) -> bool {
+        self.route.is_some_and(ConvRoute::lattice_hit)
+    }
+}
 
 /// A fitted hybrid model: one estimator plus its gate classifier
 /// ("an instance of the classifier is initialized for each estimation
@@ -77,8 +97,9 @@ impl HybridModel {
     /// (through a pooled scratch row — no allocation on either backend)
     /// and writes the combined masses into `out`, raw in the
     /// [`HistogramBuf`] sense (one normalization pending). Promoting
-    /// `out` is bit-identical to the value-returning form. Returns
-    /// whether the estimator arm was used.
+    /// `out` is bit-identical to the value-returning form. Returns a
+    /// [`CombineOutcome`] describing which arm (and convolution route)
+    /// ran.
     pub fn combine_into(
         &self,
         g: &RoadGraph,
@@ -88,7 +109,7 @@ impl HybridModel {
         next_marginal: &Histogram,
         out: &mut HistogramBuf,
         pool: &mut HistogramPool,
-    ) -> bool {
+    ) -> CombineOutcome {
         let features = pair_features_view(g, pre, prev_edge, next_edge, next_marginal);
         // Only the logistic backend needs a scratch row; the (default)
         // forest gate answers through the allocation-free class-scalar
@@ -102,12 +123,16 @@ impl HybridModel {
                 r
             }
         };
-        if use_est {
+        let route = if use_est {
             self.estimate_into(pre, next_marginal, &features, out);
+            None
         } else {
-            self.convolve_into(pre, next_marginal, out, pool);
+            Some(self.convolve_into(pre, next_marginal, out, pool))
+        };
+        CombineOutcome {
+            used_estimator: use_est,
+            route,
         }
-        use_est
     }
 
     /// In-place twin of [`HybridModel::estimate`].
@@ -123,14 +148,15 @@ impl HybridModel {
         self.estimator.predict_into(features, lo, hi, out);
     }
 
-    /// In-place twin of [`HybridModel::convolve`].
+    /// In-place twin of [`HybridModel::convolve`]. Returns the
+    /// [`ConvRoute`] the bounded convolution took.
     pub fn convolve_into(
         &self,
         pre: &HistogramView<'_>,
         next_marginal: &Histogram,
         out: &mut HistogramBuf,
         pool: &mut HistogramPool,
-    ) {
+    ) -> ConvRoute {
         convolve_bounded_into(pre, &next_marginal.view(), self.bins, out, pool)
             .expect("bounded convolution of valid histograms succeeds")
     }

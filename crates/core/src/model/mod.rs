@@ -17,4 +17,4 @@ pub use envelope::SupportEnvelope;
 pub use classifier::{ClassifierBackend, DependenceClassifier};
 pub use estimator::DistributionEstimator;
 pub use features::{pair_features, pair_features_partial, pair_features_view, FEATURE_COUNT};
-pub use hybrid::HybridModel;
+pub use hybrid::{CombineOutcome, HybridModel};

@@ -229,6 +229,13 @@ pub struct StatsSnapshot {
     /// allocation-free-serving guarantee, pinned by the
     /// allocation-accounting regression test.
     pub pool_misses: u64,
+    /// Combine steps whose convolution ran on the shared-lattice fast
+    /// route (equal widths, phase-aligned starts — no projection, see
+    /// `srt_dist::ConvRoute`). High values on a warm workload mean label
+    /// grids stayed on the marginals' canonical lattice. Defaults to
+    /// zero when deserializing snapshots from before the counter existed.
+    #[serde(default)]
+    pub lattice_fast_path: u64,
 }
 
 /// Aggregated, engine-wide, monotone serving counters — the live atomic
@@ -248,6 +255,7 @@ pub struct EngineStats {
     incomplete: AtomicU64,
     pool_reuse: AtomicU64,
     pool_misses: AtomicU64,
+    lattice_fast_path: AtomicU64,
 }
 
 impl EngineStats {
@@ -264,6 +272,7 @@ impl EngineStats {
             incomplete: self.incomplete.load(AtomicOrdering::Relaxed),
             pool_reuse: self.pool_reuse.load(AtomicOrdering::Relaxed),
             pool_misses: self.pool_misses.load(AtomicOrdering::Relaxed),
+            lattice_fast_path: self.lattice_fast_path.load(AtomicOrdering::Relaxed),
         }
     }
 
@@ -279,6 +288,7 @@ impl EngineStats {
         self.incomplete.store(0, AtomicOrdering::Relaxed);
         self.pool_reuse.store(0, AtomicOrdering::Relaxed);
         self.pool_misses.store(0, AtomicOrdering::Relaxed);
+        self.lattice_fast_path.store(0, AtomicOrdering::Relaxed);
     }
 }
 
@@ -982,6 +992,15 @@ impl RoutingEngine {
             );
         }
 
+        // Shared-lattice convolutions, accumulated locally and flushed
+        // with one atomic add at each exit from the expansion loop —
+        // mirroring the pool-stats-diff pattern of `route_unchecked`.
+        let mut lattice_hits = 0u64;
+        let flush_lattice = |c: &EngineStats, hits: u64| {
+            if hits > 0 {
+                c.lattice_fast_path.fetch_add(hits, AtomicOrdering::Relaxed);
+            }
+        };
         let mut pops = 0usize;
         while let Some(QueueEntry { ub, id }) = heap.pop() {
             pops += 1;
@@ -990,6 +1009,7 @@ impl RoutingEngine {
                     if start_time.elapsed() >= limit {
                         stats.completed = false;
                         stats.elapsed = start_time.elapsed();
+                        flush_lattice(&self.counters, lattice_hits);
                         return self.record(self.finish(incumbent, best_prob, arena, stats, budget_s));
                     }
                 }
@@ -1005,6 +1025,7 @@ impl RoutingEngine {
             if stats.labels_created >= self.cfg.max_labels {
                 stats.completed = false;
                 stats.elapsed = start_time.elapsed();
+                flush_lattice(&self.counters, lattice_hits);
                 return self.record(self.finish(incumbent, best_prob, arena, stats, budget_s));
             }
             stats.labels_expanded += 1;
@@ -1028,13 +1049,16 @@ impl RoutingEngine {
                 if !bounds.reachable(head) {
                     continue;
                 }
-                let dist = self.cost.combine_pooled(
+                let (dist, outcome) = self.cost.combine_pooled_traced(
                     &expand.as_view(),
                     prev_edge,
                     e,
                     Some(self.cfg.max_bins),
                     pool,
                 );
+                if outcome.lattice_hit() {
+                    lattice_hits += 1;
+                }
                 self.push_label(
                     arena,
                     pareto,
@@ -1057,6 +1081,7 @@ impl RoutingEngine {
 
         stats.completed = true;
         stats.elapsed = start_time.elapsed();
+        flush_lattice(&self.counters, lattice_hits);
         self.record(self.finish(incumbent, best_prob, arena, stats, budget_s))
     }
 

@@ -283,6 +283,14 @@ impl PrunePolicy for BoundPolicy {
 }
 
 /// Pruning (d): pairwise dominance inside a vertex's Pareto set.
+///
+/// The pairwise check delegates to
+/// [`dominates_with_margin_shifted_views`], whose CDF sweep runs on
+/// `srt_dist`'s incremental [`CdfScanner`](srt_dist::CdfScanner):
+/// breakpoints are visited in ascending order, so each histogram's
+/// prefix sum advances once across the pair instead of restarting per
+/// breakpoint — O(na + nb) per comparison, bit-identical to the
+/// one-shot `cdf` fold.
 #[derive(Copy, Clone, PartialEq, Debug)]
 pub struct DominancePolicy {
     mode: DominanceMode,

@@ -27,8 +27,58 @@
 
 use crate::error::DistError;
 use crate::histogram::{redistribute_into, Histogram, HistogramView};
+use crate::kernels::{accumulate_capped, accumulate_mac, projection_bins, same_lattice};
 use crate::pool::{normalize_masses, HistogramBuf, HistogramPool};
 use std::cell::RefCell;
+
+/// Which code path a convolution took — returned by [`convolve_into`] and
+/// [`convolve_bounded_into`] so callers (the routing engine's
+/// `lattice_fast_path` counter, benchmarks, tests) can observe the
+/// kernel dispatch without re-deriving it. Every route writes
+/// bit-identical output for its inputs; the enum is telemetry, not a
+/// semantic switch.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ConvRoute {
+    /// Equal widths *and* phase-aligned starts: both operands sit on one
+    /// shared lattice, so the projection-free aligned kernel is exact on
+    /// the operands' own grid — the warm-engine fast path.
+    Lattice,
+    /// Shared lattice, output re-bucketed through the fused
+    /// accumulate-and-cap kernel (no materialized product grid).
+    LatticeCapped,
+    /// Equal widths but offset phases: still the aligned kernel (equal
+    /// width is all it needs), but the operands don't share a lattice.
+    Aligned,
+    /// Equal widths, offset phases, fused cap.
+    AlignedCapped,
+    /// Mismatched widths: the coarser operand was projected onto the
+    /// finer lattice first, output within the cap (if any).
+    Projected,
+    /// Mismatched widths, and the projected result was re-bucketed down
+    /// to the cap.
+    ProjectedCapped,
+}
+
+impl ConvRoute {
+    /// `true` for the shared-lattice routes — what the engine's
+    /// `lattice_fast_path` counter tallies.
+    pub fn lattice_hit(self) -> bool {
+        matches!(self, ConvRoute::Lattice | ConvRoute::LatticeCapped)
+    }
+
+    /// `true` when a `project_fine` re-binning ran.
+    pub fn projected(self) -> bool {
+        matches!(self, ConvRoute::Projected | ConvRoute::ProjectedCapped)
+    }
+
+    /// `true` when the output was re-bucketed to a cap.
+    pub fn capped(self) -> bool {
+        matches!(
+            self,
+            ConvRoute::LatticeCapped | ConvRoute::AlignedCapped | ConvRoute::ProjectedCapped
+        )
+    }
+}
 
 thread_local! {
     /// Temporaries for the value-returning wrappers (and any other
@@ -47,35 +97,26 @@ pub fn with_local_pool<R>(f: impl FnOnce(&mut HistogramPool) -> R) -> R {
     LOCAL_POOL.with(|p| f(&mut p.borrow_mut()))
 }
 
-/// Accumulates the aligned (equal-width) convolution of `a` and `b` into
-/// `out`, which must hold `a.num_bins() + b.num_bins() - 1` zeros.
-fn accumulate_aligned(a: &[f64], b: &[f64], out: &mut [f64]) {
-    for (i, &pa) in a.iter().enumerate() {
-        if pa == 0.0 {
-            continue;
-        }
-        for (j, &pb) in b.iter().enumerate() {
-            out[i + j] += pa * pb;
-        }
-    }
-}
-
-/// Writes the aligned convolution's raw masses and grid into `out`.
+/// Writes the aligned convolution's raw masses and grid into `out` via
+/// the chunked multiply-accumulate kernel (bit-identical to the scalar
+/// reference — see `crate::kernels`).
 fn convolve_aligned_into(a: &HistogramView<'_>, b: &HistogramView<'_>, out: &mut HistogramBuf) {
     let n = a.num_bins() + b.num_bins() - 1;
     let masses = out.reset_masses();
     masses.resize(n, 0.0);
-    accumulate_aligned(a.probs(), b.probs(), masses);
+    accumulate_mac(a.probs(), b.probs(), masses);
     out.set_grid(a.start() + b.start(), a.width());
 }
 
 /// Projects `h` onto the finer lattice of width `w` (anchored at `h`'s
 /// own start) into a pooled temporary, reproducing the value pipeline's
 /// `rebin_onto` + `Histogram::new` normalization. The returned vector is
-/// checked out of `pool`; the caller checks it back in when done.
+/// checked out of `pool`; the caller checks it back in when done. The
+/// bin count comes from [`projection_bins`]'s magnitude-derived
+/// tolerance (the former absolute `1e-9` snapped away genuine slivers).
 fn project_fine(h: &HistogramView<'_>, w: f64, pool: &mut HistogramPool) -> Vec<f64> {
     let span = h.end() - h.start();
-    let nbins = ((span / w) - 1e-9).ceil().max(1.0) as usize;
+    let nbins = projection_bins(span, w);
     let mut tmp = pool.checkout_vec();
     redistribute_into(h.start(), h.width(), h.probs(), h.start(), w, nbins, &mut tmp);
     // The value pipeline materialized the projection through
@@ -87,16 +128,21 @@ fn project_fine(h: &HistogramView<'_>, w: f64, pool: &mut HistogramPool) -> Vec<
 /// In-place twin of [`convolve`]: writes the (raw) convolution of `a` and
 /// `b` into `out`. Mismatched widths are projected onto the finer lattice
 /// using temporaries from `pool`; aligned inputs touch the pool not at
-/// all.
+/// all. Returns the [`ConvRoute`] taken.
 pub fn convolve_into(
     a: &HistogramView<'_>,
     b: &HistogramView<'_>,
     out: &mut HistogramBuf,
     pool: &mut HistogramPool,
-) {
+) -> ConvRoute {
     if a.width() == b.width() {
+        let route = if same_lattice(a, b) {
+            ConvRoute::Lattice
+        } else {
+            ConvRoute::Aligned
+        };
         convolve_aligned_into(a, b, out);
-        return;
+        return route;
     }
     // `min` returns one of its arguments, so exactly one side is coarser
     // and needs projecting onto the finer lattice.
@@ -112,6 +158,7 @@ pub fn convolve_into(
         convolve_aligned_into(&va, b, out);
         pool.checkin(fa);
     }
+    ConvRoute::Projected
 }
 
 /// Travel-time distribution of the sum of two independent histograms.
@@ -147,10 +194,13 @@ pub fn convolve(a: &Histogram, b: &Histogram) -> Histogram {
 }
 
 /// In-place twin of [`convolve_bounded`]: writes the (raw) capped
-/// convolution of `a` and `b` into `out`, drawing every temporary — the
-/// full product grid, projections — from `pool`. This is the routing
-/// label expansion's workhorse: with a warm pool the whole step performs
-/// zero heap allocation.
+/// convolution of `a` and `b` into `out`. Equal-width operands never
+/// touch `pool` at all — when the exact result exceeds `max_bins`, the
+/// fused accumulate-and-cap kernel re-buckets on the fly without
+/// materializing the uncapped product grid. Mismatched widths draw
+/// projection temporaries from `pool`. This is the routing label
+/// expansion's workhorse: with a warm pool the whole step performs zero
+/// heap allocation. Returns the [`ConvRoute`] taken.
 ///
 /// # Errors
 /// [`DistError::ZeroBins`] when `max_bins == 0`.
@@ -160,7 +210,7 @@ pub fn convolve_bounded_into(
     max_bins: usize,
     out: &mut HistogramBuf,
     pool: &mut HistogramPool,
-) -> Result<(), DistError> {
+) -> Result<ConvRoute, DistError> {
     if max_bins == 0 {
         return Err(DistError::ZeroBins);
     }
@@ -169,29 +219,41 @@ pub fn convolve_bounded_into(
         // convolve, then the generic bucket cap (which reproduces the
         // value pipeline's materialize-then-`with_bins` normalization).
         convolve_into(a, b, out, pool);
+        let capped = out.num_bins() > max_bins;
         out.cap_bins(max_bins, pool)?;
-        return Ok(());
+        return Ok(if capped {
+            ConvRoute::ProjectedCapped
+        } else {
+            ConvRoute::Projected
+        });
     }
     let n = a.num_bins() + b.num_bins() - 1;
+    let lattice = same_lattice(a, b);
     if n <= max_bins {
         convolve_aligned_into(a, b, out);
-        return Ok(());
+        return Ok(if lattice {
+            ConvRoute::Lattice
+        } else {
+            ConvRoute::Aligned
+        });
     }
-    // Capped aligned path: accumulate the full product grid in a pooled
-    // temporary, re-bucket straight into the output. The value pipeline
-    // ran exactly this (scratch -> redistribute -> one Histogram::new),
-    // so the raw masses here see no intermediate normalization.
-    let mut grid = pool.checkout_vec();
-    grid.resize(n, 0.0);
-    accumulate_aligned(a.probs(), b.probs(), &mut grid);
+    // Capped aligned path: the fused kernel accumulates product-grid
+    // values in stack tiles and redistributes each tile straight into the
+    // output — bit-identical to the historical materialize-then-
+    // redistribute (the value pipeline's scratch -> redistribute -> one
+    // `Histogram::new`), so the raw masses see no intermediate
+    // normalization and no pooled grid is ever checked out.
     let start = a.start() + b.start();
     let span = a.width() * n as f64;
     let width = span / max_bins as f64;
     let masses = out.reset_masses();
-    redistribute_into(start, a.width(), &grid, start, width, max_bins, masses);
-    pool.checkin(grid);
+    accumulate_capped(a.probs(), b.probs(), start, a.width(), width, max_bins, masses);
     out.set_grid(start, width);
-    Ok(())
+    Ok(if lattice {
+        ConvRoute::LatticeCapped
+    } else {
+        ConvRoute::AlignedCapped
+    })
 }
 
 /// [`convolve`] with a cap on the number of output buckets — the pruning

@@ -37,6 +37,7 @@
 
 use crate::error::DistError;
 use crate::histogram::{Histogram, HistogramView};
+use crate::kernels::CdfScanner;
 
 /// Float tolerance for envelope containment checks: absorbs the
 /// convolve/re-bin rounding noise of the routing pipeline.
@@ -169,14 +170,22 @@ impl MassEnvelope {
     /// [`MassEnvelope::contains`] over a borrowed [`HistogramView`], so
     /// pooled buffers and offset-translated labels are checked without
     /// materializing a histogram.
+    ///
+    /// Each knot run ascends, so the histogram's CDF is evaluated
+    /// through an incremental [`CdfScanner`] per run — `O(n + m)` per
+    /// check instead of a fresh prefix sum per knot, bit-identical to
+    /// calling [`HistogramView::cdf`] at every point.
     pub fn contains_view(&self, h: &HistogramView<'_>) -> bool {
         let mut ok = true;
-        let mut check = |x: f64| ok &= h.cdf(x) <= self.bound_at(x) + CONTAIN_TOL;
+        let mut scan = CdfScanner::new(*h);
         for k in 0..self.bounds.len() {
-            check(self.start + k as f64 * self.width);
+            let x = self.start + k as f64 * self.width;
+            ok &= scan.cdf(x) <= self.bound_at(x) + CONTAIN_TOL;
         }
+        let mut scan = CdfScanner::new(*h);
         for i in 0..=h.num_bins() {
-            check(h.start() + i as f64 * h.width());
+            let x = h.start() + i as f64 * h.width();
+            ok &= scan.cdf(x) <= self.bound_at(x) + CONTAIN_TOL;
         }
         ok
     }

@@ -79,30 +79,19 @@ impl<'a> HistogramView<'a> {
         self.probs[i]
     }
 
-    /// Expected value: masses sit at bucket centres.
+    /// Expected value: masses sit at bucket centres. (Kernel-backed
+    /// in-order fold — bit-identical to the historical iterator sum,
+    /// proven by the differential suite against
+    /// [`crate::reference::mean_ref`].)
     pub fn mean(&self) -> f64 {
-        let centers: f64 = self
-            .probs
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (i as f64 + 0.5) * p)
-            .sum();
-        self.start + self.width * centers
+        self.start + self.width * crate::kernels::first_moment_cells(self.probs)
     }
 
     /// Variance under the uniform-within-bucket reading (includes the
     /// `width^2 / 12` within-bucket term).
     pub fn variance(&self) -> f64 {
         let mean = self.mean();
-        let spread: f64 = self
-            .probs
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| {
-                let c = self.start + (i as f64 + 0.5) * self.width;
-                p * (c - mean) * (c - mean)
-            })
-            .sum();
+        let spread = crate::kernels::spread_about(self.start, self.width, self.probs, mean);
         spread + self.width * self.width / 12.0
     }
 
@@ -129,6 +118,13 @@ impl<'a> HistogramView<'a> {
 
     /// `P(X <= x)` under the piecewise-linear (uniform within bucket) CDF.
     /// Zero below the support, one above it; `NaN` maps to zero.
+    ///
+    /// The prefix mass runs through the shared summation kernel
+    /// (`crate::kernels`) — in-order on the default build (bit-identical
+    /// to the historical `iter().sum()`, proven against
+    /// [`crate::reference::cdf_ref`]), 4-lane reassociated under the
+    /// `fast-math` feature. For ascending query sweeps prefer
+    /// [`crate::CdfScanner`], which amortizes the prefix to `O(n + m)`.
     pub fn cdf(&self, x: f64) -> f64 {
         if !x.is_finite() {
             return if x == f64::INFINITY { 1.0 } else { 0.0 };
@@ -141,7 +137,7 @@ impl<'a> HistogramView<'a> {
             return 1.0;
         }
         let full = t.floor() as usize;
-        let head: f64 = self.probs[..full].iter().sum();
+        let head = crate::kernels::prefix_mass(&self.probs[..full]);
         (head + (t - full as f64) * self.probs[full]).clamp(0.0, 1.0)
     }
 
@@ -152,20 +148,15 @@ impl<'a> HistogramView<'a> {
     }
 
     /// Inverse CDF. `q` is clamped to `[0, 1]`; returns `start()` for
-    /// `q <= 0` and `end()` for `q >= 1`.
+    /// `q <= 0` and `end()` for `q >= 1`. (Branch-free select-based scan
+    /// — bit-identical to the historical early-exit loop, proven against
+    /// [`crate::reference::quantile_ref`].)
     pub fn quantile(&self, q: f64) -> f64 {
         let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         if q <= 0.0 {
             return self.start;
         }
-        let mut cum = 0.0;
-        for (i, &p) in self.probs.iter().enumerate() {
-            if p > 0.0 && cum + p >= q {
-                return self.start + self.width * (i as f64 + (q - cum) / p);
-            }
-            cum += p;
-        }
-        self.end()
+        crate::kernels::quantile_scan(self.start, self.width, self.probs, q)
     }
 
     /// Projects the viewed distribution onto the target grid
@@ -491,7 +482,12 @@ pub(crate) fn redistribute(
 
 /// [`redistribute`] writing into a caller-provided buffer (cleared and
 /// zero-filled to `nbins` first) — the allocation-free core every re-bin
-/// in the stack funnels through.
+/// in the stack funnels through. Delegates to the two-pass chunked
+/// kernel (`crate::kernels::redistribute_chunked`) shared with the fused
+/// accumulate-and-cap path. Sharing the kernel (rather than imitating
+/// it) is what makes the fused path's boundary arithmetic bit-identical
+/// to materialize-then-redistribute: same clamps, same overlap
+/// expressions, same accumulation order into `out`.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn redistribute_into(
     src_start: f64,
@@ -505,35 +501,21 @@ pub(crate) fn redistribute_into(
     out.clear();
     out.resize(nbins, 0.0);
     let hi = lo + width * nbins as f64;
-    for (i, &p) in src.iter().enumerate() {
-        if p <= 0.0 {
-            continue;
-        }
-        let l = src_start + i as f64 * src_width;
-        let r = l + src_width;
-        // Tails falling off the target grid clamp to the edge buckets.
-        let below = (lo - l).clamp(0.0, src_width);
-        let above = (r - hi).clamp(0.0, src_width);
-        if below > 0.0 {
-            out[0] += p * below / src_width;
-        }
-        if above > 0.0 {
-            out[nbins - 1] += p * above / src_width;
-        }
-        let ol = l.max(lo);
-        let or_ = r.min(hi);
-        if or_ <= ol {
-            continue;
-        }
-        let j0 = ((ol - lo) / width).floor().max(0.0) as usize;
-        let j1 = (((or_ - lo) / width).ceil() as usize).min(nbins);
-        for (j, slot) in out.iter_mut().enumerate().take(j1).skip(j0.min(nbins - 1)) {
-            let bl = lo + j as f64 * width;
-            let overlap = or_.min(bl + width) - ol.max(bl);
-            if overlap > 0.0 {
-                *slot += p * overlap / src_width;
-            }
-        }
+    let mut i0 = 0usize;
+    while i0 < src.len() {
+        let i1 = (i0 + crate::kernels::REDIST_CHUNK).min(src.len());
+        crate::kernels::redistribute_chunked(
+            i0,
+            &src[i0..i1],
+            src_start,
+            src_width,
+            lo,
+            hi,
+            width,
+            nbins,
+            out,
+        );
+        i0 = i1;
     }
 }
 
@@ -680,5 +662,86 @@ mod tests {
         // A single bucket is uniform on [10, 16): variance = 36 / 12 = 3.
         assert!((h.variance() - 3.0).abs() < 1e-12);
         assert!((h.std_dev() - 3.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_handles_extremes_and_zero_mass_plateaus() {
+        // Interior zero-mass run: the CDF plateaus, the quantile at the
+        // plateau's value resolves to the *left* edge of the plateau and
+        // anything above it skips to the next positive bucket.
+        let h = Histogram::new(0.0, 1.0, vec![0.5, 0.0, 0.0, 0.5]).unwrap();
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(0.5), 1.0);
+        let above = h.quantile(0.5 + 1e-9);
+        assert!(above > 3.0 && above < 4.0, "got {above}");
+        assert_eq!(h.quantile(1.0), 4.0);
+        assert_eq!(h.quantile(f64::NAN), 0.0);
+        assert_eq!(h.quantile(-3.0), 0.0);
+        assert_eq!(h.quantile(7.0), 4.0);
+        // A zero-mass *suffix*: q = 1 must stop at the last positive
+        // bucket's right edge, not the padded support's end.
+        let padded = Histogram::new(0.0, 1.0, vec![1.0, 0.0, 0.0]).unwrap();
+        assert_eq!(padded.quantile(1.0), 1.0);
+        assert_eq!(padded.end(), 3.0);
+        // A zero-mass *prefix*: tiny q lands in the first positive bucket.
+        let shifted = Histogram::new(0.0, 1.0, vec![0.0, 0.0, 1.0]).unwrap();
+        let q = shifted.quantile(1e-12);
+        assert!(q >= 2.0 && q < 3.0, "got {q}");
+    }
+
+    #[test]
+    fn cdf_saturates_across_zero_mass_suffixes() {
+        let h = Histogram::new(0.0, 1.0, vec![0.5, 0.5, 0.0, 0.0]).unwrap();
+        // All mass is behind x = 2: the CDF must already read 1 inside
+        // the zero tail, not only past the support.
+        assert_eq!(h.cdf(2.0), 1.0);
+        assert_eq!(h.cdf(3.5), 1.0);
+        assert_eq!(h.cdf(400.0), 1.0);
+        assert_eq!(h.cdf(-1.0), 0.0);
+        assert_eq!(h.cdf(0.0), 0.0);
+    }
+
+    #[test]
+    fn view_scans_match_the_owning_histogram_bitwise() {
+        // `HistogramView::from_raw` over the same grid must answer every
+        // scan identically to the owning histogram — they share one
+        // kernel-backed implementation.
+        let h = Histogram::new(3.0, 0.7, vec![0.125, 0.0, 0.5, 0.25, 0.125]).unwrap();
+        let v = HistogramView::from_raw(h.start(), h.width(), h.probs());
+        for i in 0..=60 {
+            let x = 2.5 + 0.1 * i as f64;
+            assert_eq!(v.cdf(x).to_bits(), h.cdf(x).to_bits());
+        }
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            assert_eq!(v.quantile(q).to_bits(), h.quantile(q).to_bits());
+        }
+        assert_eq!(v.mean().to_bits(), h.mean().to_bits());
+        assert_eq!(v.variance().to_bits(), h.variance().to_bits());
+    }
+
+    #[test]
+    fn quantile_inverts_the_cdf_across_plateaus_and_views() {
+        // The inversion law, extended to the branch-free scans: wherever
+        // the CDF is strictly increasing, quantile(cdf(x)) recovers x;
+        // on plateaus it recovers the plateau's left edge.
+        let cases = [
+            Histogram::new(0.0, 4.0, vec![0.1, 0.4, 0.3, 0.2]).unwrap(),
+            Histogram::new(-5.0, 0.5, vec![0.5, 0.0, 0.0, 0.25, 0.25]).unwrap(),
+            Histogram::new(100.0, 2.0, vec![0.0, 1.0, 0.0]).unwrap(),
+        ];
+        for h in &cases {
+            let v = h.view();
+            for i in 1..100 {
+                let q = i as f64 / 100.0;
+                let x = h.quantile(q);
+                assert!(
+                    (h.cdf(x) - q).abs() < 1e-9,
+                    "q={q} x={x} cdf={}",
+                    h.cdf(x)
+                );
+                assert_eq!(v.quantile(q).to_bits(), x.to_bits());
+            }
+        }
     }
 }

@@ -37,6 +37,25 @@
 //! centres. Convolution follows the paper's discrete bucket-index
 //! treatment, which keeps its worked example exact.
 //!
+//! # Kernels and the bit-identity contract
+//!
+//! The hot inner loops (convolution multiply-accumulate, the fused
+//! accumulate-and-cap, CDF/quantile/moment scans) run as chunked,
+//! branch-free kernels. On the default build every kernel is
+//! **bit-for-bit identical** to the retained scalar reference
+//! implementation ([`mod@reference`], `#[doc(hidden)]`): the only
+//! transformations used are accumulation-order-preserving (unrolling
+//! across distinct output slots, chunk-granular zero skips, shared
+//! redistribution bodies), and the differential suite in
+//! `tests/proptest_kernels.rs` pins the claim over adversarial grids.
+//! Reassociating variants of the summation folds exist behind the
+//! **`fast-math`** cargo feature only; enabling it trades bit-identity
+//! for throughput and is *not* what the routing-soundness CI certifies.
+//! [`CdfScanner`] exposes the incremental CDF evaluation (for monotone
+//! query sweeps) that the dominance and envelope checks run on, and
+//! [`ConvRoute`] reports which convolution path ran — including the
+//! shared-lattice fast route the engine counts as `lattice_fast_path`.
+//!
 //! # Examples
 //!
 //! The paper's introductory airport table — the on-time probability of a
@@ -73,16 +92,21 @@ pub mod empirical;
 pub mod envelope;
 pub mod pool;
 
+#[doc(hidden)]
+pub mod reference;
+
 mod convolve;
 mod error;
 mod histogram;
+mod kernels;
 mod metrics;
 
 pub use convolve::{
-    convolve, convolve_bounded, convolve_bounded_into, convolve_into, with_local_pool,
+    convolve, convolve_bounded, convolve_bounded_into, convolve_into, with_local_pool, ConvRoute,
 };
 pub use envelope::MassEnvelope;
 pub use error::DistError;
 pub use histogram::{Histogram, HistogramView};
+pub use kernels::CdfScanner;
 pub use metrics::{kl_divergence, total_variation, wasserstein1};
 pub use pool::{HistogramBuf, HistogramPool, PoolStats};

@@ -24,6 +24,12 @@
 //! retention bound is shrunk before it is parked — the fix for the old
 //! thread-local convolution scratch, which kept its high-water-mark
 //! allocation alive forever on every thread that ever routed.
+//!
+//! Since the fused accumulate-and-cap kernel landed (see
+//! `crate::kernels`), the equal-width capped convolution no longer
+//! checks a product-grid temporary out of the pool at all — the pool's
+//! remaining customers on the hot path are the output buffers themselves
+//! and the mismatched-width projection temporaries.
 
 use crate::error::DistError;
 use crate::histogram::{redistribute_into, Histogram, HistogramView};

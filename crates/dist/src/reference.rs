@@ -1,0 +1,248 @@
+//! Retained scalar reference implementations — the oracle half of the
+//! kernel differential suite.
+//!
+//! Every chunked/branch-free kernel in `crate::kernels` claims bitwise
+//! identity with the simple scalar loop it replaced. This module *keeps*
+//! those loops, verbatim, so the claim stays checkable forever:
+//! `tests/proptest_kernels.rs` runs each production kernel against its
+//! reference twin over adversarial grids and asserts `to_bits()`
+//! equality on every output. Nothing here is part of the supported API —
+//! the module is `#[doc(hidden)]` and exists only for differential
+//! testing and benchmarking.
+//!
+//! One deliberate exception to "verbatim": the projection bin-count
+//! tolerance is shared with production via
+//! `crate::kernels::projection_bins`. That replaced a magnitude-blind
+//! `1e-9` epsilon — a *semantic* fix to what both pipelines should
+//! compute, not a kernel variant, so the reference adopts it too.
+
+use crate::error::DistError;
+use crate::histogram::HistogramView;
+use crate::kernels::projection_bins;
+use crate::pool::{normalize_masses, HistogramBuf, HistogramPool};
+
+/// The historical aligned-convolution loop: per-element zero-mass
+/// branch-and-skip, no unrolling. `out` must hold
+/// `a.len() + b.len() - 1` slots.
+pub fn accumulate_aligned_ref(a: &[f64], b: &[f64], out: &mut [f64]) {
+    for (i, &pa) in a.iter().enumerate() {
+        if pa == 0.0 {
+            continue;
+        }
+        for (j, &pb) in b.iter().enumerate() {
+            out[i + j] += pa * pb;
+        }
+    }
+}
+
+/// The historical monolithic overlap-splitting redistribution loop
+/// (clears and zero-fills `out` to `nbins` first).
+#[allow(clippy::too_many_arguments)]
+pub fn redistribute_into_ref(
+    src_start: f64,
+    src_width: f64,
+    src: &[f64],
+    lo: f64,
+    width: f64,
+    nbins: usize,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.resize(nbins, 0.0);
+    let hi = lo + width * nbins as f64;
+    for (i, &p) in src.iter().enumerate() {
+        if p <= 0.0 {
+            continue;
+        }
+        let l = src_start + i as f64 * src_width;
+        let r = l + src_width;
+        let below = (lo - l).clamp(0.0, src_width);
+        let above = (r - hi).clamp(0.0, src_width);
+        if below > 0.0 {
+            out[0] += p * below / src_width;
+        }
+        if above > 0.0 {
+            out[nbins - 1] += p * above / src_width;
+        }
+        let ol = l.max(lo);
+        let or_ = r.min(hi);
+        if or_ <= ol {
+            continue;
+        }
+        let j0 = ((ol - lo) / width).floor().max(0.0) as usize;
+        let j1 = (((or_ - lo) / width).ceil() as usize).min(nbins);
+        for (j, slot) in out.iter_mut().enumerate().take(j1).skip(j0.min(nbins - 1)) {
+            let bl = lo + j as f64 * width;
+            let overlap = or_.min(bl + width) - ol.max(bl);
+            if overlap > 0.0 {
+                *slot += p * overlap / src_width;
+            }
+        }
+    }
+}
+
+/// Reference aligned convolution into a [`HistogramBuf`].
+fn convolve_aligned_into_ref(a: &HistogramView<'_>, b: &HistogramView<'_>, out: &mut HistogramBuf) {
+    let n = a.num_bins() + b.num_bins() - 1;
+    let masses = out.reset_masses();
+    masses.resize(n, 0.0);
+    accumulate_aligned_ref(a.probs(), b.probs(), masses);
+    out.set_grid(a.start() + b.start(), a.width());
+}
+
+/// Reference projection of `h` onto the finer lattice of width `w`
+/// (pooled temporary; the caller checks it back in).
+fn project_fine_ref(h: &HistogramView<'_>, w: f64, pool: &mut HistogramPool) -> Vec<f64> {
+    let span = h.end() - h.start();
+    let nbins = projection_bins(span, w);
+    let mut tmp = pool.checkout_vec();
+    redistribute_into_ref(h.start(), h.width(), h.probs(), h.start(), w, nbins, &mut tmp);
+    normalize_masses(&mut tmp);
+    tmp
+}
+
+/// The historical [`crate::convolve_into`]: scalar MAC, projection for
+/// mismatched widths.
+pub fn convolve_into_ref(
+    a: &HistogramView<'_>,
+    b: &HistogramView<'_>,
+    out: &mut HistogramBuf,
+    pool: &mut HistogramPool,
+) {
+    if a.width() == b.width() {
+        convolve_aligned_into_ref(a, b, out);
+        return;
+    }
+    let w = a.width().min(b.width());
+    if a.width() == w {
+        let fb = project_fine_ref(b, w, pool);
+        let vb = HistogramView::from_raw(b.start(), w, &fb);
+        convolve_aligned_into_ref(a, &vb, out);
+        pool.checkin(fb);
+    } else {
+        let fa = project_fine_ref(a, w, pool);
+        let va = HistogramView::from_raw(a.start(), w, &fa);
+        convolve_aligned_into_ref(&va, b, out);
+        pool.checkin(fa);
+    }
+}
+
+/// The historical [`crate::convolve_bounded_into`]: the capped aligned
+/// path materializes the full product grid in a pooled temporary and
+/// redistributes it — exactly what the fused kernel must reproduce
+/// bit-for-bit without the temporary.
+///
+/// # Errors
+/// [`DistError::ZeroBins`] when `max_bins == 0`.
+pub fn convolve_bounded_into_ref(
+    a: &HistogramView<'_>,
+    b: &HistogramView<'_>,
+    max_bins: usize,
+    out: &mut HistogramBuf,
+    pool: &mut HistogramPool,
+) -> Result<(), DistError> {
+    if max_bins == 0 {
+        return Err(DistError::ZeroBins);
+    }
+    if a.width() != b.width() {
+        convolve_into_ref(a, b, out, pool);
+        out.cap_bins(max_bins, pool)?;
+        return Ok(());
+    }
+    let n = a.num_bins() + b.num_bins() - 1;
+    if n <= max_bins {
+        convolve_aligned_into_ref(a, b, out);
+        return Ok(());
+    }
+    let mut grid = pool.checkout_vec();
+    grid.resize(n, 0.0);
+    accumulate_aligned_ref(a.probs(), b.probs(), &mut grid);
+    let start = a.start() + b.start();
+    let span = a.width() * n as f64;
+    let width = span / max_bins as f64;
+    let masses = out.reset_masses();
+    redistribute_into_ref(start, a.width(), &grid, start, width, max_bins, masses);
+    pool.checkin(grid);
+    out.set_grid(start, width);
+    Ok(())
+}
+
+/// Convolution that *forces* the `project_fine` route even for
+/// equal-width operands (`b` is projected onto `a`'s width). The
+/// shared-lattice equivalence tests use this to prove the lattice fast
+/// path sound: on exact (dyadic) grids, skipping the projection must be
+/// bit-identical to running it.
+pub fn convolve_via_projection_ref(
+    a: &HistogramView<'_>,
+    b: &HistogramView<'_>,
+    out: &mut HistogramBuf,
+    pool: &mut HistogramPool,
+) {
+    let w = a.width().min(b.width());
+    if a.width() == w {
+        let fb = project_fine_ref(b, w, pool);
+        let vb = HistogramView::from_raw(b.start(), w, &fb);
+        convolve_aligned_into_ref(a, &vb, out);
+        pool.checkin(fb);
+    } else {
+        let fa = project_fine_ref(a, w, pool);
+        let va = HistogramView::from_raw(a.start(), w, &fa);
+        convolve_aligned_into_ref(&va, b, out);
+        pool.checkin(fa);
+    }
+}
+
+/// The historical one-shot CDF scan: prefix sum via `iter().sum()`.
+pub fn cdf_ref(start: f64, width: f64, probs: &[f64], x: f64) -> f64 {
+    if !x.is_finite() {
+        return if x == f64::INFINITY { 1.0 } else { 0.0 };
+    }
+    let t = (x - start) / width;
+    if t <= 0.0 {
+        return 0.0;
+    }
+    if t >= probs.len() as f64 {
+        return 1.0;
+    }
+    let full = t.floor() as usize;
+    let head: f64 = probs[..full].iter().sum();
+    (head + (t - full as f64) * probs[full]).clamp(0.0, 1.0)
+}
+
+/// The historical early-exit quantile loop (the caller handles the
+/// `q <= 0` / NaN clamp, as [`HistogramView::quantile`] does).
+pub fn quantile_ref(start: f64, width: f64, probs: &[f64], q: f64) -> f64 {
+    let mut cum = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        if p > 0.0 && cum + p >= q {
+            return start + width * (i as f64 + (q - cum) / p);
+        }
+        cum += p;
+    }
+    start + width * probs.len() as f64
+}
+
+/// The historical mean scan (`Σ (i + 0.5) p` via iterator `sum`).
+pub fn mean_ref(start: f64, width: f64, probs: &[f64]) -> f64 {
+    let centers: f64 = probs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (i as f64 + 0.5) * p)
+        .sum();
+    start + width * centers
+}
+
+/// The historical variance scan (centred second moment plus the
+/// `width²/12` within-bucket term).
+pub fn variance_ref(start: f64, width: f64, probs: &[f64]) -> f64 {
+    let mean = mean_ref(start, width, probs);
+    let spread: f64 = probs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let c = start + (i as f64 + 0.5) * width;
+            p * (c - mean) * (c - mean)
+        })
+        .sum();
+    spread + width * width / 12.0
+}

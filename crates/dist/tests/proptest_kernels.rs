@@ -1,0 +1,449 @@
+//! The kernel differential suite: every chunked/branch-free kernel in
+//! `srt_dist::kernels` against the retained scalar reference in
+//! `srt_dist::reference`, over adversarial grids — single-bin operands,
+//! extreme width mismatches, zero-mass prefixes/suffixes, masses
+//! spanning ~1e-300..1e3, and bucket caps pinned to the degenerate ends
+//! (`1` and exactly `na + nb - 1`).
+//!
+//! Every assertion is on `to_bits()`: the default build promises the
+//! restructured kernels are *bitwise* transparent, not merely close.
+//! The suite also audits `PoolStats` after each operation — every
+//! checkout must be matched by a checkin, fused path or not.
+//!
+//! The shared-lattice fast path gets its own soundness argument here:
+//! on exact (dyadic) grids, skipping the projection must be
+//! bit-identical to running `project_fine` anyway, proven against
+//! `convolve_via_projection_ref` which forces the projection route.
+
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use srt_dist::reference::{
+    accumulate_aligned_ref, cdf_ref, convolve_bounded_into_ref, convolve_into_ref,
+    convolve_via_projection_ref, quantile_ref, redistribute_into_ref,
+};
+use srt_dist::{convolve_bounded_into, convolve_into, ConvRoute, Histogram, HistogramPool};
+
+// ---------------------------------------------------------------------
+// Adversarial generators
+// ---------------------------------------------------------------------
+
+/// One bucket mass drawn from the adversarial regimes: exact zero,
+/// subnormal-adjacent tiny, ordinary, and huge (normalization in
+/// `Histogram::new` scales them back to probabilities, dragging the
+/// kernels through extreme dynamic ranges).
+fn arb_mass() -> impl Strategy<Value = f64> {
+    (0usize..9, 0.0f64..1.0).prop_map(|(regime, u)| match regime {
+        0..=2 => 0.0,
+        3 => 1e-300 * (1.0 + u * 999.0),
+        4..=7 => 1e-6 + u,
+        _ => 1.0 + u * 999.0,
+    })
+}
+
+/// Adversarial mass rows: random zero-run prefix and suffix around a
+/// core that may itself be mostly zeros, down to single-bucket rows.
+fn adversarial_masses(max: usize) -> impl Strategy<Value = Vec<f64>> {
+    (
+        proptest::collection::vec(arb_mass(), 1..max),
+        0usize..3,
+        0usize..3,
+    )
+        .prop_map(|(core, pre, post)| {
+            let mut v = vec![0.0; pre];
+            v.extend(core);
+            v.resize(v.len() + post, 0.0);
+            v
+        })
+        .prop_filter("needs positive mass", |v| v.iter().any(|&p| p > 0.0))
+}
+
+/// Bucket widths spanning three decades in each direction, so mixed
+/// pairs hit extreme width-mismatch projections.
+fn arb_width() -> impl Strategy<Value = f64> {
+    (0usize..6, 0.0f64..1.0).prop_map(|(regime, u)| match regime {
+        0 => 0.001 + u * 0.009,
+        1..=4 => 0.5 + u * 19.5,
+        _ => 100.0 + u * 900.0,
+    })
+}
+
+fn arb_adversarial() -> impl Strategy<Value = Histogram> {
+    (0.0f64..500.0, arb_width(), adversarial_masses(12))
+        .prop_map(|(s, w, m)| Histogram::new(s, w, m).expect("valid"))
+}
+
+/// An equal-width pair (anchors free), the precondition of the
+/// aligned/fused kernels.
+fn arb_aligned_pair() -> impl Strategy<Value = (Histogram, Histogram)> {
+    (
+        arb_width(),
+        0.0f64..500.0,
+        0.0f64..500.0,
+        adversarial_masses(16),
+        adversarial_masses(16),
+    )
+        .prop_map(|(w, sa, sb, ma, mb)| {
+            (
+                Histogram::new(sa, w, ma).expect("valid"),
+                Histogram::new(sb, w, mb).expect("valid"),
+            )
+        })
+}
+
+/// Dyadic masses: multiples of 1/1024 summing to exactly 1.0, so
+/// `Histogram::new` keeps them verbatim and every redistribution
+/// arithmetic step on a power-of-two lattice is exact.
+fn dyadic_masses(max: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0u32..65, 1..max)
+        .prop_filter("needs positive mass", |w| w.iter().sum::<u32>() > 0)
+        .prop_map(|w| {
+            let total: u32 = w.iter().sum();
+            let mut m: Vec<f64> = w.iter().map(|&x| x as f64 / 1024.0).collect();
+            let last = m.len() - 1;
+            m[last] += (1024 - total) as f64 / 1024.0;
+            m
+        })
+}
+
+// ---------------------------------------------------------------------
+// Bitwise assertions and pool audits
+// ---------------------------------------------------------------------
+
+fn assert_bits_eq(a: &Histogram, b: &Histogram) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.start().to_bits(), b.start().to_bits(), "start differs");
+    prop_assert_eq!(a.width().to_bits(), b.width().to_bits(), "width differs");
+    prop_assert_eq!(a.num_bins(), b.num_bins(), "bin count differs");
+    for (i, (x, y)) in a.probs().iter().zip(b.probs()).enumerate() {
+        prop_assert_eq!(x.to_bits(), y.to_bits(), "mass {} differs: {} vs {}", i, x, y);
+    }
+    Ok(())
+}
+
+/// Every checkout matched by a checkin: the fused path must not leak
+/// (or double-return) pooled buffers any more than the reference did.
+fn assert_pool_balanced(pool: &HistogramPool) -> Result<(), TestCaseError> {
+    let s = pool.stats();
+    prop_assert_eq!(
+        s.checkins,
+        s.mints + s.reuses,
+        "pool checkout/checkin imbalance: {:?}",
+        s
+    );
+    Ok(())
+}
+
+/// Runs production `convolve_bounded_into` and the grid-materializing
+/// reference on separate pools, asserting bitwise-equal outputs (raw
+/// masses and grid, pre-normalization) and balanced accounting on both.
+fn diff_bounded(a: &Histogram, b: &Histogram, cap: usize) -> Result<ConvRoute, TestCaseError> {
+    let mut pool_p = HistogramPool::new();
+    let mut out_p = pool_p.checkout();
+    let route = convolve_bounded_into(&a.view(), &b.view(), cap, &mut out_p, &mut pool_p)
+        .expect("positive cap");
+
+    let mut pool_r = HistogramPool::new();
+    let mut out_r = pool_r.checkout();
+    convolve_bounded_into_ref(&a.view(), &b.view(), cap, &mut out_r, &mut pool_r)
+        .expect("positive cap");
+
+    prop_assert_eq!(out_p.start().to_bits(), out_r.start().to_bits(), "start differs");
+    prop_assert_eq!(out_p.width().to_bits(), out_r.width().to_bits(), "width differs");
+    prop_assert_eq!(out_p.num_bins(), out_r.num_bins(), "bin count differs");
+    for (i, (x, y)) in out_p.masses().iter().zip(out_r.masses()).enumerate() {
+        prop_assert_eq!(x.to_bits(), y.to_bits(), "raw mass {} differs: {} vs {}", i, x, y);
+    }
+
+    pool_p.checkin_buf(out_p);
+    pool_r.checkin_buf(out_r);
+    assert_pool_balanced(&pool_p)?;
+    assert_pool_balanced(&pool_r)?;
+    Ok(route)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The chunked MAC kernel against the historical per-element
+    /// branch-and-skip loop, directly on raw rows.
+    #[test]
+    fn mac_kernel_matches_scalar_reference(ma in adversarial_masses(24),
+                                           mb in adversarial_masses(24)) {
+        // Through the public aligned path (which routes to the MAC
+        // kernel) vs the raw reference accumulation.
+        let a = Histogram::new(0.0, 1.0, ma).expect("valid");
+        let b = Histogram::new(0.0, 1.0, mb).expect("valid");
+        let n = a.num_bins() + b.num_bins() - 1;
+        let mut reference = vec![0.0; n];
+        accumulate_aligned_ref(a.probs(), b.probs(), &mut reference);
+
+        let mut pool = HistogramPool::new();
+        let mut out = pool.checkout();
+        convolve_into(&a.view(), &b.view(), &mut out, &mut pool);
+        for (i, (x, y)) in out.masses().iter().zip(&reference).enumerate() {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "slot {} differs: {} vs {}", i, x, y);
+        }
+        pool.checkin_buf(out);
+        assert_pool_balanced(&pool)?;
+    }
+
+    /// Full `convolve_into` (aligned MAC or projection route) against
+    /// the retained reference, across extreme width mismatches.
+    #[test]
+    fn convolve_into_matches_reference_bitwise(a in arb_adversarial(),
+                                               b in arb_adversarial()) {
+        let mut pool_p = HistogramPool::new();
+        let mut out_p = pool_p.checkout();
+        let route = convolve_into(&a.view(), &b.view(), &mut out_p, &mut pool_p);
+        let prod = out_p.into_histogram().expect("valid");
+
+        let mut pool_r = HistogramPool::new();
+        let mut out_r = pool_r.checkout();
+        convolve_into_ref(&a.view(), &b.view(), &mut out_r, &mut pool_r);
+        let refr = out_r.into_histogram().expect("valid");
+
+        assert_bits_eq(&prod, &refr)?;
+        prop_assert_eq!(route.projected(), a.width() != b.width(),
+            "projection routing disagrees with the width mismatch");
+    }
+
+    /// The fused accumulate-and-cap kernel against
+    /// materialize-then-redistribute, with the cap swept through the
+    /// degenerate ends: 1, exactly `na + nb - 1`, one below it, and a
+    /// free draw.
+    #[test]
+    fn fused_cap_matches_materialized_reference(pair in arb_aligned_pair(),
+                                                which in 0usize..4,
+                                                free in 2usize..32) {
+        let (a, b) = pair;
+        let n = a.num_bins() + b.num_bins() - 1;
+        let cap = match which {
+            0 => 1,
+            1 => n,
+            2 => n.saturating_sub(1).max(1),
+            _ => free,
+        };
+        let route = diff_bounded(&a, &b, cap)?;
+        prop_assert_eq!(route.capped(), n > cap,
+            "cap routing disagrees: n = {}, cap = {}", n, cap);
+    }
+
+    /// Mixed-width bounded convolution (projection + cap) against the
+    /// reference, same cap sweep.
+    #[test]
+    fn bounded_projection_matches_reference(a in arb_adversarial(),
+                                            b in arb_adversarial(),
+                                            cap in 1usize..24) {
+        prop_assume!(a.width() != b.width());
+        let route = diff_bounded(&a, &b, cap)?;
+        prop_assert!(route.projected());
+    }
+
+    /// The extracted per-bucket redistribution against the historical
+    /// monolithic loop, on arbitrary target grids.
+    #[test]
+    fn rebin_matches_redistribute_reference(h in arb_adversarial(),
+                                            lo in 0.0f64..400.0,
+                                            width in arb_width(),
+                                            nbins in 1usize..24) {
+        let mut prod = Vec::new();
+        h.view().rebin_into(lo, width, nbins, &mut prod).expect("valid grid");
+        let mut reference = Vec::new();
+        redistribute_into_ref(h.start(), h.width(), h.probs(), lo, width, nbins, &mut reference);
+        prop_assert_eq!(prod.len(), reference.len());
+        for (i, (x, y)) in prod.iter().zip(&reference).enumerate() {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "bucket {} differs: {} vs {}", i, x, y);
+        }
+    }
+
+    /// Branch-free CDF/quantile/moment scans against the historical
+    /// early-exit loops, on both the owning histogram and a raw view.
+    #[test]
+    fn scans_match_scalar_references(h in arb_adversarial(),
+                                     x in -100.0f64..2000.0,
+                                     q in 0.001f64..1.0) {
+        let (s, w, p) = (h.start(), h.width(), h.probs());
+        // The summation fold itself is only bit-pinned on the default
+        // build; fast-math swaps it for a reassociated variant.
+        if cfg!(not(feature = "fast-math")) {
+            prop_assert_eq!(h.cdf(x).to_bits(), cdf_ref(s, w, p, x).to_bits());
+        }
+        prop_assert!((h.cdf(x) - cdf_ref(s, w, p, x)).abs() < 1e-12);
+        prop_assert_eq!(h.quantile(q).to_bits(), quantile_ref(s, w, p, q).to_bits());
+        prop_assert_eq!(
+            h.mean().to_bits(),
+            srt_dist::reference::mean_ref(s, w, p).to_bits());
+        prop_assert_eq!(
+            h.variance().to_bits(),
+            srt_dist::reference::variance_ref(s, w, p).to_bits());
+
+        let v = srt_dist::HistogramView::from_raw(s, w, p);
+        prop_assert_eq!(v.quantile(q).to_bits(), h.quantile(q).to_bits());
+        prop_assert_eq!(v.mean().to_bits(), h.mean().to_bits());
+    }
+
+    /// The incremental `CdfScanner` answers ascending queries exactly
+    /// like the one-shot scan — including repeats, off-support probes,
+    /// and non-bucket-aligned positions.
+    #[test]
+    fn cdf_scanner_matches_one_shot(h in arb_adversarial(),
+                                    mut xs in proptest::collection::vec(-0.3f64..1.3, 1..40)) {
+        xs.sort_by(|p, q| p.partial_cmp(q).expect("finite"));
+        let span = h.end() - h.start();
+        let mut scan = srt_dist::CdfScanner::new(h.view());
+        for &t in &xs {
+            let x = h.start() + t * span;
+            // The scanner always keeps the in-order fold; the one-shot
+            // scan only matches it bitwise on the default build.
+            if cfg!(feature = "fast-math") {
+                prop_assert!((scan.cdf(x) - h.cdf(x)).abs() <= 1e-13,
+                    "scanner drifted past budget at x = {}", x);
+            } else {
+                prop_assert_eq!(scan.cdf(x).to_bits(), h.cdf(x).to_bits(),
+                    "scanner diverged at x = {}", x);
+            }
+        }
+    }
+
+    /// Shared-lattice soundness: on exact dyadic grids the fast path
+    /// (skip the projection) is bit-identical to *forcing* the
+    /// projection route, and the router must classify the pair as a
+    /// lattice hit.
+    #[test]
+    fn lattice_fast_path_is_bitwise_sound_on_dyadic_grids(
+        wi in 0usize..4,
+        a_seed in (0u32..2000, dyadic_masses(10)),
+        b_seed in (0u32..2000, dyadic_masses(10))) {
+        let width = [0.25, 0.5, 1.0, 2.0][wi];
+        let a = Histogram::new(a_seed.0 as f64 * width, width, a_seed.1).expect("valid");
+        let b = Histogram::new(b_seed.0 as f64 * width, width, b_seed.1).expect("valid");
+
+        let mut pool_p = HistogramPool::new();
+        let mut out_p = pool_p.checkout();
+        let route = convolve_into(&a.view(), &b.view(), &mut out_p, &mut pool_p);
+        prop_assert_eq!(route, ConvRoute::Lattice, "dyadic pair must hit the lattice route");
+        let fast = out_p.into_histogram().expect("valid");
+
+        let mut pool_r = HistogramPool::new();
+        let mut out_r = pool_r.checkout();
+        convolve_via_projection_ref(&a.view(), &b.view(), &mut out_r, &mut pool_r);
+        let slow = out_r.into_histogram().expect("valid");
+
+        assert_bits_eq(&fast, &slow)?;
+        // Return the payloads so the checkout/checkin audit balances.
+        pool_p.recycle(fast);
+        pool_r.recycle(slow);
+        assert_pool_balanced(&pool_p)?;
+        assert_pool_balanced(&pool_r)?;
+    }
+
+    /// Misaligned anchors must NOT classify as a lattice hit, and the
+    /// output still matches the reference bitwise (both run the plain
+    /// aligned kernel — the fast path is telemetry, never a shortcut
+    /// that changes results).
+    #[test]
+    fn misaligned_anchors_are_not_lattice_hits(pair in arb_aligned_pair(),
+                                               frac in 0.05f64..0.95) {
+        let (a, b) = pair;
+        let shifted = Histogram::new(a.start() + frac * a.width(), b.width(), b.probs().to_vec())
+            .expect("valid");
+        prop_assume!((shifted.start() - a.start()) / a.width() % 1.0 != 0.0);
+
+        let mut pool = HistogramPool::new();
+        let mut out = pool.checkout();
+        let route = convolve_into(&a.view(), &shifted.view(), &mut out, &mut pool);
+        prop_assert_eq!(route, ConvRoute::Aligned, "phase mismatch must not claim the lattice");
+        let prod = out.into_histogram().expect("valid");
+
+        let mut pool_r = HistogramPool::new();
+        let mut out_r = pool_r.checkout();
+        convolve_into_ref(&a.view(), &shifted.view(), &mut out_r, &mut pool_r);
+        assert_bits_eq(&prod, &out_r.into_histogram().expect("valid"))?;
+    }
+}
+
+#[cfg(feature = "fast-math")]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Quantifies the fast-math drift: the reassociated prefix fold must
+    /// stay within a few ULPs-at-unit-scale of the in-order reference.
+    /// (This is the *only* divergence the feature is allowed to buy.)
+    #[test]
+    fn fast_math_cdf_drift_is_bounded(h in arb_adversarial(), x in -100.0f64..2000.0) {
+        let reference = cdf_ref(h.start(), h.width(), h.probs(), x);
+        prop_assert!((h.cdf(x) - reference).abs() <= 1e-13,
+            "fast-math drift {} exceeds budget", (h.cdf(x) - reference).abs());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic route classification and regression pins
+// ---------------------------------------------------------------------
+
+#[test]
+fn routes_classify_as_documented() {
+    let mut pool = HistogramPool::new();
+    let a = Histogram::new(4.0, 2.0, vec![0.5, 0.5]).unwrap();
+    let on = Histogram::new(10.0, 2.0, vec![0.25, 0.75]).unwrap(); // same lattice
+    let off = Histogram::new(10.7, 2.0, vec![0.25, 0.75]).unwrap(); // phase mismatch
+    let fine = Histogram::new(10.0, 0.5, vec![0.25; 4]).unwrap(); // width mismatch
+
+    let route = |a: &Histogram, b: &Histogram, cap: usize, pool: &mut HistogramPool| {
+        let mut out = pool.checkout();
+        let r = convolve_bounded_into(&a.view(), &b.view(), cap, &mut out, pool).unwrap();
+        let h = out.into_histogram().unwrap();
+        pool.recycle(h);
+        r
+    };
+
+    assert_eq!(route(&a, &on, 16, &mut pool), ConvRoute::Lattice);
+    assert_eq!(route(&a, &on, 2, &mut pool), ConvRoute::LatticeCapped);
+    assert_eq!(route(&a, &off, 16, &mut pool), ConvRoute::Aligned);
+    assert_eq!(route(&a, &off, 2, &mut pool), ConvRoute::AlignedCapped);
+    assert_eq!(route(&a, &fine, 16, &mut pool), ConvRoute::Projected);
+    assert_eq!(route(&a, &fine, 2, &mut pool), ConvRoute::ProjectedCapped);
+
+    for (r, lattice, projected, capped) in [
+        (ConvRoute::Lattice, true, false, false),
+        (ConvRoute::LatticeCapped, true, false, true),
+        (ConvRoute::Aligned, false, false, false),
+        (ConvRoute::AlignedCapped, false, false, true),
+        (ConvRoute::Projected, false, true, false),
+        (ConvRoute::ProjectedCapped, false, true, true),
+    ] {
+        assert_eq!(r.lattice_hit(), lattice, "{r:?}");
+        assert_eq!(r.projected(), projected, "{r:?}");
+        assert_eq!(r.capped(), capped, "{r:?}");
+    }
+}
+
+/// Regression for the magnitude-blind `1e-9` projection epsilon, both
+/// directions:
+///
+/// - a ratio that is an integer up to 1-ulp float noise must NOT grow a
+///   phantom sliver bucket, and
+/// - a ratio that *genuinely* exceeds an integer (here by 3e-10, real
+///   width geometry, not representation noise) must KEEP its sliver —
+///   the old absolute `1e-9` swallowed it, truncating the projected
+///   support.
+#[test]
+fn near_integer_width_ratios_project_without_fabricating_or_losing_bins() {
+    // span / w = (3 * 0.2) / 0.1 = 6.000000000000001: ulp noise, snap.
+    let a = Histogram::new(0.0, 0.2, vec![1.0 / 3.0; 3]).unwrap();
+    let b = Histogram::new(0.0, 0.1, vec![0.5, 0.5]).unwrap();
+    let mut pool = HistogramPool::new();
+    let mut out = pool.checkout();
+    convolve_into(&a.view(), &b.view(), &mut out, &mut pool);
+    // a projects onto exactly 6 fine buckets: result = 6 + 2 - 1.
+    assert_eq!(out.num_bins(), 7, "phantom sliver bucket fabricated");
+    pool.checkin_buf(out);
+
+    // span / w = 3.0 / 0.9999999999 ≈ 3 + 3e-10: a real sliver, below
+    // the old 1e-9 threshold. It must survive as a 4th fine bucket.
+    let a = Histogram::new(0.0, 1.0, vec![1.0 / 3.0; 3]).unwrap();
+    let b = Histogram::new(0.0, 0.999_999_999_9, vec![1.0]).unwrap();
+    let mut out = pool.checkout();
+    convolve_into(&a.view(), &b.view(), &mut out, &mut pool);
+    // a projects onto 4 fine buckets (3 full + sliver): 4 + 1 - 1.
+    assert_eq!(out.num_bins(), 4, "genuine sliver bucket was swallowed");
+}

@@ -345,6 +345,46 @@ fn lru_bounded_cache_evicts_but_never_changes_answers() {
 }
 
 #[test]
+fn shared_lattice_fast_path_fires_and_preserves_routes() {
+    use stochastic_routing::dist::Histogram;
+
+    let (world, model) = fixture();
+    // Snap every edge marginal onto one canonical lattice: width 2.0,
+    // start an integer multiple of it. Pre-cap combines (path-so-far ⊛
+    // next marginal at matching widths) then share a lattice, which the
+    // engine must detect and count — without changing a single route.
+    let marginals: Vec<Histogram> = world
+        .graph
+        .edge_ids()
+        .map(|e| {
+            let m = world.ground_truth.marginal(e);
+            Histogram::new((m.start() / 2.0).round() * 2.0, 2.0, m.probs().to_vec())
+                .expect("snapped marginal is valid")
+        })
+        .collect();
+    let cost = HybridCost::new(
+        &world.graph,
+        model,
+        marginals,
+        CombinePolicy::AlwaysConvolve,
+    );
+
+    let shim = BudgetRouter::new(&cost, RouterConfig::default());
+    let engine = EngineBuilder::new(cost.clone())
+        .config(RouterConfig::default())
+        .build();
+    for (i, q) in workload(6).iter().enumerate() {
+        let expected = shim.route(q.source, q.target, q.budget_s, None);
+        let got = engine.route(q).expect("workload queries are valid");
+        assert_identical(&got, &expected, &format!("query {i} on the snapped lattice"));
+    }
+    assert!(
+        engine.stats().lattice_fast_path > 0,
+        "no combine hit the shared-lattice route on a single-lattice world"
+    );
+}
+
+#[test]
 fn shim_and_engine_agree_on_anytime_queries() {
     let cost = cost();
     let shim = BudgetRouter::new(&cost, RouterConfig::default());
