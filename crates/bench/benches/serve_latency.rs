@@ -1,0 +1,232 @@
+//! Closed-loop serving-latency bench for `srt-serve` — the repo's first
+//! perf datapoint *behind a socket* rather than in-process.
+//!
+//! Not a criterion bench: the quantity under test is the client-observed
+//! latency distribution (p50/p99/p999) of a real server under two
+//! regimes, plus the load-shedding contract itself:
+//!
+//! * **uncontended** — as many closed-loop clients as workers; every
+//!   connection is admitted, latencies are pure connect + service time.
+//! * **2× overload** — twice as many clients as the server can hold
+//!   (workers + queue). The bounded queue must *shed* the excess with
+//!   immediate `503`s, keeping the p99 of **accepted** requests within
+//!   3× the uncontended p99 — overload degrades into refusals, not into
+//!   unbounded queueing delay. The bench asserts both.
+//!
+//! Every client runs connect-per-request (admission is per connection),
+//! and the uncontended phase double-checks bitwise parity between HTTP
+//! answers and direct `RoutingEngine::route` calls. Output is one JSON
+//! document on stdout (committed as `BENCH_serve.json`); `--test` runs
+//! a fast smoke with the assertions that are meaningful at tiny sample
+//! sizes.
+
+use srt_bench::tiny_context;
+use srt_core::routing::{EngineBuilder, Query, RoutingEngine};
+use srt_core::{CombinePolicy, HybridCost};
+use srt_serve::client::Client;
+use srt_serve::{json, Server, ServerConfig};
+use srt_synth::{DistanceCategory, QueryGenerator};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// Sized for the smallest CI box (1 core): the latency under test is
+// queueing behavior, not scheduler contention between bench threads.
+// The queue must still absorb a same-instant reconnect burst from the
+// uncontended clients (push beats the popping worker's condvar wakeup)
+// so that phase never sheds.
+const WORKERS: usize = 1;
+const QUEUE_CAPACITY: usize = 1;
+/// How long a shed client waits before retrying — the backoff the 503
+/// body asks for. Without it the refusals themselves become a retry
+/// storm that starves the workers.
+const SHED_BACKOFF: Duration = Duration::from_millis(1);
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+struct PhaseOutcome {
+    latencies_s: Vec<f64>,
+    shed: u64,
+    errors: u64,
+}
+
+/// Runs `clients` closed-loop connect-per-request drivers for
+/// `per_client` attempts each. A `503` counts as shed (no latency
+/// sample); a `200` contributes its client-observed latency.
+fn drive(
+    addr: SocketAddr,
+    queries: &[Query],
+    clients: usize,
+    per_client: usize,
+) -> PhaseOutcome {
+    let shed = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let shed = Arc::clone(&shed);
+            let errors = Arc::clone(&errors);
+            let queries = queries.to_vec();
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let q = &queries[(c + i * 7) % queries.len()];
+                    let body = format!(
+                        "{{\"source\":{},\"target\":{},\"budget_s\":{:?}}}",
+                        q.source.0, q.target.0, q.budget_s
+                    );
+                    let started = Instant::now();
+                    let outcome = Client::connect_with_timeout(addr, Duration::from_secs(10))
+                        .and_then(|mut conn| conn.request_closing("POST", "/route", Some(&body)));
+                    match outcome {
+                        Ok(resp) if resp.status == 200 => {
+                            latencies.push(started.elapsed().as_secs_f64());
+                        }
+                        Ok(resp) if resp.status == 503 => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(SHED_BACKOFF);
+                        }
+                        _ => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies_s: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    latencies_s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    PhaseOutcome {
+        latencies_s,
+        shed: shed.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+    }
+}
+
+fn phase_json(name: &str, p: &PhaseOutcome) -> String {
+    format!(
+        "  \"{name}\": {{\n    \"samples\": {},\n    \"shed\": {},\n    \"errors\": {},\n    \
+         \"p50_s\": {:?},\n    \"p99_s\": {:?},\n    \"p999_s\": {:?}\n  }}",
+        p.latencies_s.len(),
+        p.shed,
+        p.errors,
+        percentile(&p.latencies_s, 0.50),
+        percentile(&p.latencies_s, 0.99),
+        percentile(&p.latencies_s, 0.999),
+    )
+}
+
+/// Bitwise parity spot-check: HTTP answers equal direct engine answers.
+fn check_parity(addr: SocketAddr, engine: &RoutingEngine, queries: &[Query]) {
+    let mut conn = Client::connect(addr).expect("parity connect");
+    for (i, q) in queries.iter().enumerate() {
+        let reference = engine.route(q).expect("bench queries are valid");
+        let body = format!(
+            "{{\"source\":{},\"target\":{},\"budget_s\":{:?}}}",
+            q.source.0, q.target.0, q.budget_s
+        );
+        let resp = conn
+            .request("POST", "/route", Some(&body))
+            .expect("parity request");
+        assert_eq!(resp.status, 200, "parity query {i}");
+        let doc = json::parse(&resp.text()).expect("parity JSON");
+        let served = doc
+            .get("probability")
+            .and_then(|p| p.as_f64())
+            .expect("probability member");
+        assert_eq!(
+            served.to_bits(),
+            reference.probability.to_bits(),
+            "query {i}: HTTP answer drifted from the in-process engine"
+        );
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let per_client = if smoke { 20 } else { 300 };
+
+    let ctx = tiny_context();
+    let cost = HybridCost::from_ground_truth(&ctx.world, &ctx.model, CombinePolicy::Hybrid);
+    let engine = Arc::new(EngineBuilder::new(cost).build());
+    let queries: Vec<Query> = QueryGenerator::new(0x5E21)
+        .generate(
+            &ctx.world.graph,
+            &ctx.world.model,
+            DistanceCategory::ZeroToOne,
+            16,
+        )
+        .iter()
+        .map(Query::from)
+        .collect();
+    assert!(!queries.is_empty(), "fixture produced no queries");
+
+    let server = Server::start(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: WORKERS,
+            queue_capacity: QUEUE_CAPACITY,
+            read_timeout: Some(Duration::from_secs(10)),
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    check_parity(addr, &engine, &queries);
+
+    // Warm the engine's pools and bounds cache out of the measurement.
+    drive(addr, &queries, WORKERS, 10);
+
+    // Phase 1 — uncontended: concurrency == workers, nothing queues.
+    let uncontended = drive(addr, &queries, WORKERS, per_client);
+    assert_eq!(uncontended.shed, 0, "uncontended traffic must not shed");
+    assert_eq!(uncontended.errors, 0, "uncontended traffic must not error");
+
+    // Phase 2 — 2× overload: twice the server's holding capacity
+    // (workers + queue slots) in concurrent closed-loop clients.
+    let overload_clients = 2 * (WORKERS + QUEUE_CAPACITY);
+    let overload = drive(addr, &queries, overload_clients, per_client);
+    assert!(
+        overload.shed > 0,
+        "2x overload must trip the bounded queue into shedding"
+    );
+    assert_eq!(overload.errors, 0, "shedding must be clean 503s, not resets");
+
+    let p99_unc = percentile(&uncontended.latencies_s, 0.99);
+    let p99_over = percentile(&overload.latencies_s, 0.99);
+    // The admission contract, asserted: accepted requests never pay
+    // unbounded queueing delay. (Skipped at smoke sample sizes, where
+    // p99 is a single noisy order statistic.)
+    if !smoke {
+        assert!(
+            p99_over <= 3.0 * p99_unc,
+            "accepted p99 under overload ({p99_over:.6}s) exceeds 3x uncontended ({p99_unc:.6}s): \
+             the queue is smearing latency instead of shedding"
+        );
+    }
+
+    let report = server.shutdown();
+    assert_eq!(report.in_flight_after_drain, 0);
+
+    println!(
+        "{{\n  \"bench\": \"serve_latency\",\n  \"mode\": \"{}\",\n  \"workers\": {WORKERS},\n  \
+         \"queue_capacity\": {QUEUE_CAPACITY},\n  \"overload_clients\": {overload_clients},\n\
+         {},\n{},\n  \"overload_p99_over_uncontended_p99\": {:?},\n  \
+         \"parity\": \"bitwise-identical to in-process RoutingEngine::route\"\n}}",
+        if smoke { "smoke" } else { "full" },
+        phase_json("uncontended", &uncontended),
+        phase_json("overload_2x", &overload),
+        if p99_unc > 0.0 { p99_over / p99_unc } else { 0.0 },
+    );
+}

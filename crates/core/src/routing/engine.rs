@@ -159,9 +159,11 @@ impl From<srt_synth::Query> for Query {
 /// engine's replacement for the legacy API's silent degenerate results.
 #[derive(Copy, Clone, PartialEq, Debug)]
 pub enum EngineError {
-    /// The budget is NaN or infinite; no meaningful on-time probability
-    /// exists. (Negative *finite* budgets are answerable: the probability
-    /// is exactly zero, with the expected-time path attached.)
+    /// The budget is NaN, infinite, or negative; no meaningful on-time
+    /// probability exists for it. (A budget of exactly `0.0` *is*
+    /// answerable — the probability is zero, with the expected-time path
+    /// attached — so validation admits it and the search short-circuits
+    /// through the degenerate path.)
     InvalidBudget {
         /// The offending budget.
         budget: f64,
@@ -176,19 +178,35 @@ pub enum EngineError {
     /// An anytime deadline of zero: the search could never take a single
     /// step, so the caller almost certainly meant something else.
     ZeroDeadline,
+    /// The search panicked. The panic was caught at the query boundary:
+    /// the worker's scratch context was discarded, the engine's shared
+    /// state (context pool, bounds cache) is untouched or recovered, and
+    /// every other query — in the same batch or after — remains fully
+    /// serviceable. Counted in [`StatsSnapshot::panics`].
+    Internal,
 }
 
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::InvalidBudget { budget } => {
-                write!(f, "budget {budget} is not a finite number of seconds")
+                write!(
+                    f,
+                    "budget {budget} is not a finite, non-negative number of seconds"
+                )
             }
             EngineError::NodeOutOfRange { node, num_nodes } => {
                 write!(f, "{node} is out of range for a graph of {num_nodes} vertices")
             }
             EngineError::ZeroDeadline => {
                 write!(f, "anytime deadline of zero admits no search at all")
+            }
+            EngineError::Internal => {
+                write!(
+                    f,
+                    "internal error: the search panicked; the query was isolated and the \
+                     engine remains serviceable"
+                )
             }
         }
     }
@@ -236,6 +254,13 @@ pub struct StatsSnapshot {
     /// zero when deserializing snapshots from before the counter existed.
     #[serde(default)]
     pub lattice_fast_path: u64,
+    /// Queries whose search panicked and was contained into
+    /// [`EngineError::Internal`]. Any non-zero value on a production
+    /// engine is a bug worth a report — but a *served* engine keeps
+    /// answering either way. Defaults to zero when deserializing
+    /// snapshots from before the counter existed.
+    #[serde(default)]
+    pub panics: u64,
 }
 
 /// Aggregated, engine-wide, monotone serving counters — the live atomic
@@ -256,6 +281,7 @@ pub struct EngineStats {
     pool_reuse: AtomicU64,
     pool_misses: AtomicU64,
     lattice_fast_path: AtomicU64,
+    panics: AtomicU64,
 }
 
 impl EngineStats {
@@ -273,6 +299,7 @@ impl EngineStats {
             pool_reuse: self.pool_reuse.load(AtomicOrdering::Relaxed),
             pool_misses: self.pool_misses.load(AtomicOrdering::Relaxed),
             lattice_fast_path: self.lattice_fast_path.load(AtomicOrdering::Relaxed),
+            panics: self.panics.load(AtomicOrdering::Relaxed),
         }
     }
 
@@ -289,6 +316,7 @@ impl EngineStats {
         self.pool_reuse.store(0, AtomicOrdering::Relaxed);
         self.pool_misses.store(0, AtomicOrdering::Relaxed);
         self.lattice_fast_path.store(0, AtomicOrdering::Relaxed);
+        self.panics.store(0, AtomicOrdering::Relaxed);
     }
 }
 
@@ -451,6 +479,7 @@ pub struct EngineBuilder {
     cfg: RouterConfig,
     certificate: Option<ConvCertificate>,
     bounds_cache_capacity: usize,
+    panic_on: Option<(NodeId, NodeId)>,
 }
 
 /// Default cap on distinct targets the engine's bounds cache retains.
@@ -468,7 +497,20 @@ impl EngineBuilder {
             cfg: RouterConfig::default(),
             certificate: None,
             bounds_cache_capacity: DEFAULT_BOUNDS_CACHE_CAPACITY,
+            panic_on: None,
         }
+    }
+
+    /// Fault injection for resilience tests: the built engine panics
+    /// mid-search (after seeding, with pooled label payloads live in the
+    /// arena) whenever it routes exactly `source -> target`. This is how
+    /// the containment contract of [`EngineError::Internal`] is proven
+    /// end to end — from `route_batch` isolation down to the HTTP 500 a
+    /// server renders — without waiting for a real engine bug.
+    #[doc(hidden)]
+    pub fn panic_on_query(mut self, source: NodeId, target: NodeId) -> Self {
+        self.panic_on = Some((source, target));
+        self
     }
 
     /// Sets the search configuration.
@@ -506,6 +548,7 @@ impl EngineBuilder {
             cfg,
             certificate,
             bounds_cache_capacity,
+            panic_on,
         } = self;
         let dominance = DominancePolicy::resolve(cfg.dominance, cost.model().calibration.as_ref());
         let certificate = certificate.or_else(|| {
@@ -545,6 +588,7 @@ impl EngineBuilder {
             bounds_clock: AtomicU64::new(0),
             contexts: Mutex::new(Vec::new()),
             counters: EngineStats::default(),
+            panic_on,
         }
     }
 }
@@ -584,6 +628,9 @@ pub struct RoutingEngine {
     /// [`RoutingEngine::route`] / [`RoutingEngine::route_batch`].
     contexts: Mutex<Vec<SearchContext>>,
     counters: EngineStats,
+    /// Fault injection (test support): panic while routing this exact
+    /// `(source, target)` pair. See [`EngineBuilder::panic_on_query`].
+    panic_on: Option<(NodeId, NodeId)>,
 }
 
 /// One bounds-cache slot: the shared bounds plus its last-use stamp
@@ -655,18 +702,42 @@ impl RoutingEngine {
         self.counters.reset();
     }
 
-    /// Draws a warm context from the engine's free list (or makes one).
-    fn checkout_context(&self) -> SearchContext {
+    /// The engine's context free list, poison-tolerantly.
+    ///
+    /// Every shared lock in the engine is acquired through one of these
+    /// accessors: a panic that unwinds through a lock holder must not
+    /// take the lock down with it — for a long-lived server, a poisoned
+    /// `Mutex` turns one contained panic into a permanent outage. The
+    /// guarded state is structurally valid after any interrupted
+    /// operation here (`Vec` push/pop, `HashMap` insert/remove never
+    /// leave their container broken; at worst an entry is missing), so
+    /// recovering the guard is sound.
+    fn lock_contexts(&self) -> std::sync::MutexGuard<'_, Vec<SearchContext>> {
         self.contexts
             .lock()
-            .expect("context pool poisoned")
-            .pop()
-            .unwrap_or_default()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn bounds_read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<NodeId, BoundsEntry>> {
+        self.bounds_cache
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn bounds_write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<NodeId, BoundsEntry>> {
+        self.bounds_cache
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Draws a warm context from the engine's free list (or makes one).
+    fn checkout_context(&self) -> SearchContext {
+        self.lock_contexts().pop().unwrap_or_default()
     }
 
     /// Parks a context back on the free list (dropped when full).
     fn checkin_context(&self, ctx: SearchContext) {
-        let mut pool = self.contexts.lock().expect("context pool poisoned");
+        let mut pool = self.lock_contexts();
         if pool.len() < MAX_POOLED_CONTEXTS {
             pool.push(ctx);
         }
@@ -674,19 +745,36 @@ impl RoutingEngine {
 
     /// Idle contexts currently parked on the engine (diagnostic).
     pub fn pooled_contexts(&self) -> usize {
-        self.contexts.lock().expect("context pool poisoned").len()
+        self.lock_contexts().len()
+    }
+
+    /// Poisons the engine's internal locks (test support): panics while
+    /// holding each guard, inside `catch_unwind`. Serving must proceed
+    /// unharmed afterwards — the poison-tolerance contract of the lock
+    /// accessors, provable only from inside the crate because no query
+    /// panic can unwind while a lock is held.
+    #[doc(hidden)]
+    pub fn poison_locks_for_tests(&self) {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = self.lock_contexts();
+            panic!("poisoning the context pool");
+        }));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = self.bounds_write();
+            panic!("poisoning the bounds cache");
+        }));
     }
 
     /// Drops every cached per-target bound (useful for cold-start
     /// measurements, or to bound memory on workloads with unbounded
     /// target sets).
     pub fn clear_bounds_cache(&self) {
-        self.bounds_cache.write().expect("bounds cache poisoned").clear();
+        self.bounds_write().clear();
     }
 
     /// Number of distinct targets currently cached.
     pub fn bounds_cached(&self) -> usize {
-        self.bounds_cache.read().expect("bounds cache poisoned").len()
+        self.bounds_read().len()
     }
 
     /// Validates a query against this engine's graph and configuration.
@@ -697,7 +785,14 @@ impl RoutingEngine {
                 return Err(EngineError::NodeOutOfRange { node, num_nodes });
             }
         }
-        if !query.budget_s.is_finite() {
+        // NaN and ±∞ name no budget at all; a *negative* budget names an
+        // impossible one. Both used to slip through to the degenerate
+        // probability-0 result (the negative case silently — the
+        // validation gap this check closes); the typed API rejects them
+        // so a caller holding `Ok` knows the probability is meaningful.
+        // Exactly 0.0 stays valid: it has a well-defined answer
+        // (probability zero on the expected-time path).
+        if !query.budget_s.is_finite() || query.budget_s < 0.0 {
             return Err(EngineError::InvalidBudget {
                 budget: query.budget_s,
             });
@@ -715,19 +810,41 @@ impl RoutingEngine {
     pub fn route(&self, query: &Query) -> Result<RouteResult, EngineError> {
         let mut ctx = self.checkout_context();
         let result = self.route_with(query, &mut ctx);
-        self.checkin_context(ctx);
+        // A panicking search leaves the context mid-state (labels holding
+        // pooled payloads, a half-staged expansion buffer); a fresh one
+        // is correct by construction and panics are rare, so the pool
+        // only ever receives contexts that finished cleanly.
+        if !matches!(result, Err(EngineError::Internal)) {
+            self.checkin_context(ctx);
+        }
         result
     }
 
     /// Routes one validated query, reusing `ctx`'s buffers for all search
     /// state.
+    ///
+    /// A panic inside the search is caught here and surfaced as
+    /// [`EngineError::Internal`] instead of unwinding into the caller:
+    /// one bad query must not take down a serving thread, poison a lock,
+    /// or abort the rest of a batch. `ctx` remains safe to reuse — the
+    /// next search resets every container before touching it — though
+    /// the engine-pooled entry points conservatively discard it.
     pub fn route_with(
         &self,
         query: &Query,
         ctx: &mut SearchContext,
     ) -> Result<RouteResult, EngineError> {
         self.validate(query)?;
-        Ok(self.route_unchecked(query.source, query.target, query.budget_s, query.deadline, ctx))
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.route_unchecked(query.source, query.target, query.budget_s, query.deadline, ctx)
+        }));
+        match outcome {
+            Ok(result) => Ok(result),
+            Err(_) => {
+                self.counters.panics.fetch_add(1, AtomicOrdering::Relaxed);
+                Err(EngineError::Internal)
+            }
+        }
     }
 
     /// Routes `queries` on a pool of `parallelism` workers (`0` = the
@@ -752,7 +869,19 @@ impl RoutingEngine {
 
         if workers <= 1 {
             let mut ctx = self.checkout_context();
-            let results = queries.iter().map(|q| self.route_with(q, &mut ctx)).collect();
+            let results = queries
+                .iter()
+                .map(|q| {
+                    let r = self.route_with(q, &mut ctx);
+                    if matches!(r, Err(EngineError::Internal)) {
+                        // Contain the panic to this query: discard the
+                        // mid-state context, swap in a fresh one, and
+                        // keep serving the batch.
+                        ctx = SearchContext::new();
+                    }
+                    r
+                })
+                .collect();
             self.checkin_context(ctx);
             return results;
         }
@@ -771,7 +900,14 @@ impl RoutingEngine {
                             if i >= queries.len() {
                                 break;
                             }
-                            local.push((i, self.route_with(&queries[i], &mut ctx)));
+                            let r = self.route_with(&queries[i], &mut ctx);
+                            if matches!(r, Err(EngineError::Internal)) {
+                                // One panicking query must not abort the
+                                // worker (let alone the batch): drop the
+                                // mid-state context and keep stealing.
+                                ctx = SearchContext::new();
+                            }
+                            local.push((i, r));
                         }
                         self.checkin_context(ctx);
                         local
@@ -779,14 +915,25 @@ impl RoutingEngine {
                 })
                 .collect();
             for handle in handles {
-                for (i, r) in handle.join().expect("engine worker panicked") {
-                    results[i] = Some(r);
+                // `route_with` catches query panics, so a worker dying is
+                // a harness-level fault (e.g. allocation failure). Its
+                // claimed-but-unreported queries degrade to
+                // `EngineError::Internal` below instead of cascading.
+                if let Ok(local) = handle.join() {
+                    for (i, r) in local {
+                        results[i] = Some(r);
+                    }
                 }
             }
         });
         results
             .into_iter()
-            .map(|r| r.expect("every query routed"))
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    self.counters.panics.fetch_add(1, AtomicOrdering::Relaxed);
+                    Err(EngineError::Internal)
+                })
+            })
             .collect()
     }
 
@@ -795,12 +942,7 @@ impl RoutingEngine {
     /// stamp under the read lock; an insert past capacity evicts the
     /// stalest entry (and counts it).
     fn bounds_for(&self, target: NodeId) -> Arc<OptimisticBounds> {
-        if let Some(entry) = self
-            .bounds_cache
-            .read()
-            .expect("bounds cache poisoned")
-            .get(&target)
-        {
+        if let Some(entry) = self.bounds_read().get(&target) {
             let stamp = self.bounds_clock.fetch_add(1, AtomicOrdering::Relaxed);
             entry.last_used.store(stamp, AtomicOrdering::Relaxed);
             self.counters
@@ -816,7 +958,7 @@ impl RoutingEngine {
         self.counters
             .bounds_cache_misses
             .fetch_add(1, AtomicOrdering::Relaxed);
-        let mut cache = self.bounds_cache.write().expect("bounds cache poisoned");
+        let mut cache = self.bounds_write();
         if !cache.contains_key(&target) && cache.len() >= self.bounds_cache_capacity {
             // Evict the least recently used entry. A linear scan is fine:
             // eviction only happens once the (generous) capacity is hit,
@@ -882,8 +1024,13 @@ impl RoutingEngine {
 
         // Degenerate budgets: nothing arrives within a non-positive or
         // non-finite budget, but the query is still answered (probability
-        // 0 on the expected-time path when one exists).
-        if !budget_s.is_finite() || budget_s < 0.0 {
+        // 0 on the expected-time path when one exists). `<= 0.0` matches
+        // that contract — a budget of exactly zero historically fell
+        // through to the full search, which burned a whole exploration to
+        // conclude the same probability-0 answer this path returns
+        // directly. (Through the validated API only `0.0` reaches here;
+        // the negative and non-finite cases serve the legacy shim.)
+        if !budget_s.is_finite() || budget_s <= 0.0 {
             stats.completed = true;
             stats.elapsed = start_time.elapsed();
             let baseline = ExpectedTimeBaseline::solve_with(
@@ -990,6 +1137,14 @@ impl RoutingEngine {
                 dist,
                 target,
             );
+        }
+
+        // Fault injection (test support, `EngineBuilder::panic_on_query`):
+        // unwind from the worst spot — mid-search, pooled label payloads
+        // live in the arena, the heap seeded — so containment tests prove
+        // recovery from realistic wreckage, not from a tidy early return.
+        if self.panic_on == Some((source, target)) {
+            panic!("injected fault: routing {source:?} -> {target:?}");
         }
 
         // Shared-lattice convolutions, accumulated locally and flushed

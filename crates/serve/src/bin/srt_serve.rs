@@ -1,0 +1,267 @@
+//! `srt-serve` — serve a routing engine over HTTP, or prove the serving
+//! stack end-to-end with `--smoke`.
+//!
+//! ```text
+//! srt_serve [--addr HOST:PORT] [--workers N] [--queue N] [--smoke]
+//! ```
+//!
+//! Without `--smoke`, trains the tiny synthetic fixture world, starts
+//! the server, and serves until the process is killed. With `--smoke`,
+//! binds an ephemeral port and runs the CI smoke sequence: liveness
+//! probe, bitwise `/route` parity against the in-process engine, a
+//! closed-loop `/route_batch`, `/metrics` counter checks, and a
+//! graceful drain — exiting non-zero on the first violation.
+
+use srt_core::model::training::{train_hybrid, TrainingConfig};
+use srt_core::routing::{EngineBuilder, Query, RoutingEngine};
+use srt_core::{CombinePolicy, HybridCost};
+use srt_ml::forest::ForestConfig;
+use srt_serve::client::{request_once, Client};
+use srt_serve::{json, Server, ServerConfig};
+use srt_synth::{DistanceCategory, QueryGenerator, SyntheticWorld, WorldConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    addr: String,
+    workers: usize,
+    queue: usize,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".into(),
+        workers: 0,
+        queue: 64,
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue" => {
+                args.queue = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?
+            }
+            "--smoke" => args.smoke = true,
+            "--help" | "-h" => {
+                println!("usage: srt_serve [--addr HOST:PORT] [--workers N] [--queue N] [--smoke]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Trains the tiny fixture world and builds an engine over it — the
+/// same fixture the parity tests use, so the smoke run exercises a real
+/// trained model, not a mock.
+fn fixture_engine() -> (RoutingEngine, SyntheticWorld) {
+    let world = SyntheticWorld::build(WorldConfig::tiny());
+    let cfg = TrainingConfig {
+        train_pairs: 120,
+        test_pairs: 40,
+        min_obs: 5,
+        bins: 10,
+        forest: ForestConfig {
+            n_trees: 6,
+            ..ForestConfig::default()
+        },
+        ..TrainingConfig::default()
+    };
+    let (model, _) = train_hybrid(&world, &cfg).expect("fixture world trains");
+    let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
+    (EngineBuilder::new(cost).build(), world)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("srt_serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    eprintln!("srt_serve: training fixture world (tiny)...");
+    let (engine, world) = fixture_engine();
+    let engine = Arc::new(engine);
+
+    let config = ServerConfig {
+        workers: args.workers,
+        queue_capacity: args.queue,
+        ..ServerConfig::default()
+    };
+
+    if args.smoke {
+        return match smoke(engine, world, config) {
+            Ok(()) => {
+                println!("srt_serve --smoke: all checks passed");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("srt_serve --smoke FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let server = match Server::start(engine, args.addr.as_str(), config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("srt_serve: bind {} failed: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("srt_serve: listening on http://{}", server.local_addr());
+    loop {
+        std::thread::park();
+    }
+}
+
+fn smoke(
+    engine: Arc<RoutingEngine>,
+    world: SyntheticWorld,
+    config: ServerConfig,
+) -> Result<(), String> {
+    let server = Server::start(Arc::clone(&engine), "127.0.0.1:0", config)
+        .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr();
+    eprintln!("srt_serve --smoke: serving on {addr}");
+
+    // 1. Liveness.
+    let health = request_once(addr, "GET", "/healthz", None).map_err(|e| format!("healthz: {e}"))?;
+    if health.status != 200 || health.text() != "ok\n" {
+        return Err(format!(
+            "healthz answered {} {:?}",
+            health.status,
+            health.text()
+        ));
+    }
+
+    // 2. Bitwise /route parity against the in-process engine.
+    let queries: Vec<Query> = QueryGenerator::new(0x5E)
+        .generate(&world.graph, &world.model, DistanceCategory::ZeroToOne, 12)
+        .iter()
+        .map(Query::from)
+        .collect();
+    let mut conn = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    for (i, q) in queries.iter().enumerate() {
+        let reference = engine
+            .route(q)
+            .map_err(|e| format!("query {i} rejected in-process: {e}"))?;
+        let body = format!(
+            "{{\"source\":{},\"target\":{},\"budget_s\":{:?}}}",
+            q.source.0, q.target.0, q.budget_s
+        );
+        let resp = conn
+            .request("POST", "/route", Some(&body))
+            .map_err(|e| format!("query {i}: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("query {i} answered {}: {}", resp.status, resp.text()));
+        }
+        let doc = json::parse(&resp.text()).map_err(|e| format!("query {i}: bad JSON: {}", e.msg))?;
+        let served = doc
+            .get("probability")
+            .and_then(|p| p.as_f64())
+            .ok_or_else(|| format!("query {i}: no probability in response"))?;
+        if served.to_bits() != reference.probability.to_bits() {
+            return Err(format!(
+                "query {i}: probability over HTTP {served} != in-process {}",
+                reference.probability
+            ));
+        }
+    }
+    eprintln!(
+        "srt_serve --smoke: {} /route answers bitwise-identical to the engine",
+        queries.len()
+    );
+
+    // 3. Closed-loop batch.
+    let mut batch_body = String::from("{\"queries\":[");
+    for (i, q) in queries.iter().enumerate() {
+        if i > 0 {
+            batch_body.push(',');
+        }
+        batch_body.push_str(&format!(
+            "{{\"source\":{},\"target\":{},\"budget_s\":{:?}}}",
+            q.source.0, q.target.0, q.budget_s
+        ));
+    }
+    batch_body.push_str("],\"parallelism\":2}");
+    let resp = conn
+        .request("POST", "/route_batch", Some(&batch_body))
+        .map_err(|e| format!("route_batch: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("route_batch answered {}", resp.status));
+    }
+    let doc = json::parse(&resp.text()).map_err(|e| format!("route_batch: bad JSON: {}", e.msg))?;
+    let n_results = doc
+        .get("results")
+        .and_then(|r| r.as_arr())
+        .map(|r| r.len())
+        .unwrap_or(0);
+    if n_results != queries.len() {
+        return Err(format!(
+            "route_batch returned {n_results} results for {} queries",
+            queries.len()
+        ));
+    }
+
+    // 4. Metrics counters reflect the traffic.
+    let metrics = conn
+        .request("GET", "/metrics", None)
+        .map_err(|e| format!("metrics: {e}"))?;
+    let page = metrics.text();
+    let sample = |name: &str| -> Result<f64, String> {
+        page.lines()
+            .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse::<f64>().ok())
+            .ok_or_else(|| format!("metric {name} missing from /metrics"))
+    };
+    // 12 routes + 1 batch + this scrape, at minimum.
+    let requests = sample("srt_serve_requests_total")?;
+    if requests < 14.0 {
+        return Err(format!("srt_serve_requests_total {requests} < 14"));
+    }
+    if sample("srt_serve_responses_total_2xx")? < 14.0 {
+        return Err("too few 2xx responses recorded".into());
+    }
+    sample("srt_serve_shed_total")?;
+    if sample("srt_engine_queries_total")? < 24.0 {
+        // 12 in-process references + 12 over HTTP + the batch.
+        return Err("engine query counter did not see the traffic".into());
+    }
+    if sample("srt_engine_panics_total")? != 0.0 {
+        return Err("smoke traffic tripped the panic counter".into());
+    }
+    eprintln!("srt_serve --smoke: /metrics counters consistent");
+
+    // 5. Graceful drain.
+    drop(conn);
+    let report = server.shutdown();
+    if report.in_flight_after_drain != 0 {
+        return Err(format!(
+            "{} requests still in flight after drain",
+            report.in_flight_after_drain
+        ));
+    }
+    eprintln!(
+        "srt_serve --smoke: drained cleanly ({} connections served, {} shed)",
+        report.connections_served, report.connections_shed
+    );
+    Ok(())
+}

@@ -1,0 +1,166 @@
+//! Dispatch from a parsed [`Request`] to the four endpoints.
+//!
+//! Status mapping, fixed across the API: `400` for protocol/schema
+//! garbage (unparseable JSON, missing members), `422` for well-formed
+//! queries the engine rejects with a typed [`EngineError`] (unknown
+//! node, negative budget, zero deadline), `500` for a contained search
+//! panic (`EngineError::Internal`), `404`/`405` for unknown paths and
+//! methods. Load shedding (`503`) never reaches this module — it is
+//! decided at admission, before a worker ever parses the request.
+
+use crate::http::{Request, Response};
+use crate::json::{
+    self, engine_error_to_json, protocol_error_body, query_from_json, route_result_to_json,
+};
+use crate::metrics::ServeMetrics;
+use srt_core::routing::{EngineError, Query, RoutingEngine};
+
+/// Hard cap on `route_batch` fan-out per request: the serving layer's
+/// parallelism budget belongs to the worker pool, not to any single
+/// client's `parallelism` member.
+pub const MAX_BATCH_PARALLELISM: usize = 8;
+/// Hard cap on queries per `route_batch` request.
+pub const MAX_BATCH_QUERIES: usize = 10_000;
+
+/// Routes one parsed request to its handler.
+pub fn handle_request(
+    engine: &RoutingEngine,
+    metrics: &ServeMetrics,
+    queue_depth: usize,
+    req: &Request,
+) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/metrics") => Response::text(
+            200,
+            metrics.render_prometheus(&engine.stats(), queue_depth),
+        ),
+        ("POST", "/route") => route_one(engine, &req.body),
+        ("POST", "/route_batch") => route_batch(engine, &req.body),
+        ("GET" | "POST", "/healthz" | "/metrics" | "/route" | "/route_batch") => Response::json(
+            405,
+            protocol_error_body(
+                "method_not_allowed",
+                &format!("{} does not accept {}", req.path, req.method),
+            ),
+        ),
+        _ => Response::json(
+            404,
+            protocol_error_body("not_found", &format!("no such endpoint: {}", req.path)),
+        ),
+    }
+}
+
+/// Parses the body as JSON or produces the `400` response.
+fn parse_body(body: &[u8]) -> Result<json::Json, Response> {
+    let text = std::str::from_utf8(body).map_err(|_| {
+        Response::json(
+            400,
+            protocol_error_body("bad_request", "body is not valid UTF-8"),
+        )
+    })?;
+    json::parse(text).map_err(|e| {
+        Response::json(
+            400,
+            protocol_error_body(
+                "bad_request",
+                &format!("invalid JSON at byte {}: {}", e.at, e.msg),
+            ),
+        )
+    })
+}
+
+/// The status an engine rejection maps to: contained panics are the
+/// server's fault (`500`), everything else is the query's (`422`).
+fn engine_error_status(e: &EngineError) -> u16 {
+    match e {
+        EngineError::Internal => 500,
+        _ => 422,
+    }
+}
+
+fn route_one(engine: &RoutingEngine, body: &[u8]) -> Response {
+    let doc = match parse_body(body) {
+        Ok(doc) => doc,
+        Err(resp) => return resp,
+    };
+    let query = match query_from_json(&doc) {
+        Ok(q) => q,
+        Err(msg) => return Response::json(400, protocol_error_body("bad_request", &msg)),
+    };
+    match engine.route(&query) {
+        Ok(result) => Response::json(200, route_result_to_json(&result)),
+        Err(e) => Response::json(engine_error_status(&e), engine_error_to_json(&e)),
+    }
+}
+
+/// `POST /route_batch`: `{"queries":[...], "parallelism": n?}`. Answers
+/// `200` with `{"results":[...]}` where each element is either a route
+/// result object or an `{"error":...}` object in input order — one bad
+/// or even panicking query never fails its batch-mates (the engine's
+/// containment guarantee, surfaced on the wire).
+fn route_batch(engine: &RoutingEngine, body: &[u8]) -> Response {
+    let doc = match parse_body(body) {
+        Ok(doc) => doc,
+        Err(resp) => return resp,
+    };
+    let raw_queries = match doc.get("queries").and_then(|q| q.as_arr()) {
+        Some(items) => items,
+        None => {
+            return Response::json(
+                400,
+                protocol_error_body("bad_request", "missing array member \"queries\""),
+            )
+        }
+    };
+    if raw_queries.len() > MAX_BATCH_QUERIES {
+        return Response::json(
+            400,
+            protocol_error_body(
+                "bad_request",
+                &format!("batch exceeds {MAX_BATCH_QUERIES} queries"),
+            ),
+        );
+    }
+    let parallelism = match doc.get("parallelism") {
+        None => 1,
+        Some(raw) => match raw.as_u64() {
+            Some(p) => (p as usize).clamp(1, MAX_BATCH_PARALLELISM),
+            None => {
+                return Response::json(
+                    400,
+                    protocol_error_body(
+                        "bad_request",
+                        "\"parallelism\" must be an unsigned integer",
+                    ),
+                )
+            }
+        },
+    };
+    let mut queries: Vec<Query> = Vec::with_capacity(raw_queries.len());
+    for (i, raw) in raw_queries.iter().enumerate() {
+        match query_from_json(raw) {
+            Ok(q) => queries.push(q),
+            Err(msg) => {
+                return Response::json(
+                    400,
+                    protocol_error_body("bad_request", &format!("queries[{i}]: {msg}")),
+                )
+            }
+        }
+    }
+    let results = engine.route_batch(&queries, parallelism);
+    let mut out = String::with_capacity(64 * results.len().max(1));
+    out.push_str("{\"results\":[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match r {
+            Ok(result) => out.push_str(&route_result_to_json(result)),
+            Err(e) => out.push_str(&engine_error_to_json(e)),
+        }
+    }
+    out.push_str("]}");
+    Response::json(200, out)
+}

@@ -1,0 +1,51 @@
+//! `srt-serve` — the HTTP front-end over a shared
+//! [`RoutingEngine`](srt_core::routing::RoutingEngine).
+//!
+//! A hand-rolled HTTP/1.1 server on `std::net` blocking sockets: one
+//! acceptor thread, a **bounded** admission queue, and a fixed worker
+//! pool. No async runtime, no external dependencies — consistent with
+//! the workspace's offline vendoring policy — and none needed for a
+//! four-endpoint API whose work unit is a CPU-bound search.
+//!
+//! # Endpoints
+//!
+//! | Method | Path           | Purpose                                             |
+//! |--------|----------------|-----------------------------------------------------|
+//! | `POST` | `/route`       | Route one query; body `{"source","target","budget_s"[,"deadline_ms"]}` |
+//! | `POST` | `/route_batch` | Route many; body `{"queries":[…][,"parallelism"]}`   |
+//! | `GET`  | `/metrics`     | Prometheus text: `srt_serve_*` + `srt_engine_*`      |
+//! | `GET`  | `/healthz`     | Liveness (`200 ok`)                                  |
+//!
+//! # The admission contract
+//!
+//! Every accepted connection is offered to a queue of fixed capacity
+//! ([`ServerConfig::queue_capacity`]). If the queue has room, the
+//! connection **will** be served — graceful shutdown drains every
+//! admitted connection before the workers exit, dropping nothing. If
+//! the queue is full, the connection is refused *immediately* with
+//! `503` (and `srt_serve_shed_total` increments): under overload the
+//! server converts excess load into fast, explicit refusals instead of
+//! an unbounded backlog that smears queueing delay across every
+//! in-flight request. Capacity bounds worst-case wait to roughly
+//! `queue_capacity / workers` service times — the knob *is* the
+//! tail-latency contract.
+//!
+//! Responses from `POST /route` are bitwise-identical to calling
+//! [`RoutingEngine::route`](srt_core::routing::RoutingEngine::route)
+//! in-process: floats travel in shortest round-trip formatting, pinned
+//! by the integration suite. Status mapping: `400` malformed
+//! JSON/schema, `422` typed engine rejections
+//! ([`EngineError`](srt_core::routing::EngineError) rendered as
+//! `{"error":{"kind",…}}`), `500` contained search panics, `503` shed.
+
+pub mod client;
+pub mod handlers;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+
+pub use metrics::{LatencyHistogram, ServeMetrics, LATENCY_BUCKETS_S};
+pub use queue::BoundedQueue;
+pub use server::{DrainReport, Server, ServerConfig};

@@ -1,0 +1,351 @@
+//! Server-side counters and the Prometheus text exposition behind
+//! `GET /metrics`.
+//!
+//! Two metric families share the page: `srt_serve_*` (owned here —
+//! admission, shedding, response classes, request latency) and
+//! `srt_engine_*` (projected from the live
+//! [`srt_core::routing::StatsSnapshot`] at scrape time). Everything is
+//! lock-free atomics, so recording on the hot path costs a handful of
+//! relaxed increments.
+
+use srt_core::routing::StatsSnapshot;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds (seconds) of the request-latency histogram buckets; an
+/// implicit `+Inf` bucket follows. Spans 50µs–2.5s: everything a tiny
+/// in-process search or a saturated queue can plausibly produce.
+pub const LATENCY_BUCKETS_S: [f64; 12] = [
+    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.1, 0.5, 2.5,
+];
+
+/// A fixed-bucket cumulative histogram in the Prometheus style.
+pub struct LatencyHistogram {
+    /// Per-bucket counts (`LATENCY_BUCKETS_S` plus the `+Inf` bucket),
+    /// stored non-cumulative; the render accumulates.
+    buckets: [AtomicU64; LATENCY_BUCKETS_S.len() + 1],
+    /// Sum of observed values in nanoseconds (integer atomics keep the
+    /// recorder lock-free; the render divides back to seconds).
+    sum_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ns: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, elapsed: Duration) {
+        let secs = elapsed.as_secs_f64();
+        let idx = LATENCY_BUCKETS_S
+            .iter()
+            .position(|&le| secs <= le)
+            .unwrap_or(LATENCY_BUCKETS_S.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns
+            .fetch_add(elapsed.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The value at (approximately) quantile `q` in seconds, resolved to
+    /// the upper bound of the bucket the quantile lands in. Used by the
+    /// bench harness and overload assertions — coarse on purpose.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return LATENCY_BUCKETS_S.get(i).copied().unwrap_or(f64::INFINITY);
+            }
+        }
+        f64::INFINITY
+    }
+
+    fn render(&self, name: &str, out: &mut String) {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, le) in LATENCY_BUCKETS_S.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le:?}\"}} {cumulative}");
+        }
+        cumulative += self.buckets[LATENCY_BUCKETS_S.len()].load(Ordering::Relaxed);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let sum_s = self.sum_ns.load(Ordering::Relaxed) as f64 / 1e9;
+        let _ = writeln!(out, "{name}_sum {sum_s:?}");
+        let _ = writeln!(out, "{name}_count {}", self.count());
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The server's own counters (the engine keeps its own in
+/// [`srt_core::routing::EngineStats`]).
+pub struct ServeMetrics {
+    /// Connections admitted to the worker queue.
+    pub accepted_total: AtomicU64,
+    /// Connections refused with `503` because the queue was full or the
+    /// server was draining.
+    pub shed_total: AtomicU64,
+    /// HTTP requests parsed and dispatched (a keep-alive connection can
+    /// contribute many).
+    pub requests_total: AtomicU64,
+    /// Responses by class.
+    pub responses_2xx: AtomicU64,
+    pub responses_4xx: AtomicU64,
+    pub responses_5xx: AtomicU64,
+    /// Requests currently being handled by a worker (gauge).
+    pub in_flight: AtomicU64,
+    /// End-to-end handler latency (parse-complete to response-written).
+    pub latency: LatencyHistogram,
+}
+
+impl ServeMetrics {
+    pub fn new() -> Self {
+        ServeMetrics {
+            accepted_total: AtomicU64::new(0),
+            shed_total: AtomicU64::new(0),
+            requests_total: AtomicU64::new(0),
+            responses_2xx: AtomicU64::new(0),
+            responses_4xx: AtomicU64::new(0),
+            responses_5xx: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Buckets a finished response into its class counter.
+    pub fn record_response(&self, status: u16) {
+        let counter = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the full `/metrics` page: server families first, then the
+    /// engine snapshot taken by the caller at scrape time.
+    pub fn render_prometheus(&self, engine: &StatsSnapshot, queue_depth: usize) -> String {
+        let mut out = String::with_capacity(2048);
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        let gauge = |out: &mut String, name: &str, help: &str, v: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+
+        counter(
+            &mut out,
+            "srt_serve_accepted_total",
+            "Connections admitted to the worker queue.",
+            load(&self.accepted_total),
+        );
+        counter(
+            &mut out,
+            "srt_serve_shed_total",
+            "Connections refused with 503 at admission (queue full or draining).",
+            load(&self.shed_total),
+        );
+        counter(
+            &mut out,
+            "srt_serve_requests_total",
+            "HTTP requests parsed and dispatched.",
+            load(&self.requests_total),
+        );
+        counter(
+            &mut out,
+            "srt_serve_responses_total_2xx",
+            "Responses with a 2xx status.",
+            load(&self.responses_2xx),
+        );
+        counter(
+            &mut out,
+            "srt_serve_responses_total_4xx",
+            "Responses with a 4xx status.",
+            load(&self.responses_4xx),
+        );
+        counter(
+            &mut out,
+            "srt_serve_responses_total_5xx",
+            "Responses with a 5xx status.",
+            load(&self.responses_5xx),
+        );
+        gauge(
+            &mut out,
+            "srt_serve_in_flight",
+            "Requests currently being handled by a worker.",
+            load(&self.in_flight),
+        );
+        gauge(
+            &mut out,
+            "srt_serve_queue_depth",
+            "Connections waiting in the admission queue.",
+            queue_depth as u64,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP srt_serve_request_seconds Handler latency from parse-complete to response-written."
+        );
+        self.latency.render("srt_serve_request_seconds", &mut out);
+
+        counter(
+            &mut out,
+            "srt_engine_queries_total",
+            "Valid queries routed by the engine.",
+            engine.queries,
+        );
+        counter(
+            &mut out,
+            "srt_engine_batches_total",
+            "route_batch invocations.",
+            engine.batches,
+        );
+        counter(
+            &mut out,
+            "srt_engine_bounds_cache_hits_total",
+            "Queries served from the per-target bounds cache.",
+            engine.bounds_cache_hits,
+        );
+        counter(
+            &mut out,
+            "srt_engine_bounds_cache_misses_total",
+            "Queries that had to compute fresh bounds.",
+            engine.bounds_cache_misses,
+        );
+        counter(
+            &mut out,
+            "srt_engine_bounds_evictions_total",
+            "Cached bounds evicted by the LRU policy.",
+            engine.bounds_evictions,
+        );
+        counter(
+            &mut out,
+            "srt_engine_labels_created_total",
+            "Search labels created across all queries.",
+            engine.labels_created,
+        );
+        counter(
+            &mut out,
+            "srt_engine_labels_expanded_total",
+            "Search labels expanded across all queries.",
+            engine.labels_expanded,
+        );
+        counter(
+            &mut out,
+            "srt_engine_incomplete_total",
+            "Searches cut short by a deadline or the label cap.",
+            engine.incomplete,
+        );
+        counter(
+            &mut out,
+            "srt_engine_pool_reuse_total",
+            "Histogram-buffer checkouts served from the free list.",
+            engine.pool_reuse,
+        );
+        counter(
+            &mut out,
+            "srt_engine_pool_misses_total",
+            "Histogram-buffer checkouts that allocated fresh.",
+            engine.pool_misses,
+        );
+        counter(
+            &mut out,
+            "srt_engine_lattice_fast_path_total",
+            "Convolutions that ran on the shared-lattice fast route.",
+            engine.lattice_fast_path,
+        );
+        counter(
+            &mut out,
+            "srt_engine_panics_total",
+            "Queries whose search panicked and was contained (any non-zero value is a bug report).",
+            engine.panics,
+        );
+        out
+    }
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.observe(Duration::from_micros(80)); // -> le=0.0001
+        }
+        for _ in 0..10 {
+            h.observe(Duration::from_millis(20)); // -> le=0.025
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.5), 0.0001);
+        assert_eq!(h.quantile(0.99), 0.025);
+        // Beyond the last bound lands in +Inf.
+        h.observe(Duration::from_secs(10));
+        assert_eq!(h.quantile(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn render_is_valid_prometheus_text() {
+        let m = ServeMetrics::new();
+        m.accepted_total.fetch_add(3, Ordering::Relaxed);
+        m.shed_total.fetch_add(1, Ordering::Relaxed);
+        m.record_response(200);
+        m.record_response(422);
+        m.latency.observe(Duration::from_micros(300));
+        let page = m.render_prometheus(&StatsSnapshot::default(), 2);
+        for needle in [
+            "srt_serve_accepted_total 3",
+            "srt_serve_shed_total 1",
+            "srt_serve_responses_total_2xx 1",
+            "srt_serve_responses_total_4xx 1",
+            "srt_serve_queue_depth 2",
+            "srt_serve_request_seconds_bucket{le=\"+Inf\"} 1",
+            "srt_serve_request_seconds_count 1",
+            "srt_engine_queries_total 0",
+            "srt_engine_panics_total 0",
+        ] {
+            assert!(page.contains(needle), "missing {needle:?} in:\n{page}");
+        }
+        // Every non-comment line is `name[{labels}] value`.
+        for line in page.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable sample value in {line:?}"
+            );
+        }
+    }
+}

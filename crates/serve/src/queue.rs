@@ -1,0 +1,190 @@
+//! The bounded MPMC admission queue behind the server's load shedding.
+//!
+//! One producer (the acceptor thread) pushes accepted connections with
+//! [`BoundedQueue::try_push`]; the worker threads block in
+//! [`BoundedQueue::pop`]. The queue never blocks the producer: when it
+//! is full, `try_push` hands the connection straight back so the caller
+//! can shed it (an immediate `503`) instead of letting an unbounded
+//! backlog smear tail latency across every queued request — the
+//! admission contract the whole serving layer is built on.
+//!
+//! Shutdown is a first-class state: [`BoundedQueue::close`] stops
+//! admitting new items but lets consumers drain everything already
+//! queued — `pop` returns `None` only once the queue is both closed
+//! *and* empty, which is what makes the server's graceful drain
+//! lossless.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// A fixed-capacity multi-producer/multi-consumer queue with
+/// non-blocking admission and blocking, drain-to-empty consumption.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Poison-tolerant lock: a consumer panicking mid-`pop` must not
+    /// wedge admission for the rest of the server's life.
+    fn state(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Attempts to enqueue without blocking. Returns the item back when
+    /// the queue is full (shed it) or closed (draining — shed it too).
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut s = self.state();
+        if s.closed || s.items.len() >= self.capacity {
+            return Err(item);
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained; `None` is the consumer's signal to exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self
+                .ready
+                .wait(s)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Stops admission and wakes every blocked consumer. Already-queued
+    /// items remain poppable — close starts the drain, it does not drop
+    /// work.
+    pub fn close(&self) {
+        self.state().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Items currently waiting (the metrics `queue_depth` gauge).
+    pub fn len(&self) -> usize {
+        self.state().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The admission capacity this queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn push_pop_roundtrip_in_order() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn full_queue_sheds_instead_of_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(3), "admission past capacity");
+        // Popping frees a slot again.
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = BoundedQueue::new(8);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert_eq!(q.try_push("c"), Err("c"), "closed queue admits nothing");
+        // Everything queued before close is still served.
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_push_and_close() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut seen = 0usize;
+                    while q.pop().is_some() {
+                        seen += 1;
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for i in 0..16 {
+            // Producers spin on shed in this test; the server never does.
+            let mut item = i;
+            loop {
+                match q.try_push(item) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        item = back;
+                        thread::yield_now();
+                    }
+                }
+            }
+        }
+        q.close();
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 16, "every admitted item is consumed exactly once");
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2), Err(2));
+    }
+}

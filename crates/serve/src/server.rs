@@ -1,0 +1,346 @@
+//! The server proper: one acceptor thread, a bounded admission queue,
+//! and a fixed pool of worker threads over blocking `std::net` sockets.
+//!
+//! The control flow is the whole design:
+//!
+//! 1. The acceptor takes connections off `TcpListener::accept` and
+//!    offers each to the [`BoundedQueue`]. A full (or draining) queue
+//!    hands the connection back and the acceptor **sheds** it — an
+//!    immediate `503` and a close — so overload degrades into fast
+//!    refusals instead of an unbounded backlog smearing tail latency
+//!    over every queued request.
+//! 2. Each worker blocks in [`BoundedQueue::pop`], then serves its
+//!    connection's keep-alive session to completion: parse, dispatch
+//!    through [`crate::handlers::handle_request`], respond, repeat.
+//! 3. [`Server::shutdown`] drains: the flag flips, the acceptor is
+//!    woken by a self-connect and exits, the queue closes (admitting
+//!    nothing, surrendering everything already queued), and workers
+//!    finish every admitted connection before joining. Admitted work is
+//!    never dropped.
+
+use crate::http::{read_request, write_response, RequestError, Response};
+use crate::json::protocol_error_body;
+use crate::metrics::ServeMetrics;
+use crate::queue::BoundedQueue;
+use srt_core::routing::RoutingEngine;
+use std::io::{self, BufReader, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Serving knobs. The defaults suit the integration tests and the tiny
+/// fixture worlds; a real deployment sizes `workers` to cores and
+/// `queue_capacity` to its latency budget (each queued connection waits
+/// a full service time — the cap **is** the tail-latency contract).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads (`0` = available parallelism, capped at 8).
+    pub workers: usize,
+    /// Admission-queue capacity; connection number `capacity + workers + 1`
+    /// is the first to be shed.
+    pub queue_capacity: usize,
+    /// Per-read socket timeout for idle keep-alive connections. A
+    /// connection that stays silent this long is closed.
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 0,
+            queue_capacity: 64,
+            read_timeout: Some(Duration::from_secs(5)),
+        }
+    }
+}
+
+impl ServerConfig {
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .min(8)
+        }
+    }
+}
+
+/// What the graceful drain observed; returned by [`Server::shutdown`].
+#[derive(Clone, Copy, Debug)]
+pub struct DrainReport {
+    /// Connections fully served across the server's lifetime.
+    pub connections_served: u64,
+    /// Connections refused with `503` across the lifetime.
+    pub connections_shed: u64,
+    /// Requests still being handled when the drain finished — zero by
+    /// construction (workers join only after finishing their work);
+    /// reported so callers can assert it.
+    pub in_flight_after_drain: u64,
+}
+
+/// A running HTTP front-end over one shared [`RoutingEngine`].
+pub struct Server {
+    engine: Arc<RoutingEngine>,
+    metrics: Arc<ServeMetrics>,
+    queue: Arc<BoundedQueue<TcpStream>>,
+    draining: Arc<AtomicBool>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<u64>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// acceptor and worker threads. Serving begins before this returns.
+    pub fn start(
+        engine: Arc<RoutingEngine>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(ServeMetrics::new());
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let draining = Arc::new(AtomicBool::new(false));
+
+        let acceptor = {
+            let metrics = Arc::clone(&metrics);
+            let queue = Arc::clone(&queue);
+            let draining = Arc::clone(&draining);
+            thread::Builder::new()
+                .name("srt-serve-accept".into())
+                .spawn(move || accept_loop(listener, queue, metrics, draining))?
+        };
+
+        let workers = (0..config.resolved_workers())
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                let metrics = Arc::clone(&metrics);
+                let queue = Arc::clone(&queue);
+                let draining = Arc::clone(&draining);
+                let read_timeout = config.read_timeout;
+                thread::Builder::new()
+                    .name(format!("srt-serve-worker-{i}"))
+                    .spawn(move || {
+                        let mut served = 0u64;
+                        while let Some(stream) = queue.pop() {
+                            serve_connection(
+                                stream,
+                                &engine,
+                                &metrics,
+                                &queue,
+                                &draining,
+                                read_timeout,
+                            );
+                            served += 1;
+                        }
+                        served
+                    })
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        Ok(Server {
+            engine,
+            metrics,
+            queue,
+            draining,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live server counters.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// The engine being served.
+    pub fn engine(&self) -> &RoutingEngine {
+        &self.engine
+    }
+
+    /// Connections currently waiting for a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Graceful drain: stop accepting, finish every admitted
+    /// connection, join all threads. Idempotent via `Drop` (dropping an
+    /// un-shut-down server performs the same drain, minus the report).
+    pub fn shutdown(mut self) -> DrainReport {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> DrainReport {
+        self.draining.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            // The acceptor blocks in accept(); a throwaway self-connect
+            // wakes it so it can observe the flag and exit.
+            let _ = TcpStream::connect(self.addr);
+            let _ = acceptor.join();
+        }
+        // Close only after the acceptor is gone: nothing new can be
+        // offered, everything already admitted is drained by workers.
+        self.queue.close();
+        let mut connections_served = 0u64;
+        for w in self.workers.drain(..) {
+            connections_served += w.join().unwrap_or(0);
+        }
+        DrainReport {
+            connections_served,
+            connections_shed: self.metrics.shed_total.load(Ordering::Relaxed),
+            in_flight_after_drain: self.metrics.in_flight.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || !self.workers.is_empty() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// Cap on concurrent shed-courtesy threads; refusals past it skip the
+/// polite `503` and just close (see [`shed`]).
+const MAX_CONCURRENT_SHEDS: u64 = 64;
+
+fn accept_loop(
+    listener: TcpListener,
+    queue: Arc<BoundedQueue<TcpStream>>,
+    metrics: Arc<ServeMetrics>,
+    draining: Arc<AtomicBool>,
+) {
+    let sheds_in_flight = Arc::new(AtomicU64::new(0));
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if draining.load(Ordering::SeqCst) {
+            // The shutdown self-connect (or a raced client); just drop —
+            // the listener closes with this thread.
+            return;
+        }
+        match queue.try_push(stream) {
+            Ok(()) => {
+                metrics.accepted_total.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(stream) => {
+                metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+                metrics.record_response(503);
+                // Shed off the acceptor thread: the courtesy read in
+                // `shed` can stall up to its timeout on a slow peer,
+                // and overload is exactly when accept must stay fast.
+                // Past the thread cap the refusal degrades to a bare
+                // close — still bounded, still immediate.
+                let gauge = Arc::clone(&sheds_in_flight);
+                if gauge.fetch_add(1, Ordering::AcqRel) < MAX_CONCURRENT_SHEDS {
+                    let spawned = thread::Builder::new()
+                        .name("srt-serve-shed".into())
+                        .spawn(move || {
+                            shed(stream);
+                            gauge.fetch_sub(1, Ordering::AcqRel);
+                        });
+                    if let Err(_e) = spawned {
+                        sheds_in_flight.fetch_sub(1, Ordering::AcqRel);
+                    }
+                } else {
+                    gauge.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+        }
+    }
+}
+
+/// Refuses one connection with an immediate `503`. The pending request
+/// is read best-effort first (tiny buffer, millisecond timeout): closing
+/// with unread data makes the kernel RST the socket, which would destroy
+/// the very response telling the client to back off.
+fn shed(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(5)));
+    let mut sink = [0u8; 4096];
+    loop {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) if n < sink.len() => break,
+            Ok(_) => continue,
+        }
+    }
+    let resp = Response::json(
+        503,
+        protocol_error_body(
+            "overloaded",
+            "admission queue full; the request was shed — retry with backoff",
+        ),
+    )
+    .closing();
+    let _ = write_response(&mut stream, &resp);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Serves one connection's keep-alive session to completion.
+fn serve_connection(
+    stream: TcpStream,
+    engine: &RoutingEngine,
+    metrics: &ServeMetrics,
+    queue: &BoundedQueue<TcpStream>,
+    draining: &AtomicBool,
+    read_timeout: Option<Duration>,
+) {
+    let _ = stream.set_read_timeout(read_timeout);
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(req) => req,
+            Err(RequestError::Closed) | Err(RequestError::Io(_)) => return,
+            Err(e) => {
+                // Parse failures have a definite status; answer and close
+                // (framing is unrecoverable after a bad head).
+                if let Some(status) = e.status() {
+                    metrics.record_response(status);
+                    let resp =
+                        Response::json(status, protocol_error_body("bad_request", &e.detail()))
+                            .closing();
+                    let _ = write_response(&mut writer, &resp);
+                }
+                return;
+            }
+        };
+        metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+        metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let mut resp = crate::handlers::handle_request(engine, metrics, queue.len(), &req);
+        if req.wants_close() || draining.load(Ordering::SeqCst) {
+            resp.close = true;
+        }
+        let write_ok = write_response(&mut writer, &resp).is_ok();
+        metrics.latency.observe(started.elapsed());
+        metrics.record_response(resp.status);
+        metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+        if !write_ok || resp.close {
+            return;
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! End-to-end certification of the serving layer over real sockets:
+//!
+//! * **parity** — `POST /route` answers are bitwise-identical
+//!   (probability, distribution, path, counters) to calling
+//!   `RoutingEngine::route` in-process,
+//! * **protocol** — malformed JSON is `400`, typed engine rejections
+//!   are `422` with machine-readable kinds, wrong methods are `405`,
+//!   unknown paths `404`,
+//! * **admission** — a full queue sheds with an immediate `503` and a
+//!   `shed_total` increment while admitted connections still complete,
+//! * **containment** — a query that panics mid-search returns an inline
+//!   `500`-kind error in its batch without failing batch-mates, and the
+//!   server keeps serving afterwards,
+//! * **drain** — graceful shutdown finishes every admitted connection
+//!   (zero in-flight afterwards, all responses delivered).
+
+use srt_core::model::training::{train_hybrid, TrainingConfig};
+use srt_core::routing::{EngineBuilder, Query, RoutingEngine};
+use srt_core::{CombinePolicy, HybridCost, HybridModel};
+use srt_ml::forest::ForestConfig;
+use srt_serve::client::{request_once, Client};
+use srt_serve::json::{self, Json};
+use srt_serve::{Server, ServerConfig};
+use srt_synth::{DistanceCategory, QueryGenerator, SyntheticWorld, WorldConfig};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+fn fixture() -> &'static (SyntheticWorld, HybridModel) {
+    static FIX: OnceLock<(SyntheticWorld, HybridModel)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let world = SyntheticWorld::build(WorldConfig::tiny());
+        let cfg = TrainingConfig {
+            train_pairs: 120,
+            test_pairs: 40,
+            min_obs: 5,
+            bins: 10,
+            forest: ForestConfig {
+                n_trees: 6,
+                ..ForestConfig::default()
+            },
+            ..TrainingConfig::default()
+        };
+        let (model, _) = train_hybrid(&world, &cfg).expect("fixture trains");
+        (world, model)
+    })
+}
+
+fn cost() -> HybridCost {
+    let (world, model) = fixture();
+    HybridCost::from_ground_truth(world, model, CombinePolicy::Hybrid)
+}
+
+/// One engine shared by most tests (each test runs its own server on an
+/// ephemeral port over it; tests therefore never assert absolute engine
+/// counter values, only server-local metrics).
+fn shared_engine() -> Arc<RoutingEngine> {
+    static ENGINE: OnceLock<Arc<RoutingEngine>> = OnceLock::new();
+    Arc::clone(ENGINE.get_or_init(|| Arc::new(EngineBuilder::new(cost()).build())))
+}
+
+fn workload(seed: u64, n: usize) -> Vec<Query> {
+    let (world, _) = fixture();
+    QueryGenerator::new(seed)
+        .generate(&world.graph, &world.model, DistanceCategory::ZeroToOne, n)
+        .iter()
+        .map(Query::from)
+        .collect()
+}
+
+fn start(config: ServerConfig) -> Server {
+    Server::start(shared_engine(), "127.0.0.1:0", config).expect("bind ephemeral port")
+}
+
+fn query_body(q: &Query) -> String {
+    format!(
+        "{{\"source\":{},\"target\":{},\"budget_s\":{:?}}}",
+        q.source.0, q.target.0, q.budget_s
+    )
+}
+
+/// Full bitwise comparison of a served JSON document against an
+/// in-process `RouteResult` (everything except wall-clock `elapsed_us`).
+fn assert_served_identical(doc: &Json, reference: &srt_core::routing::RouteResult, what: &str) {
+    let prob = doc.get("probability").and_then(|p| p.as_f64()).unwrap();
+    assert_eq!(
+        prob.to_bits(),
+        reference.probability.to_bits(),
+        "{what}: probability {prob} != {}",
+        reference.probability
+    );
+    match (&reference.path, doc.get("path")) {
+        (None, Some(Json::Null)) => {}
+        (Some(p), Some(served)) => {
+            let nodes: Vec<u64> = served.get("nodes").and_then(|n| n.as_arr()).unwrap()
+                .iter().map(|n| n.as_u64().unwrap()).collect();
+            let edges: Vec<u64> = served.get("edges").and_then(|e| e.as_arr()).unwrap()
+                .iter().map(|e| e.as_u64().unwrap()).collect();
+            let want_nodes: Vec<u64> = p.nodes.iter().map(|n| n.0 as u64).collect();
+            let want_edges: Vec<u64> = p.edges.iter().map(|e| e.0 as u64).collect();
+            assert_eq!(nodes, want_nodes, "{what}: path nodes differ");
+            assert_eq!(edges, want_edges, "{what}: path edges differ");
+        }
+        other => panic!("{what}: path presence mismatch: {other:?}"),
+    }
+    match (&reference.distribution, doc.get("distribution")) {
+        (None, Some(Json::Null)) => {}
+        (Some(d), Some(served)) => {
+            let start = served.get("start").and_then(|x| x.as_f64()).unwrap();
+            let width = served.get("width").and_then(|x| x.as_f64()).unwrap();
+            assert_eq!(start.to_bits(), d.start().to_bits(), "{what}: start");
+            assert_eq!(width.to_bits(), d.width().to_bits(), "{what}: width");
+            let probs = served.get("probs").and_then(|p| p.as_arr()).unwrap();
+            assert_eq!(probs.len(), d.probs().len(), "{what}: bin count");
+            for (i, (served_p, want)) in probs.iter().zip(d.probs()).enumerate() {
+                assert_eq!(
+                    served_p.as_f64().unwrap().to_bits(),
+                    want.to_bits(),
+                    "{what}: probs[{i}]"
+                );
+            }
+        }
+        other => panic!("{what}: distribution presence mismatch: {other:?}"),
+    }
+    let stats = doc.get("stats").unwrap();
+    let counter = |name: &str| stats.get(name).and_then(|v| v.as_u64()).unwrap();
+    assert_eq!(counter("labels_created"), reference.stats.labels_created as u64, "{what}");
+    assert_eq!(counter("labels_expanded"), reference.stats.labels_expanded as u64, "{what}");
+    assert_eq!(
+        stats.get("completed").and_then(|v| v.as_bool()).unwrap(),
+        reference.stats.completed,
+        "{what}"
+    );
+}
+
+#[test]
+fn healthz_answers_and_metrics_render() {
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr();
+    let health = request_once(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(health.text(), "ok\n");
+
+    let metrics = request_once(addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(metrics.status, 200);
+    let page = metrics.text();
+    for family in [
+        "srt_serve_accepted_total",
+        "srt_serve_shed_total",
+        "srt_serve_request_seconds_bucket",
+        "srt_engine_queries_total",
+        "srt_engine_panics_total",
+    ] {
+        assert!(page.contains(family), "missing {family} in:\n{page}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn served_routes_are_bitwise_identical_to_the_engine() {
+    let server = start(ServerConfig::default());
+    let engine = shared_engine();
+    let mut conn = Client::connect(server.local_addr()).unwrap();
+    for (i, q) in workload(0xA11CE, 10).iter().enumerate() {
+        let reference = engine.route(q).expect("workload queries are valid");
+        let resp = conn.request("POST", "/route", Some(&query_body(q))).unwrap();
+        assert_eq!(resp.status, 200, "query {i}: {}", resp.text());
+        let doc = json::parse(&resp.text()).expect("response is valid JSON");
+        assert_served_identical(&doc, &reference, &format!("query {i}"));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn batch_over_http_matches_sequential_routes() {
+    let server = start(ServerConfig::default());
+    let engine = shared_engine();
+    let queries = workload(0xBA7C4, 8);
+    let mut body = String::from("{\"queries\":[");
+    for (i, q) in queries.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&query_body(q));
+    }
+    body.push_str("],\"parallelism\":4}");
+    let resp = request_once(server.local_addr(), "POST", "/route_batch", Some(&body)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let doc = json::parse(&resp.text()).unwrap();
+    let results = doc.get("results").and_then(|r| r.as_arr()).unwrap();
+    assert_eq!(results.len(), queries.len());
+    for (i, (served, q)) in results.iter().zip(&queries).enumerate() {
+        let reference = engine.route(q).unwrap();
+        assert_served_identical(served, &reference, &format!("batch[{i}]"));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn protocol_and_semantic_failures_map_to_distinct_statuses() {
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr();
+    let num_nodes = shared_engine().cost().graph().num_nodes();
+
+    // Unparseable JSON: 400 at the protocol layer.
+    let resp = request_once(addr, "POST", "/route", Some("{not json")).unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.text().contains("bad_request"), "{}", resp.text());
+
+    // Schema violation: 400 with the member named.
+    let resp = request_once(addr, "POST", "/route", Some("{\"source\":1}")).unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.text().contains("target"), "{}", resp.text());
+
+    // Well-formed but semantically impossible: 422 with the typed kind.
+    let out_of_range = format!(
+        "{{\"source\":{num_nodes},\"target\":0,\"budget_s\":100.0}}"
+    );
+    let resp = request_once(addr, "POST", "/route", Some(&out_of_range)).unwrap();
+    assert_eq!(resp.status, 422, "{}", resp.text());
+    let doc = json::parse(&resp.text()).unwrap();
+    let err = doc.get("error").unwrap();
+    assert_eq!(err.get("kind").unwrap().as_str(), Some("node_out_of_range"));
+    assert_eq!(err.get("node").unwrap().as_u64(), Some(num_nodes as u64));
+    assert_eq!(err.get("num_nodes").unwrap().as_u64(), Some(num_nodes as u64));
+
+    // The negative-budget validation gap this PR closed, observed on
+    // the wire: 422 invalid_budget, not a silent degenerate 200.
+    let resp = request_once(
+        addr,
+        "POST",
+        "/route",
+        Some("{\"source\":0,\"target\":1,\"budget_s\":-5.0}"),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 422, "{}", resp.text());
+    let doc = json::parse(&resp.text()).unwrap();
+    assert_eq!(
+        doc.get("error").unwrap().get("kind").unwrap().as_str(),
+        Some("invalid_budget")
+    );
+
+    // Wrong method / unknown path.
+    let resp = request_once(addr, "GET", "/route", None).unwrap();
+    assert_eq!(resp.status, 405);
+    let resp = request_once(addr, "POST", "/healthz", Some("{}")).unwrap();
+    assert_eq!(resp.status, 405);
+    let resp = request_once(addr, "GET", "/nope", None).unwrap();
+    assert_eq!(resp.status, 404);
+
+    // Non-HTTP bytes: 400 and the connection closes.
+    let mut raw = Client::connect(addr).unwrap();
+    raw.send_raw(b"THIS IS NOT HTTP\r\n\r\n").unwrap();
+    let resp = raw.read_response().unwrap();
+    assert_eq!(resp.status, 400);
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_with_503_while_admitted_work_completes() {
+    // One worker, one queue slot: the third concurrent connection must
+    // be refused at admission.
+    let server = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        read_timeout: Some(Duration::from_secs(10)),
+    });
+    let addr = server.local_addr();
+    let q = workload(0x5ED, 1)[0];
+
+    // C1: admitted and popped by the worker, which then blocks reading.
+    let mut c1 = Client::connect(addr).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.queue_depth() != 0 || server.metrics().accepted_total.load(Ordering::Relaxed) < 1
+    {
+        assert!(Instant::now() < deadline, "worker never picked up C1");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // C2: admitted, parked in the queue's only slot.
+    let mut c2 = Client::connect(addr).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.queue_depth() != 1 {
+        assert!(Instant::now() < deadline, "C2 never reached the queue");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // C3: the queue is full — shed with an immediate 503.
+    let shed_before = server.metrics().shed_total.load(Ordering::Relaxed);
+    let mut c3 = Client::connect(addr).unwrap();
+    let resp = c3.request("POST", "/route", Some(&query_body(&q))).unwrap();
+    assert_eq!(resp.status, 503, "{}", resp.text());
+    assert!(resp.text().contains("overloaded"), "{}", resp.text());
+    assert_eq!(
+        server.metrics().shed_total.load(Ordering::Relaxed),
+        shed_before + 1,
+        "shed_total must count the refusal"
+    );
+
+    // The admitted connections were never harmed: both complete.
+    let resp = c1.request("POST", "/route", Some(&query_body(&q))).unwrap();
+    assert_eq!(resp.status, 200);
+    drop(c1); // frees the worker for C2
+    let resp = c2.request("POST", "/route", Some(&query_body(&q))).unwrap();
+    assert_eq!(resp.status, 200);
+    drop(c2);
+    let report = server.shutdown();
+    assert_eq!(report.in_flight_after_drain, 0);
+    assert_eq!(report.connections_shed, shed_before + 1);
+}
+
+#[test]
+fn panicking_query_in_a_batch_is_isolated_on_the_wire() {
+    // A rigged engine: routing (victim.source -> victim.target) panics
+    // mid-search. The server must answer the batch anyway, with the
+    // victim as an inline typed error and batch-mates bitwise intact.
+    // Deduplicate endpoint pairs so only index 2 trips the rig.
+    let mut queries = workload(0xFA17, 12);
+    let mut seen = std::collections::HashSet::new();
+    queries.retain(|q| seen.insert((q.source, q.target)));
+    queries.truncate(6);
+    assert!(queries.len() == 6, "fixture workload too repetitive");
+    let victim = queries[2];
+    let rigged = Arc::new(
+        EngineBuilder::new(cost())
+            .panic_on_query(victim.source, victim.target)
+            .build(),
+    );
+    let healthy = shared_engine();
+    let server = Server::start(Arc::clone(&rigged), "127.0.0.1:0", ServerConfig::default())
+        .expect("bind");
+
+    let mut body = String::from("{\"queries\":[");
+    for (i, q) in queries.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&query_body(q));
+    }
+    body.push_str("],\"parallelism\":2}");
+    let mut conn = Client::connect(server.local_addr()).unwrap();
+    let resp = conn.request("POST", "/route_batch", Some(&body)).unwrap();
+    assert_eq!(resp.status, 200, "a contained panic must not fail the batch");
+    let doc = json::parse(&resp.text()).unwrap();
+    let results = doc.get("results").and_then(|r| r.as_arr()).unwrap();
+    assert_eq!(results.len(), queries.len());
+    for (i, (served, q)) in results.iter().zip(&queries).enumerate() {
+        if i == 2 {
+            let err = served.get("error").expect("victim is an inline error");
+            assert_eq!(err.get("kind").unwrap().as_str(), Some("internal"));
+        } else {
+            let reference = healthy.route(q).unwrap();
+            assert_served_identical(served, &reference, &format!("batch-mate {i}"));
+        }
+    }
+
+    // A single /route of the victim is a 500 with the typed kind...
+    let resp = conn
+        .request("POST", "/route", Some(&query_body(&victim)))
+        .unwrap();
+    assert_eq!(resp.status, 500, "{}", resp.text());
+    let doc = json::parse(&resp.text()).unwrap();
+    assert_eq!(
+        doc.get("error").unwrap().get("kind").unwrap().as_str(),
+        Some("internal")
+    );
+
+    // ...and the server remains fully serviceable on the same
+    // keep-alive connection.
+    let resp = conn
+        .request("POST", "/route", Some(&query_body(&queries[0])))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let page = conn.request("GET", "/metrics", None).unwrap().text();
+    let panics = page
+        .lines()
+        .find(|l| l.starts_with("srt_engine_panics_total "))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap();
+    assert!(panics >= 2, "both contained panics are counted, got {panics}");
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_admitted_connections_losslessly() {
+    let server = start(ServerConfig {
+        workers: 2,
+        queue_capacity: 16,
+        read_timeout: Some(Duration::from_secs(10)),
+    });
+    let addr = server.local_addr();
+    let queries = workload(0xD1A1, 4);
+
+    // In-flight sessions started before the drain begins.
+    let clients: Vec<_> = (0..4)
+        .map(|_| Client::connect(addr).unwrap())
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.metrics().accepted_total.load(Ordering::Relaxed) < 4 {
+        assert!(Instant::now() < deadline, "connections never admitted");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Shut down concurrently with the requests still being issued.
+    let driver = std::thread::spawn(move || {
+        clients
+            .into_iter()
+            .zip(queries)
+            .map(|(mut c, q)| {
+                let resp = c.request("POST", "/route", Some(&query_body(&q)))?;
+                Ok::<_, std::io::Error>(resp.status)
+            })
+            .collect::<Vec<_>>()
+    });
+    std::thread::sleep(Duration::from_millis(10));
+    let report = server.shutdown();
+    let statuses = driver.join().expect("driver thread");
+
+    // Every admitted connection got a real answer — the drain dropped
+    // nothing (responses during the drain may carry Connection: close,
+    // which the client tolerates since it reads by Content-Length).
+    for (i, s) in statuses.iter().enumerate() {
+        assert_eq!(
+            *s.as_ref().expect("admitted connection must be answered"),
+            200,
+            "connection {i}"
+        );
+    }
+    assert_eq!(report.in_flight_after_drain, 0);
+    assert!(report.connections_served >= 4);
+
+    // The listener is really gone.
+    assert!(Client::connect(addr).is_err() || {
+        // A TIME_WAIT race can accept then reset; a request must fail.
+        request_once(addr, "GET", "/healthz", None).is_err()
+    });
+}

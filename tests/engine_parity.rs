@@ -166,11 +166,14 @@ fn invalid_queries_are_rejected_with_typed_errors() {
     let zero = valid.with_deadline(Duration::ZERO);
     assert_eq!(engine.route(&zero).unwrap_err(), EngineError::ZeroDeadline);
 
-    // Negative *finite* budgets stay answerable (probability zero), as
-    // documented on EngineError::InvalidBudget.
+    // Negative budgets used to slip past validation (only NaN/∞ were
+    // checked) and silently return the degenerate probability-0 result.
+    // The typed API now rejects them like any other meaningless budget.
     let late = Query::new(valid.source, valid.target, -5.0);
-    let r = engine.route(&late).expect("negative budgets are answerable");
-    assert_eq!(r.probability, 0.0);
+    assert_eq!(
+        engine.route(&late).unwrap_err(),
+        EngineError::InvalidBudget { budget: -5.0 }
+    );
 
     // A bad query inside a batch rejects alone; its neighbours route.
     let batch = [valid, bogus, late];
@@ -180,7 +183,7 @@ fn invalid_queries_are_rejected_with_typed_errors() {
         results[1],
         Err(EngineError::NodeOutOfRange { .. })
     ));
-    assert!(results[2].is_ok());
+    assert!(matches!(results[2], Err(EngineError::InvalidBudget { .. })));
 
     // Error values render for operators.
     let msg = engine.route(&zero).unwrap_err().to_string();
@@ -382,6 +385,140 @@ fn shared_lattice_fast_path_fires_and_preserves_routes() {
         engine.stats().lattice_fast_path > 0,
         "no combine hit the shared-lattice route on a single-lattice world"
     );
+}
+
+#[test]
+fn zero_budget_is_valid_and_takes_the_degenerate_path() {
+    // A budget of exactly 0.0 is finite and answerable (probability 0),
+    // so validation admits it — but the search must not burn a full
+    // exploration to conclude that: `route_inner`'s degenerate path now
+    // covers non-positive budgets, matching its long-standing comment.
+    let engine = EngineBuilder::new(cost())
+        .config(RouterConfig::default())
+        .build();
+    let q = workload(1)[0];
+
+    let r = engine
+        .route(&Query::new(q.source, q.target, 0.0))
+        .expect("zero budgets are answerable");
+    assert_eq!(r.probability, 0.0);
+    assert!(r.stats.completed);
+    // The degenerate path answers without searching: the expected-time
+    // path is attached, but no label was ever created or expanded.
+    assert!(r.path.is_some(), "expected-time path attached");
+    assert_eq!(r.stats.labels_created, 0, "zero budget ran the full search");
+    assert_eq!(r.stats.labels_expanded, 0);
+}
+
+#[test]
+fn shim_preserves_legacy_degenerate_budget_semantics() {
+    // The deprecated BudgetRouter keeps answering NaN/∞/negative budgets
+    // with a probability-0 result (its documented legacy contract), even
+    // though the typed engine API now rejects the same budgets.
+    let cost = cost();
+    let shim = BudgetRouter::new(&cost, RouterConfig::default());
+    let engine = EngineBuilder::new(cost.clone())
+        .config(RouterConfig::default())
+        .build();
+    let q = workload(1)[0];
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -5.0] {
+        let r = shim.route(q.source, q.target, bad, None);
+        assert_eq!(r.probability, 0.0, "shim budget {bad}");
+        assert!(r.stats.completed);
+        assert!(r.path.is_some(), "shim still attaches the usable path");
+        assert_eq!(r.stats.labels_created, 0, "degenerate budgets never search");
+        assert!(
+            matches!(
+                engine.route(&Query::new(q.source, q.target, bad)),
+                Err(EngineError::InvalidBudget { .. })
+            ),
+            "engine must reject budget {bad}"
+        );
+    }
+}
+
+#[test]
+fn panicking_query_is_contained_and_engine_stays_serviceable() {
+    let cost = cost();
+    let queries = workload(6);
+    let victim = queries[2];
+
+    // Reference answers from a healthy engine.
+    let healthy = EngineBuilder::new(cost.clone())
+        .config(RouterConfig::default())
+        .build();
+    let reference = healthy.route_batch(&queries, 1);
+
+    // A rigged engine panics mid-search on the victim query (fault
+    // injection fires after seeding, with pooled payloads live in the
+    // arena — realistic wreckage, not a tidy early return).
+    let rigged = EngineBuilder::new(cost.clone())
+        .config(RouterConfig::default())
+        .panic_on_query(victim.source, victim.target)
+        .build();
+
+    for workers in [1usize, 4] {
+        let results = rigged.route_batch(&queries, workers);
+        for (i, (r, expected)) in results.iter().zip(&reference).enumerate() {
+            let q = &queries[i];
+            if q.source == victim.source && q.target == victim.target {
+                assert_eq!(
+                    r.as_ref().unwrap_err(),
+                    &EngineError::Internal,
+                    "victim query must surface the contained panic"
+                );
+            } else {
+                assert_identical(
+                    r.as_ref().expect("non-victim queries route"),
+                    expected.as_ref().unwrap(),
+                    &format!("query {i} after a contained panic ({workers} workers)"),
+                );
+            }
+        }
+    }
+    assert!(rigged.stats().panics >= 2, "contained panics are counted");
+
+    // Sequential single-query serving recovers the same way: the panic
+    // is one Err, and the very next route call answers bit-for-bit.
+    assert_eq!(rigged.route(&victim).unwrap_err(), EngineError::Internal);
+    let after = rigged.route(&queries[0]).expect("engine stays serviceable");
+    assert_identical(
+        &after,
+        reference[0].as_ref().unwrap(),
+        "first query after a contained panic",
+    );
+    // The error renders for operators.
+    let msg = EngineError::Internal.to_string();
+    assert!(msg.contains("panicked"), "unhelpful Internal display: {msg}");
+}
+
+#[test]
+fn poisoned_locks_do_not_take_down_serving() {
+    // A panic while holding the context-pool Mutex or the bounds-cache
+    // RwLock used to poison it forever — every later route() call would
+    // then panic in checkout_context. The accessors are now
+    // poison-tolerant: serving proceeds as if nothing happened.
+    let engine = EngineBuilder::new(cost())
+        .config(RouterConfig::default())
+        .build();
+    let queries = workload(4);
+    let before = engine.route_batch(&queries, 1);
+
+    engine.poison_locks_for_tests();
+
+    // Every lock-touching surface still works...
+    let _ = engine.pooled_contexts();
+    let _ = engine.bounds_cached();
+    engine.clear_bounds_cache();
+    // ...and answers are unchanged.
+    let after = engine.route_batch(&queries, 2);
+    for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+        assert_identical(
+            b.as_ref().unwrap(),
+            a.as_ref().unwrap(),
+            &format!("query {i} across lock poisoning"),
+        );
+    }
 }
 
 #[test]
