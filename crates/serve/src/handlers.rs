@@ -29,15 +29,17 @@ pub fn handle_request(
     queue_depth: usize,
     req: &Request,
 ) -> Response {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => Response::text(200, "ok\n"),
-        ("GET", "/metrics") => Response::text(
+    // Path first, then method: a known path with the wrong method (any
+    // method — HEAD, DELETE, …) is a 405, never a misleading 404.
+    match req.path.as_str() {
+        "/healthz" if req.method == "GET" => Response::text(200, "ok\n"),
+        "/metrics" if req.method == "GET" => Response::text(
             200,
             metrics.render_prometheus(&engine.stats(), queue_depth),
         ),
-        ("POST", "/route") => route_one(engine, &req.body),
-        ("POST", "/route_batch") => route_batch(engine, &req.body),
-        ("GET" | "POST", "/healthz" | "/metrics" | "/route" | "/route_batch") => Response::json(
+        "/route" if req.method == "POST" => route_one(engine, &req.body),
+        "/route_batch" if req.method == "POST" => route_batch(engine, &req.body),
+        "/healthz" | "/metrics" | "/route" | "/route_batch" => Response::json(
             405,
             protocol_error_body(
                 "method_not_allowed",

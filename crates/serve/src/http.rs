@@ -186,6 +186,18 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, RequestError> {
     if req.header("transfer-encoding").is_some() {
         return Err(RequestError::UnsupportedTransferEncoding);
     }
+    // Multiple Content-Length headers are a request-smuggling desync
+    // vector behind proxies that resolve the conflict differently
+    // (RFC 7230 §3.3.2): refuse them outright rather than pick one.
+    if req
+        .headers
+        .iter()
+        .filter(|(n, _)| n == "content-length")
+        .count()
+        > 1
+    {
+        return Err(RequestError::Malformed("multiple Content-Length headers"));
+    }
     let content_length = match req.header("content-length") {
         Some(v) => v
             .parse::<usize>()
@@ -318,6 +330,19 @@ mod tests {
     #[test]
     fn rejects_gibberish_with_400() {
         for raw in ["NOT A REQUEST\r\n\r\n", "GET\r\n\r\n", "GET / HTTP/2\r\n\r\n"] {
+            let err = parse(raw).unwrap_err();
+            assert_eq!(err.status(), Some(400), "{raw:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        // Even agreeing duplicates are refused — a proxy in front may
+        // resolve the pair differently than we do (smuggling desync).
+        for raw in [
+            "POST /route HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 2\r\n\r\nabcd",
+            "POST /route HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd",
+        ] {
             let err = parse(raw).unwrap_err();
             assert_eq!(err.status(), Some(400), "{raw:?} -> {err:?}");
         }

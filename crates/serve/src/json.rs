@@ -332,15 +332,27 @@ impl<'a> Parser<'a> {
                     }
                 }
                 b if b < 0x20 => return Err(self.err("raw control character in string")),
+                b if b < 0x80 => out.push(b as char),
                 _ => {
-                    // Re-decode the UTF-8 sequence starting at the byte
-                    // we just consumed.
+                    // Decode only the multi-byte sequence at hand (its
+                    // length is fixed by the leading byte) — validating
+                    // the whole remaining tail per character would make
+                    // string parsing quadratic in the document size.
                     let start = self.pos - 1;
-                    let s = std::str::from_utf8(&self.bytes[start..])
+                    let len = match b {
+                        0xC2..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF4 => 4,
+                        _ => return Err(self.err("invalid UTF-8 in string")),
+                    };
+                    let end = start + len;
+                    if end > self.bytes.len() {
+                        return Err(self.err("invalid UTF-8 in string"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
                         .map_err(|_| self.err("invalid UTF-8 in string"))?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos = start + c.len_utf8();
+                    out.push(s.chars().next().unwrap());
+                    self.pos = end;
                 }
             }
         }
@@ -578,6 +590,19 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn large_strings_parse_in_linear_time() {
+        // 2MB of plain ASCII inside one string member: under the old
+        // whole-tail revalidation this was O(len²) (~terabytes of
+        // scanning); linear parsing finishes instantly.
+        let payload = "a".repeat(2 * 1024 * 1024);
+        let doc = format!("{{\"q\":\"{payload}é😀\"}}");
+        let v = parse(&doc).unwrap();
+        let s = v.get("q").unwrap().as_str().unwrap();
+        assert_eq!(s.len(), payload.len() + 'é'.len_utf8() + '😀'.len_utf8());
+        assert!(s.ends_with("é😀"));
     }
 
     #[test]

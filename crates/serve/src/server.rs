@@ -230,6 +230,10 @@ fn accept_loop(
                 if draining.load(Ordering::SeqCst) {
                     return;
                 }
+                // Persistent accept failure (EMFILE under FD exhaustion
+                // is the canonical overload case) must not spin the
+                // acceptor at 100% CPU; back off briefly before retrying.
+                thread::sleep(Duration::from_millis(20));
                 continue;
             }
         };
@@ -275,6 +279,9 @@ fn accept_loop(
 /// the very response telling the client to back off.
 fn shed(mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(5)));
+    // Bound the refusal write too: a shed thread must never outlive a
+    // peer that refuses to read its 503.
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
     let mut sink = [0u8; 4096];
     loop {
         match stream.read(&mut sink) {
@@ -305,6 +312,11 @@ fn serve_connection(
     read_timeout: Option<Duration>,
 ) {
     let _ = stream.set_read_timeout(read_timeout);
+    // Writes get the same deadline: a peer that stops reading would
+    // otherwise block write_response forever on a large body, pinning
+    // this worker (and hanging shutdown's join) permanently. A timed-out
+    // write falls out of write_response as Err and the connection dies.
+    let _ = stream.set_write_timeout(read_timeout);
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,

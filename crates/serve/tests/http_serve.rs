@@ -240,12 +240,20 @@ fn protocol_and_semantic_failures_map_to_distinct_statuses() {
         Some("invalid_budget")
     );
 
-    // Wrong method / unknown path.
+    // Wrong method / unknown path. Known paths answer 405 for *any*
+    // unsupported method (not a misleading 404); 404 is reserved for
+    // genuinely unknown paths.
     let resp = request_once(addr, "GET", "/route", None).unwrap();
     assert_eq!(resp.status, 405);
     let resp = request_once(addr, "POST", "/healthz", Some("{}")).unwrap();
     assert_eq!(resp.status, 405);
+    let resp = request_once(addr, "DELETE", "/route", None).unwrap();
+    assert_eq!(resp.status, 405, "{}", resp.text());
+    let resp = request_once(addr, "HEAD", "/metrics", None).unwrap();
+    assert_eq!(resp.status, 405, "{}", resp.text());
     let resp = request_once(addr, "GET", "/nope", None).unwrap();
+    assert_eq!(resp.status, 404);
+    let resp = request_once(addr, "DELETE", "/nope", None).unwrap();
     assert_eq!(resp.status, 404);
 
     // Non-HTTP bytes: 400 and the connection closes.
