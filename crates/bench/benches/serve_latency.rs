@@ -15,10 +15,13 @@
 //!
 //! Every client runs connect-per-request (admission is per connection),
 //! and the uncontended phase double-checks bitwise parity between HTTP
-//! answers and direct `RoutingEngine::route` calls. Output is one JSON
-//! document on stdout (committed as `BENCH_serve.json`); `--test` runs
-//! a fast smoke with the assertions that are meaningful at tiny sample
-//! sizes.
+//! answers and direct `RoutingEngine::route` calls. Before shutdown the
+//! bench scrapes `/metrics` so the committed datapoint carries the
+//! server's own view (shed counter — cross-checked against the clients'
+//! 503 count — latency histogram totals, serving epoch) next to the
+//! client-observed percentiles. Output is one JSON document on stdout
+//! (committed as `BENCH_serve.json`); `--test` runs a fast smoke with
+//! the assertions that are meaningful at tiny sample sizes.
 
 use srt_bench::tiny_context;
 use srt_core::routing::{EngineBuilder, Query, RoutingEngine};
@@ -178,6 +181,7 @@ fn main() {
             workers: WORKERS,
             queue_capacity: QUEUE_CAPACITY,
             read_timeout: Some(Duration::from_secs(10)),
+            ..ServerConfig::default()
         },
     )
     .expect("bind ephemeral port");
@@ -216,6 +220,31 @@ fn main() {
         );
     }
 
+    // Scrape the server's own view before shutdown: the datapoint
+    // records not just client-observed latency but what an operator's
+    // Prometheus would have seen (shed counter, server-side latency
+    // histogram, serving epoch).
+    let page = Client::connect(addr)
+        .and_then(|mut c| c.request_closing("GET", "/metrics", None))
+        .expect("metrics scrape")
+        .text();
+    let scrape = |name: &str| -> f64 {
+        page.lines()
+            .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or_else(|| panic!("metric {name} missing from /metrics"))
+    };
+    let served_requests = scrape("srt_serve_requests_total");
+    let served_shed = scrape("srt_serve_shed_total");
+    let served_latency_count = scrape("srt_serve_request_seconds_count");
+    let served_latency_sum_s = scrape("srt_serve_request_seconds_sum");
+    let engine_epoch = scrape("srt_engine_epoch");
+    assert_eq!(
+        served_shed as u64, overload.shed,
+        "server-side shed counter disagrees with client-observed 503s"
+    );
+
     let report = server.shutdown();
     assert_eq!(report.in_flight_after_drain, 0);
 
@@ -223,10 +252,18 @@ fn main() {
         "{{\n  \"bench\": \"serve_latency\",\n  \"mode\": \"{}\",\n  \"workers\": {WORKERS},\n  \
          \"queue_capacity\": {QUEUE_CAPACITY},\n  \"overload_clients\": {overload_clients},\n\
          {},\n{},\n  \"overload_p99_over_uncontended_p99\": {:?},\n  \
+         \"server_metrics\": {{\n    \"srt_serve_requests_total\": {},\n    \
+         \"srt_serve_shed_total\": {},\n    \"srt_serve_request_seconds_count\": {},\n    \
+         \"srt_serve_request_seconds_sum\": {:?},\n    \"srt_engine_epoch\": {}\n  }},\n  \
          \"parity\": \"bitwise-identical to in-process RoutingEngine::route\"\n}}",
         if smoke { "smoke" } else { "full" },
         phase_json("uncontended", &uncontended),
         phase_json("overload_2x", &overload),
         if p99_unc > 0.0 { p99_over / p99_unc } else { 0.0 },
+        served_requests as u64,
+        served_shed as u64,
+        served_latency_count as u64,
+        served_latency_sum_s,
+        engine_epoch as u64,
     );
 }

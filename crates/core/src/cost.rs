@@ -117,6 +117,16 @@ impl HybridCost {
         &self.model
     }
 
+    /// Shared handle to the hybrid model.
+    pub fn model_arc(&self) -> Arc<HybridModel> {
+        Arc::clone(&self.model)
+    }
+
+    /// Shared handle to the per-edge marginals.
+    pub fn marginals_arc(&self) -> Arc<[Histogram]> {
+        Arc::clone(&self.marginals)
+    }
+
     /// Travel-time marginal of edge `e`.
     pub fn marginal(&self, e: EdgeId) -> &Histogram {
         &self.marginals[e.index()]

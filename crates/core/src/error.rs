@@ -13,6 +13,9 @@ pub enum CoreError {
     Dist(srt_dist::DistError),
     /// The routing query referenced a vertex outside the graph.
     BadQuery(String),
+    /// A filesystem operation on a model snapshot failed (message form,
+    /// keeping the enum `Clone + PartialEq`).
+    Io(String),
 }
 
 impl fmt::Display for CoreError {
@@ -25,6 +28,7 @@ impl fmt::Display for CoreError {
             CoreError::Ml(e) => write!(f, "ml error: {e}"),
             CoreError::Dist(e) => write!(f, "distribution error: {e}"),
             CoreError::BadQuery(msg) => write!(f, "bad query: {msg}"),
+            CoreError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
 }

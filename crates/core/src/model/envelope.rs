@@ -138,6 +138,32 @@ impl SupportEnvelope {
             .expect("validated knots form a valid envelope")
     }
 
+    /// Checks the envelope's CDF contract: at least two knots, each
+    /// finite, within `[0, 1]` and monotone, anchored at `0` and `1`.
+    ///
+    /// [`SupportEnvelope::from_bounds`] establishes this by
+    /// construction and [`SupportEnvelope::read_bytes`] enforces it on
+    /// decode; this standalone form exists for admission checks on
+    /// models built in memory (a hot-swap candidate bypasses the
+    /// snapshot decoder entirely).
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.bounds.len();
+        if !(2..=1 << 16).contains(&n) {
+            return Err(format!("implausible envelope knot count {n}"));
+        }
+        let mut prev = 0.0f64;
+        for (i, &b) in self.bounds.iter().enumerate() {
+            if !b.is_finite() || !(0.0..=1.0).contains(&b) || b < prev {
+                return Err(format!("envelope knot {i} = {b} is invalid"));
+            }
+            prev = b;
+        }
+        if self.bounds[0] != 0.0 || *self.bounds.last().expect("non-empty") != 1.0 {
+            return Err("envelope must span [0, 1]".into());
+        }
+        Ok(())
+    }
+
     /// Appends the binary snapshot of the envelope to `buf`.
     pub fn write_bytes(&self, buf: &mut bytes::BytesMut) {
         use bytes::BufMut;
@@ -149,7 +175,9 @@ impl SupportEnvelope {
     }
 
     /// Decodes an envelope written by [`SupportEnvelope::write_bytes`],
-    /// advancing `data`.
+    /// advancing `data`. The decoded knots must pass
+    /// [`SupportEnvelope::validate`] — corrupt bytes never become a
+    /// served envelope.
     pub fn read_bytes(data: &mut &[u8]) -> Result<Self, crate::error::CoreError> {
         use bytes::Buf;
         let corrupt =
@@ -165,20 +193,13 @@ impl SupportEnvelope {
             return Err(corrupt("truncated envelope payload".into()));
         }
         let mut bounds = Vec::with_capacity(n);
-        let mut prev = 0.0f64;
-        for i in 0..n {
-            let b = data.get_f64_le();
-            if !b.is_finite() || !(0.0..=1.0).contains(&b) || b < prev {
-                return Err(corrupt(format!("envelope knot {i} = {b} is invalid")));
-            }
-            prev = b;
-            bounds.push(b);
-        }
-        if bounds[0] != 0.0 || *bounds.last().expect("non-empty") != 1.0 {
-            return Err(corrupt("envelope must span [0, 1]".into()));
+        for _ in 0..n {
+            bounds.push(data.get_f64_le());
         }
         let n_probes = data.get_u32_le() as usize;
-        Ok(SupportEnvelope { bounds, n_probes })
+        let env = SupportEnvelope { bounds, n_probes };
+        env.validate().map_err(corrupt)?;
+        Ok(env)
     }
 }
 

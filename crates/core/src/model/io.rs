@@ -124,6 +124,29 @@ pub fn from_bytes(mut data: &[u8]) -> Result<HybridModel, CoreError> {
     })
 }
 
+/// Writes a model snapshot to `path` (the file a serving process
+/// re-reads on `POST /reload`).
+///
+/// # Errors
+/// [`CoreError::Io`] on any filesystem failure.
+pub fn write_file(path: impl AsRef<std::path::Path>, model: &HybridModel) -> Result<(), CoreError> {
+    let path = path.as_ref();
+    std::fs::write(path, to_bytes(model))
+        .map_err(|e| CoreError::Io(format!("writing {}: {e}", path.display())))
+}
+
+/// Reads and decodes a model snapshot from `path`.
+///
+/// # Errors
+/// [`CoreError::Io`] on filesystem failure, [`CoreError::Ml`] on a
+/// corrupt payload (same contract as [`from_bytes`]).
+pub fn read_file(path: impl AsRef<std::path::Path>) -> Result<HybridModel, CoreError> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path)
+        .map_err(|e| CoreError::Io(format!("reading {}: {e}", path.display())))?;
+    from_bytes(&bytes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

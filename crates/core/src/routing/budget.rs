@@ -207,14 +207,16 @@ impl BudgetRouter {
     }
 
     /// The resolved dominance policy (diagnostic: exposes the margin the
-    /// router actually prunes with).
-    pub fn dominance_policy(&self) -> &DominancePolicy {
+    /// router actually prunes with). Owned: the engine's policy lives in
+    /// a swappable epoch, so references cannot be handed out.
+    pub fn dominance_policy(&self) -> DominancePolicy {
         self.engine.dominance_policy()
     }
 
     /// The convolution certificate, when a configured policy required
-    /// computing one.
-    pub fn certificate(&self) -> Option<&ConvCertificate> {
+    /// computing one. Owned, for the same epoch-lifetime reason as
+    /// [`BudgetRouter::dominance_policy`].
+    pub fn certificate(&self) -> Option<ConvCertificate> {
         self.engine.certificate()
     }
 

@@ -9,15 +9,18 @@
 //! queries against one model*, so this module factors the work by
 //! lifetime instead:
 //!
-//! * **per engine** ([`RoutingEngine`], built once via
-//!   [`EngineBuilder`]): policy resolution (margin calibration, the
-//!   [`ConvCertificate`], the support envelope, per-node minimum
-//!   out-edge spans) — everything that depends only on the cost oracle
-//!   and the configuration,
-//! * **per target** (the engine's bounds cache): the reverse Dijkstra
+//! * **per epoch** ([`ModelEpoch`], resolved by [`EngineBuilder::build`]
+//!   and again by every [`RoutingEngine::swap_model`]): policy
+//!   resolution (margin calibration, the [`ConvCertificate`], the
+//!   support envelope, per-node minimum out-edge spans) — everything
+//!   that depends only on the cost oracle and the configuration. The
+//!   engine holds the live epoch behind a swappable `Arc`; see *Hot
+//!   swap* below,
+//! * **per target** (the epoch's bounds cache): the reverse Dijkstra
 //!   behind [`OptimisticBounds`] depends only on `(target, cost
-//!   oracle)`, so it is computed once per distinct target and shared,
-//!   LRU-bounded at [`EngineBuilder::bounds_cache_capacity`] —
+//!   oracle)`, so it is computed once per distinct target and shared
+//!   within its epoch, LRU-bounded at
+//!   [`EngineBuilder::bounds_cache_capacity`] —
 //!   [`StatsSnapshot::bounds_cache_hits`] /
 //!   [`StatsSnapshot::bounds_cache_misses`] /
 //!   [`StatsSnapshot::bounds_evictions`] count its effectiveness,
@@ -69,6 +72,24 @@
 //! capacity), so a one-off giant query cannot pin its high-water mark
 //! forever — the same fix applied to the old hidden thread-local
 //! convolution scratch in `srt-dist`.
+//!
+//! # Hot swap
+//!
+//! All model-derived read-mostly state lives in one immutable
+//! [`ModelEpoch`] behind a `RwLock<Arc<ModelEpoch>>`. Every query pins
+//! the current epoch exactly once at entry (one read-lock acquisition
+//! plus one `Arc` clone) and runs start to finish against that pin, so
+//! [`RoutingEngine::swap_model`] can publish a freshly trained model
+//! under a momentary write lock while in-flight queries drain on the old
+//! epoch: no query ever observes a mix of two models, and the old epoch
+//! — including its bounds cache, which is keyed per epoch precisely so a
+//! stale [`OptimisticBounds`] cannot leak across a swap — is freed when
+//! the last in-flight pin drops. A swap revalidates the incoming model
+//! (estimator/container bin agreement, calibration finiteness, envelope
+//! monotonicity) and recomputes the certificate *before* publishing; a
+//! rejected snapshot ([`SwapError`]) leaves the serving epoch untouched,
+//! bit for bit. The live epoch id is surfaced through
+//! [`StatsSnapshot::epoch`].
 //!
 //! ```no_run
 //! use srt_core::routing::{EngineBuilder, Query, RouterConfig};
@@ -261,6 +282,13 @@ pub struct StatsSnapshot {
     /// snapshots from before the counter existed.
     #[serde(default)]
     pub panics: u64,
+    /// The id of the model epoch the engine is currently serving: `0` at
+    /// build, bumped by every successful [`RoutingEngine::swap_model`].
+    /// Not a traffic counter — [`EngineStats::reset`] preserves it.
+    /// Defaults to zero when deserializing snapshots from before hot
+    /// swap existed.
+    #[serde(default)]
+    pub epoch: u64,
 }
 
 /// Aggregated, engine-wide, monotone serving counters — the live atomic
@@ -268,8 +296,25 @@ pub struct StatsSnapshot {
 /// with [`EngineStats::reset`]. Shared by reference from
 /// [`RoutingEngine::stats_handle`] so metrics sinks can poll without
 /// going through the engine.
+///
+/// # Coherence contract
+///
+/// Individual counter updates on the serving path are relaxed and
+/// independent — cheapness there is the point. The *bulk* operations are
+/// coherent with each other via a sequence lock: [`EngineStats::reset`]
+/// (and any other whole-struct rewrite) bumps a generation counter to an
+/// odd value for the duration of its stores, and [`EngineStats::snapshot`]
+/// retries until it reads a stable even generation. A snapshot therefore
+/// never interleaves with a reset — the torn half-zeroed read (hits reset,
+/// misses not, nonsense hit rates on a metrics scrape) cannot happen. A
+/// snapshot racing ordinary serving increments may still split one
+/// logical query across two scrapes; that is inherent to relaxed
+/// monotone counters and harmless to rate math.
 #[derive(Default)]
 pub struct EngineStats {
+    /// Seqlock generation: odd while a bulk rewrite (reset) is in flight,
+    /// even and stable otherwise.
+    generation: AtomicU64,
     queries: AtomicU64,
     batches: AtomicU64,
     bounds_cache_hits: AtomicU64,
@@ -282,29 +327,56 @@ pub struct EngineStats {
     pool_misses: AtomicU64,
     lattice_fast_path: AtomicU64,
     panics: AtomicU64,
+    /// Live model-epoch id (engine identity, not traffic — preserved by
+    /// [`EngineStats::reset`]).
+    epoch: AtomicU64,
 }
 
 impl EngineStats {
-    /// Materializes the counters into a plain [`StatsSnapshot`].
+    /// Materializes the counters into a plain [`StatsSnapshot`]. Single
+    /// coherent pass: retries while a concurrent [`EngineStats::reset`]
+    /// is mid-rewrite, so the snapshot reflects either entirely-before or
+    /// entirely-after state (see the coherence contract above).
     pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            queries: self.queries.load(AtomicOrdering::Relaxed),
-            batches: self.batches.load(AtomicOrdering::Relaxed),
-            bounds_cache_hits: self.bounds_cache_hits.load(AtomicOrdering::Relaxed),
-            bounds_cache_misses: self.bounds_cache_misses.load(AtomicOrdering::Relaxed),
-            bounds_evictions: self.bounds_evictions.load(AtomicOrdering::Relaxed),
-            labels_created: self.labels_created.load(AtomicOrdering::Relaxed),
-            labels_expanded: self.labels_expanded.load(AtomicOrdering::Relaxed),
-            incomplete: self.incomplete.load(AtomicOrdering::Relaxed),
-            pool_reuse: self.pool_reuse.load(AtomicOrdering::Relaxed),
-            pool_misses: self.pool_misses.load(AtomicOrdering::Relaxed),
-            lattice_fast_path: self.lattice_fast_path.load(AtomicOrdering::Relaxed),
-            panics: self.panics.load(AtomicOrdering::Relaxed),
+        loop {
+            let before = self.generation.load(AtomicOrdering::SeqCst);
+            if before & 1 == 1 {
+                // A rewrite is in flight; wait it out.
+                std::hint::spin_loop();
+                continue;
+            }
+            let snap = StatsSnapshot {
+                queries: self.queries.load(AtomicOrdering::Relaxed),
+                batches: self.batches.load(AtomicOrdering::Relaxed),
+                bounds_cache_hits: self.bounds_cache_hits.load(AtomicOrdering::Relaxed),
+                bounds_cache_misses: self.bounds_cache_misses.load(AtomicOrdering::Relaxed),
+                bounds_evictions: self.bounds_evictions.load(AtomicOrdering::Relaxed),
+                labels_created: self.labels_created.load(AtomicOrdering::Relaxed),
+                labels_expanded: self.labels_expanded.load(AtomicOrdering::Relaxed),
+                incomplete: self.incomplete.load(AtomicOrdering::Relaxed),
+                pool_reuse: self.pool_reuse.load(AtomicOrdering::Relaxed),
+                pool_misses: self.pool_misses.load(AtomicOrdering::Relaxed),
+                lattice_fast_path: self.lattice_fast_path.load(AtomicOrdering::Relaxed),
+                panics: self.panics.load(AtomicOrdering::Relaxed),
+                epoch: self.epoch.load(AtomicOrdering::Relaxed),
+            };
+            // Order the relaxed counter reads before the confirming
+            // generation load.
+            std::sync::atomic::fence(AtomicOrdering::SeqCst);
+            if self.generation.load(AtomicOrdering::SeqCst) == before {
+                return snap;
+            }
+            // A reset completed underneath us; take the whole pass again.
         }
     }
 
-    /// Zeroes every counter (e.g. after a sink has spilled a snapshot).
+    /// Zeroes every *traffic* counter (e.g. after a sink has spilled a
+    /// snapshot). The epoch id is engine identity, not traffic, and is
+    /// preserved. Atomic with respect to [`EngineStats::snapshot`]: a
+    /// concurrent scrape sees all counters from before the reset or all
+    /// from after, never a torn mix.
     pub fn reset(&self) {
+        let begun = self.begin_rewrite();
         self.queries.store(0, AtomicOrdering::Relaxed);
         self.batches.store(0, AtomicOrdering::Relaxed);
         self.bounds_cache_hits.store(0, AtomicOrdering::Relaxed);
@@ -317,6 +389,52 @@ impl EngineStats {
         self.pool_misses.store(0, AtomicOrdering::Relaxed);
         self.lattice_fast_path.store(0, AtomicOrdering::Relaxed);
         self.panics.store(0, AtomicOrdering::Relaxed);
+        self.end_rewrite(begun);
+    }
+
+    /// Claims the seqlock for a bulk rewrite: flips the generation from
+    /// even to odd, spinning out any concurrent rewriter.
+    fn begin_rewrite(&self) -> u64 {
+        loop {
+            let g = self.generation.load(AtomicOrdering::SeqCst);
+            if g & 1 == 0
+                && self
+                    .generation
+                    .compare_exchange(g, g + 1, AtomicOrdering::SeqCst, AtomicOrdering::SeqCst)
+                    .is_ok()
+            {
+                return g;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Releases the seqlock: publishes the rewrite at the next even
+    /// generation.
+    fn end_rewrite(&self, begun: u64) {
+        self.generation.store(begun + 2, AtomicOrdering::SeqCst);
+    }
+
+    /// Bulk-fills every traffic counter with `v` under the seqlock (test
+    /// support for the snapshot/reset coherence suite — lets a test
+    /// rewrite all counters mid-scrape the same way `reset` does and
+    /// assert no torn mix is ever observed).
+    #[doc(hidden)]
+    pub fn fill_for_tests(&self, v: u64) {
+        let begun = self.begin_rewrite();
+        self.queries.store(v, AtomicOrdering::Relaxed);
+        self.batches.store(v, AtomicOrdering::Relaxed);
+        self.bounds_cache_hits.store(v, AtomicOrdering::Relaxed);
+        self.bounds_cache_misses.store(v, AtomicOrdering::Relaxed);
+        self.bounds_evictions.store(v, AtomicOrdering::Relaxed);
+        self.labels_created.store(v, AtomicOrdering::Relaxed);
+        self.labels_expanded.store(v, AtomicOrdering::Relaxed);
+        self.incomplete.store(v, AtomicOrdering::Relaxed);
+        self.pool_reuse.store(v, AtomicOrdering::Relaxed);
+        self.pool_misses.store(v, AtomicOrdering::Relaxed);
+        self.lattice_fast_path.store(v, AtomicOrdering::Relaxed);
+        self.panics.store(v, AtomicOrdering::Relaxed);
+        self.end_rewrite(begun);
     }
 }
 
@@ -540,8 +658,8 @@ impl EngineBuilder {
 
     /// Resolves all query-independent state — pruning policies, the
     /// margin calibration, the convolution certificate, the support
-    /// envelope and the per-node minimum out-edge spans — and returns the
-    /// shareable engine.
+    /// envelope and the per-node minimum out-edge spans — into epoch `0`
+    /// and returns the shareable engine.
     pub fn build(self) -> RoutingEngine {
         let EngineBuilder {
             cost,
@@ -550,9 +668,67 @@ impl EngineBuilder {
             bounds_cache_capacity,
             panic_on,
         } = self;
+        let epoch = ModelEpoch::resolve(cost, &cfg, certificate, 0);
+        RoutingEngine {
+            epoch: RwLock::new(Arc::new(epoch)),
+            cfg,
+            gate: BudgetGate {
+                enabled: cfg.budget_gate,
+            },
+            bound: BoundPolicy { mode: cfg.bound },
+            bounds_cache_capacity,
+            contexts: Mutex::new(Vec::new()),
+            counters: EngineStats::default(),
+            panic_on,
+        }
+    }
+}
+
+/// One immutable generation of model-derived engine state: everything
+/// [`EngineBuilder::build`] resolves from the cost oracle and the
+/// configuration, packaged so [`RoutingEngine::swap_model`] can replace
+/// it atomically. Queries pin an epoch at entry and never look back at
+/// the engine's live pointer, which is what makes a swap invisible to
+/// in-flight searches (see the module-level *Hot swap* section).
+///
+/// The per-target bounds cache lives *inside* the epoch: an
+/// [`OptimisticBounds`] is a function of `(target, cost oracle)`, so
+/// entries computed under one model would be silently wrong under the
+/// next. Keying the cache by epoch retires the whole cache with its
+/// model — a stale bound cannot leak across a swap by construction.
+pub struct ModelEpoch {
+    /// Monotone epoch id: `0` at build, `+1` per successful swap.
+    id: u64,
+    cost: HybridCost,
+    dominance: DominancePolicy,
+    certificate: Option<ConvCertificate>,
+    /// The model's support-mass envelope, when the bound mode consumes
+    /// it ([`BoundMode::CertifiedEnvelope`]).
+    envelope: Option<SupportEnvelope>,
+    /// Per-node minimum marginal span over out-edges — the envelope
+    /// bound's denominator floor. Computed once per epoch, only for the
+    /// envelope mode.
+    min_out_span: Option<Vec<f64>>,
+    /// Target-keyed cache of the reverse optimistic-bound Dijkstra, with
+    /// LRU eviction at the engine's capacity.
+    bounds_cache: RwLock<HashMap<NodeId, BoundsEntry>>,
+    /// Monotone logical clock stamping bounds-cache uses (LRU order).
+    bounds_clock: AtomicU64,
+}
+
+impl ModelEpoch {
+    /// Resolves every query-independent decision for `cost` under `cfg` —
+    /// the body [`EngineBuilder::build`] historically ran once, now
+    /// re-runnable per swap.
+    fn resolve(
+        cost: HybridCost,
+        cfg: &RouterConfig,
+        certificate: Option<ConvCertificate>,
+        id: u64,
+    ) -> Self {
         let dominance = DominancePolicy::resolve(cfg.dominance, cost.model().calibration.as_ref());
         let certificate = certificate.or_else(|| {
-            RoutingEngine::wants_certificate(&cfg).then(|| ConvCertificate::compute(&cost))
+            RoutingEngine::wants_certificate(cfg).then(|| ConvCertificate::compute(&cost))
         });
         let envelope = (cfg.bound == BoundMode::CertifiedEnvelope)
             .then(|| cost.model().envelope.clone())
@@ -572,26 +748,99 @@ impl EngineBuilder {
                 })
                 .collect()
         });
-        RoutingEngine {
+        ModelEpoch {
+            id,
             cost,
-            cfg,
-            gate: BudgetGate {
-                enabled: cfg.budget_gate,
-            },
-            bound: BoundPolicy { mode: cfg.bound },
             dominance,
             certificate,
             envelope,
             min_out_span,
             bounds_cache: RwLock::new(HashMap::new()),
-            bounds_cache_capacity,
             bounds_clock: AtomicU64::new(0),
-            contexts: Mutex::new(Vec::new()),
-            counters: EngineStats::default(),
-            panic_on,
+        }
+    }
+
+    /// This epoch's id (`0` at build, `+1` per successful swap).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The cost oracle this epoch serves.
+    pub fn cost(&self) -> &HybridCost {
+        &self.cost
+    }
+
+    /// The resolved dominance policy.
+    pub fn dominance_policy(&self) -> &DominancePolicy {
+        &self.dominance
+    }
+
+    /// The convolution certificate, when a configured policy required
+    /// computing one.
+    pub fn certificate(&self) -> Option<&ConvCertificate> {
+        self.certificate.as_ref()
+    }
+
+    /// The support envelope, when the bound mode consumes one.
+    pub fn envelope(&self) -> Option<&SupportEnvelope> {
+        self.envelope.as_ref()
+    }
+
+    /// This epoch's bounds cache, poison-tolerantly (see
+    /// `RoutingEngine::lock_contexts` for the recovery contract).
+    fn bounds_read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<NodeId, BoundsEntry>> {
+        self.bounds_cache
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn bounds_write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<NodeId, BoundsEntry>> {
+        self.bounds_cache
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Typed rejection of a [`RoutingEngine::swap_model`] candidate. A
+/// rejected swap is a no-op: the serving epoch, its bounds cache and the
+/// epoch counter are untouched, and in-flight queries never notice.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SwapError {
+    /// The snapshot bytes failed to decode at all
+    /// ([`RoutingEngine::swap_model_bytes`]).
+    Snapshot(String),
+    /// The model's declared container bin cap disagrees with its
+    /// estimator's output width — combined distributions would be
+    /// silently truncated or padded.
+    BinsMismatch {
+        /// Bins declared by the model container.
+        model: usize,
+        /// Bins the estimator actually produces.
+        estimator: usize,
+    },
+    /// The dominance calibration carries a non-finite or negative field;
+    /// a margin of NaN would disable pruning soundness silently.
+    Calibration(String),
+    /// The support envelope violates its CDF contract (non-monotone,
+    /// out of `[0, 1]`, or missing its anchor knots).
+    Envelope(String),
+}
+
+impl fmt::Display for SwapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwapError::Snapshot(msg) => write!(f, "snapshot rejected: {msg}"),
+            SwapError::BinsMismatch { model, estimator } => write!(
+                f,
+                "model declares {model} bins but its estimator produces {estimator}"
+            ),
+            SwapError::Calibration(msg) => write!(f, "calibration rejected: {msg}"),
+            SwapError::Envelope(msg) => write!(f, "envelope rejected: {msg}"),
         }
     }
 }
+
+impl std::error::Error for SwapError {}
 
 /// The owning, `Send + Sync` query-serving engine. Construction (via
 /// [`EngineBuilder`]) resolves every query-independent decision once;
@@ -602,28 +851,18 @@ impl EngineBuilder {
 /// with prunings (a)–(d) — see [`crate::routing::budget`] for the
 /// algorithmic story and [`crate::routing::policy`] for each pruning
 /// mode's soundness contract. The engine adds the serving architecture:
-/// target-keyed caching of [`OptimisticBounds`], scratch reuse, batch
-/// dispatch and aggregated [`EngineStats`].
+/// target-keyed caching of [`OptimisticBounds`] (inside the epoch),
+/// scratch reuse, batch dispatch, aggregated [`EngineStats`], and
+/// zero-downtime model replacement via [`RoutingEngine::swap_model`].
 pub struct RoutingEngine {
-    cost: HybridCost,
+    /// The live model epoch. Queries pin it once at entry (read lock +
+    /// `Arc` clone); [`RoutingEngine::swap_model`] replaces it under a
+    /// momentary write lock. Everything model-derived lives inside.
+    epoch: RwLock<Arc<ModelEpoch>>,
     cfg: RouterConfig,
     gate: BudgetGate,
     bound: BoundPolicy,
-    dominance: DominancePolicy,
-    certificate: Option<ConvCertificate>,
-    /// The model's support-mass envelope, when the bound mode consumes
-    /// it ([`BoundMode::CertifiedEnvelope`]).
-    envelope: Option<SupportEnvelope>,
-    /// Per-node minimum marginal span over out-edges — the envelope
-    /// bound's denominator floor. Computed once per engine, only for the
-    /// envelope mode.
-    min_out_span: Option<Vec<f64>>,
-    /// Target-keyed cache of the reverse optimistic-bound Dijkstra, with
-    /// LRU eviction at `bounds_cache_capacity` entries.
-    bounds_cache: RwLock<HashMap<NodeId, BoundsEntry>>,
     bounds_cache_capacity: usize,
-    /// Monotone logical clock stamping bounds-cache uses (LRU order).
-    bounds_clock: AtomicU64,
     /// Free list of warm [`SearchContext`]s serving
     /// [`RoutingEngine::route`] / [`RoutingEngine::route_batch`].
     contexts: Mutex<Vec<SearchContext>>,
@@ -658,26 +897,138 @@ impl RoutingEngine {
             || cfg.bound == BoundMode::CertifiedEnvelope
     }
 
-    /// The cost oracle served by this engine.
-    pub fn cost(&self) -> &HybridCost {
-        &self.cost
+    /// The cost oracle currently served by this engine (an owned handle —
+    /// cloning a [`HybridCost`] clones three `Arc`s — pinned to the epoch
+    /// at the moment of the call; a subsequent swap does not update it).
+    pub fn cost(&self) -> HybridCost {
+        self.current_epoch().cost.clone()
     }
 
-    /// The configuration in use.
+    /// The configuration in use (fixed at build; swaps re-resolve the
+    /// model under it but never change it).
     pub fn config(&self) -> &RouterConfig {
         &self.cfg
     }
 
-    /// The resolved dominance policy (diagnostic: exposes the margin the
-    /// engine actually prunes with).
-    pub fn dominance_policy(&self) -> &DominancePolicy {
-        &self.dominance
+    /// The resolved dominance policy of the current epoch (diagnostic:
+    /// exposes the margin the engine actually prunes with).
+    pub fn dominance_policy(&self) -> DominancePolicy {
+        *self.current_epoch().dominance_policy()
     }
 
-    /// The convolution certificate, when a configured policy required
-    /// computing one.
-    pub fn certificate(&self) -> Option<&ConvCertificate> {
-        self.certificate.as_ref()
+    /// The current epoch's convolution certificate, when a configured
+    /// policy required computing one.
+    pub fn certificate(&self) -> Option<ConvCertificate> {
+        self.current_epoch().certificate.clone()
+    }
+
+    /// Pins the live [`ModelEpoch`]: one read-lock acquisition plus one
+    /// `Arc` clone. The pin is immutable and survives any number of
+    /// subsequent swaps; the epoch's storage is freed when the last pin
+    /// drops.
+    pub fn current_epoch(&self) -> Arc<ModelEpoch> {
+        Arc::clone(&self.epoch_read())
+    }
+
+    /// The id of the epoch currently serving (`0` at build, `+1` per
+    /// successful [`RoutingEngine::swap_model`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch_read().id
+    }
+
+    /// Atomically replaces the serving model with `model`, keeping the
+    /// graph, the per-edge marginals and the combine policy of the
+    /// current epoch. Returns the new epoch id.
+    ///
+    /// The candidate is revalidated first — estimator/container bin
+    /// agreement, calibration finiteness, envelope monotonicity — and all
+    /// derived state (policy resolution, certificate recompute, envelope
+    /// spans) is built *outside* the publication lock, so in-flight and
+    /// concurrent queries keep serving the old epoch at full speed until
+    /// the one-pointer swap. On any [`SwapError`] the engine is
+    /// untouched: same epoch, same bounds cache, same answers.
+    pub fn swap_model(&self, model: crate::model::HybridModel) -> Result<u64, SwapError> {
+        Self::revalidate(&model)?;
+        let old = self.current_epoch();
+        let cost = HybridCost::from_parts(
+            old.cost.graph_arc(),
+            Arc::new(model),
+            old.cost.marginals_arc(),
+            old.cost.policy,
+        );
+        // Resolve with a provisional id: the real id is claimed under the
+        // write lock, so concurrent swaps serialize without ever running
+        // the (expensive) certificate recompute inside the lock.
+        let prepared = ModelEpoch::resolve(cost, &self.cfg, None, 0);
+        let mut live = self.epoch_write();
+        let id = live.id + 1;
+        *live = Arc::new(ModelEpoch { id, ..prepared });
+        drop(live);
+        self.counters.epoch.store(id, AtomicOrdering::SeqCst);
+        Ok(id)
+    }
+
+    /// [`RoutingEngine::swap_model`] from serialized snapshot bytes (any
+    /// supported version, v1–v3): decode failures come back as
+    /// [`SwapError::Snapshot`], and the old epoch keeps serving.
+    pub fn swap_model_bytes(&self, bytes: &[u8]) -> Result<u64, SwapError> {
+        let model = crate::model::io::from_bytes(bytes)
+            .map_err(|e| SwapError::Snapshot(e.to_string()))?;
+        self.swap_model(model)
+    }
+
+    /// The admission checks a swap candidate must pass before any derived
+    /// state is built. `from_bytes` already rejects structurally corrupt
+    /// snapshots; this guards the invariants a well-formed-but-wrong
+    /// model could still violate (and covers [`RoutingEngine::swap_model`]
+    /// callers that constructed the model in memory, bypassing the
+    /// snapshot decoder entirely).
+    fn revalidate(model: &crate::model::HybridModel) -> Result<(), SwapError> {
+        let estimator_bins = model.estimator.bins();
+        if estimator_bins != model.bins {
+            return Err(SwapError::BinsMismatch {
+                model: model.bins,
+                estimator: estimator_bins,
+            });
+        }
+        if let Some(cal) = model.calibration.as_ref() {
+            if !cal.margin_eps.is_finite() || cal.margin_eps < 0.0 {
+                return Err(SwapError::Calibration(format!(
+                    "margin_eps {} is not a finite non-negative number",
+                    cal.margin_eps
+                )));
+            }
+            if !cal.lipschitz.is_finite() {
+                return Err(SwapError::Calibration(format!(
+                    "lipschitz modulus {} is not finite",
+                    cal.lipschitz
+                )));
+            }
+            if !cal.max_violation.is_finite() || cal.max_violation < 0.0 {
+                return Err(SwapError::Calibration(format!(
+                    "max_violation {} is not a finite non-negative number",
+                    cal.max_violation
+                )));
+            }
+        }
+        if let Some(env) = model.envelope.as_ref() {
+            env.validate().map_err(SwapError::Envelope)?;
+        }
+        Ok(())
+    }
+
+    /// The live epoch pointer, poison-tolerantly (the guarded value is a
+    /// single `Arc`, structurally valid after any interrupted operation).
+    fn epoch_read(&self) -> std::sync::RwLockReadGuard<'_, Arc<ModelEpoch>> {
+        self.epoch
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn epoch_write(&self) -> std::sync::RwLockWriteGuard<'_, Arc<ModelEpoch>> {
+        self.epoch
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// A fresh per-worker scratch context.
@@ -718,18 +1069,6 @@ impl RoutingEngine {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    fn bounds_read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<NodeId, BoundsEntry>> {
-        self.bounds_cache
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
-
-    fn bounds_write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<NodeId, BoundsEntry>> {
-        self.bounds_cache
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
-
     /// Draws a warm context from the engine's free list (or makes one).
     fn checkout_context(&self) -> SearchContext {
         self.lock_contexts().pop().unwrap_or_default()
@@ -760,26 +1099,38 @@ impl RoutingEngine {
             panic!("poisoning the context pool");
         }));
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = self.bounds_write();
+            let _guard = self.epoch_write();
+            panic!("poisoning the epoch pointer");
+        }));
+        let epoch = self.current_epoch();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = epoch.bounds_write();
             panic!("poisoning the bounds cache");
         }));
     }
 
-    /// Drops every cached per-target bound (useful for cold-start
-    /// measurements, or to bound memory on workloads with unbounded
-    /// target sets).
+    /// Drops every cached per-target bound of the current epoch (useful
+    /// for cold-start measurements, or to bound memory on workloads with
+    /// unbounded target sets).
     pub fn clear_bounds_cache(&self) {
-        self.bounds_write().clear();
+        self.current_epoch().bounds_write().clear();
     }
 
-    /// Number of distinct targets currently cached.
+    /// Number of distinct targets cached by the current epoch.
     pub fn bounds_cached(&self) -> usize {
-        self.bounds_read().len()
+        self.current_epoch().bounds_read().len()
     }
 
     /// Validates a query against this engine's graph and configuration.
     pub fn validate(&self, query: &Query) -> Result<(), EngineError> {
-        let num_nodes = self.cost.graph().num_nodes();
+        self.validate_on(&self.current_epoch(), query)
+    }
+
+    /// [`RoutingEngine::validate`] against an already-pinned epoch (the
+    /// query entry points validate and route on one pin, so a swap
+    /// between the two steps cannot change what was validated).
+    fn validate_on(&self, epoch: &ModelEpoch, query: &Query) -> Result<(), EngineError> {
+        let num_nodes = epoch.cost.graph().num_nodes();
         for node in [query.source, query.target] {
             if node.index() >= num_nodes {
                 return Err(EngineError::NodeOutOfRange { node, num_nodes });
@@ -834,9 +1185,19 @@ impl RoutingEngine {
         query: &Query,
         ctx: &mut SearchContext,
     ) -> Result<RouteResult, EngineError> {
-        self.validate(query)?;
+        // Pin the epoch once: the whole query — validation included —
+        // runs against this one model even if a swap publishes mid-search.
+        let epoch = self.current_epoch();
+        self.validate_on(&epoch, query)?;
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.route_unchecked(query.source, query.target, query.budget_s, query.deadline, ctx)
+            self.route_on(
+                &epoch,
+                query.source,
+                query.target,
+                query.budget_s,
+                query.deadline,
+                ctx,
+            )
         }));
         match outcome {
             Ok(result) => Ok(result),
@@ -937,13 +1298,13 @@ impl RoutingEngine {
             .collect()
     }
 
-    /// The per-target bounds, from the cache when warm. The cache is
-    /// LRU-bounded at the builder's capacity: hits refresh a logical-use
-    /// stamp under the read lock; an insert past capacity evicts the
-    /// stalest entry (and counts it).
-    fn bounds_for(&self, target: NodeId) -> Arc<OptimisticBounds> {
-        if let Some(entry) = self.bounds_read().get(&target) {
-            let stamp = self.bounds_clock.fetch_add(1, AtomicOrdering::Relaxed);
+    /// The per-target bounds of `epoch`, from its cache when warm. The
+    /// cache is LRU-bounded at the builder's capacity: hits refresh a
+    /// logical-use stamp under the read lock; an insert past capacity
+    /// evicts the stalest entries (and counts them).
+    fn bounds_for(&self, epoch: &ModelEpoch, target: NodeId) -> Arc<OptimisticBounds> {
+        if let Some(entry) = epoch.bounds_read().get(&target) {
+            let stamp = epoch.bounds_clock.fetch_add(1, AtomicOrdering::Relaxed);
             entry.last_used.store(stamp, AtomicOrdering::Relaxed);
             self.counters
                 .bounds_cache_hits
@@ -952,44 +1313,61 @@ impl RoutingEngine {
         }
         // Compute outside the lock; a concurrent duplicate computation is
         // benign (the Dijkstra is deterministic) and the entry converges.
-        let bounds = Arc::new(OptimisticBounds::compute(self.cost.graph(), target, |e| {
-            self.cost.marginal(e).start().max(0.0)
+        let bounds = Arc::new(OptimisticBounds::compute(epoch.cost.graph(), target, |e| {
+            epoch.cost.marginal(e).start().max(0.0)
         }));
         self.counters
             .bounds_cache_misses
             .fetch_add(1, AtomicOrdering::Relaxed);
-        let mut cache = self.bounds_write();
-        if !cache.contains_key(&target) && cache.len() >= self.bounds_cache_capacity {
-            // Evict the least recently used entry. A linear scan is fine:
-            // eviction only happens once the (generous) capacity is hit,
-            // and it is already paying for a reverse Dijkstra.
-            if let Some(&stale) = cache
-                .iter()
-                .min_by_key(|(_, e)| e.last_used.load(AtomicOrdering::Relaxed))
-                .map(|(k, _)| k)
-            {
-                cache.remove(&stale);
-                self.counters
-                    .bounds_evictions
-                    .fetch_add(1, AtomicOrdering::Relaxed);
-            }
-        }
-        let stamp = self.bounds_clock.fetch_add(1, AtomicOrdering::Relaxed);
-        cache
+        let mut cache = epoch.bounds_write();
+        // Insert first, trim second. The historical shape — decide
+        // whether to evict by checking `contains_key` and `len` *before*
+        // inserting — was a read→write-upgrade hazard in disguise: N
+        // workers that all missed on distinct fresh targets each saw
+        // `len == capacity - k` under their own write-lock tenure, each
+        // skipped eviction, and the cache transiently overshot its bound
+        // by up to N-1 entries. Adopting the entry first and then
+        // trimming to capacity makes the invariant structural: whatever
+        // interleaving got us here, the cache leaves this critical
+        // section at `len <= capacity`. The just-inserted entry is never
+        // the victim — it carries the newest stamp by construction (and
+        // capacity is clamped to at least one).
+        let stamp = epoch.bounds_clock.fetch_add(1, AtomicOrdering::Relaxed);
+        let result = cache
             .entry(target)
             .or_insert(BoundsEntry {
                 bounds,
                 last_used: AtomicU64::new(stamp),
             })
             .bounds
-            .clone()
+            .clone();
+        while cache.len() > self.bounds_cache_capacity {
+            // Evict the least recently used entry. A linear scan is fine:
+            // eviction only happens once the (generous) capacity is hit,
+            // and it is already paying for a reverse Dijkstra.
+            let stale = cache
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(AtomicOrdering::Relaxed))
+                .map(|(&k, _)| k);
+            match stale {
+                Some(stale) => {
+                    cache.remove(&stale);
+                    self.counters
+                        .bounds_evictions
+                        .fetch_add(1, AtomicOrdering::Relaxed);
+                }
+                None => break,
+            }
+        }
+        result
     }
 
     /// Solves one budget query with the legacy (pre-validation)
     /// semantics: degenerate budgets answer with probability zero, a zero
     /// deadline returns the pivot immediately. The deprecated
     /// [`BudgetRouter`](crate::routing::BudgetRouter) shim calls this
-    /// directly so its behaviour is preserved bit for bit.
+    /// directly so its behaviour is preserved bit for bit. Pins the
+    /// current epoch internally.
     pub(crate) fn route_unchecked(
         &self,
         source: NodeId,
@@ -998,8 +1376,23 @@ impl RoutingEngine {
         deadline: Option<Duration>,
         ctx: &mut SearchContext,
     ) -> RouteResult {
+        let epoch = self.current_epoch();
+        self.route_on(&epoch, source, target, budget_s, deadline, ctx)
+    }
+
+    /// One query against an already-pinned epoch, with the pool-stats
+    /// diff folded into the aggregated counters.
+    fn route_on(
+        &self,
+        epoch: &ModelEpoch,
+        source: NodeId,
+        target: NodeId,
+        budget_s: f64,
+        deadline: Option<Duration>,
+        ctx: &mut SearchContext,
+    ) -> RouteResult {
         let pool_before = ctx.pool.stats();
-        let result = self.route_inner(source, target, budget_s, deadline, ctx);
+        let result = self.route_inner(epoch, source, target, budget_s, deadline, ctx);
         let pool_after = ctx.pool.stats();
         self.counters
             .pool_reuse
@@ -1012,6 +1405,7 @@ impl RoutingEngine {
 
     fn route_inner(
         &self,
+        epoch: &ModelEpoch,
         source: NodeId,
         target: NodeId,
         budget_s: f64,
@@ -1019,7 +1413,7 @@ impl RoutingEngine {
         ctx: &mut SearchContext,
     ) -> RouteResult {
         let start_time = Instant::now();
-        let g = self.cost.graph();
+        let g = epoch.cost.graph();
         let mut stats = SearchStats::default();
 
         // Degenerate budgets: nothing arrives within a non-positive or
@@ -1034,7 +1428,7 @@ impl RoutingEngine {
             stats.completed = true;
             stats.elapsed = start_time.elapsed();
             let baseline = ExpectedTimeBaseline::solve_with(
-                &self.cost,
+                &epoch.cost,
                 source,
                 target,
                 0.0,
@@ -1065,8 +1459,9 @@ impl RoutingEngine {
 
         // Pruning (a): optimistic remaining cost to the target, under the
         // smallest support value every marginal can realize — cached per
-        // target, since it depends only on (target, cost oracle).
-        let bounds = self.bounds_for(target);
+        // target within the epoch, since it depends only on (target, cost
+        // oracle).
+        let bounds = self.bounds_for(epoch, target);
         if !bounds.reachable(source) {
             stats.completed = true;
             stats.elapsed = start_time.elapsed();
@@ -1083,7 +1478,7 @@ impl RoutingEngine {
         let mut incumbent = Incumbent::None;
         if self.cfg.use_pivot_init {
             if let Some(baseline) = ExpectedTimeBaseline::solve_with(
-                &self.cost,
+                &epoch.cost,
                 source,
                 target,
                 budget_s,
@@ -1119,8 +1514,9 @@ impl RoutingEngine {
             if !bounds.reachable(head) {
                 continue;
             }
-            let dist = self.cost.marginal(e).pooled_clone(pool);
+            let dist = epoch.cost.marginal(e).pooled_clone(pool);
             self.push_label(
+                epoch,
                 arena,
                 pareto,
                 heap,
@@ -1165,7 +1561,8 @@ impl RoutingEngine {
                         stats.completed = false;
                         stats.elapsed = start_time.elapsed();
                         flush_lattice(&self.counters, lattice_hits);
-                        return self.record(self.finish(incumbent, best_prob, arena, stats, budget_s));
+                        return self
+                            .record(self.finish(epoch, incumbent, best_prob, arena, stats, budget_s));
                     }
                 }
             }
@@ -1181,7 +1578,8 @@ impl RoutingEngine {
                 stats.completed = false;
                 stats.elapsed = start_time.elapsed();
                 flush_lattice(&self.counters, lattice_hits);
-                return self.record(self.finish(incumbent, best_prob, arena, stats, budget_s));
+                return self
+                    .record(self.finish(epoch, incumbent, best_prob, arena, stats, budget_s));
             }
             stats.labels_expanded += 1;
 
@@ -1204,7 +1602,7 @@ impl RoutingEngine {
                 if !bounds.reachable(head) {
                     continue;
                 }
-                let (dist, outcome) = self.cost.combine_pooled_traced(
+                let (dist, outcome) = epoch.cost.combine_pooled_traced(
                     &expand.as_view(),
                     prev_edge,
                     e,
@@ -1215,6 +1613,7 @@ impl RoutingEngine {
                     lattice_hits += 1;
                 }
                 self.push_label(
+                    epoch,
                     arena,
                     pareto,
                     heap,
@@ -1237,7 +1636,7 @@ impl RoutingEngine {
         stats.completed = true;
         stats.elapsed = start_time.elapsed();
         flush_lattice(&self.counters, lattice_hits);
-        self.record(self.finish(incumbent, best_prob, arena, stats, budget_s))
+        self.record(self.finish(epoch, incumbent, best_prob, arena, stats, budget_s))
     }
 
     /// Folds one finished query into the aggregated counters.
@@ -1258,6 +1657,7 @@ impl RoutingEngine {
     #[allow(clippy::too_many_arguments)]
     fn push_label(
         &self,
+        epoch: &ModelEpoch,
         arena: &mut Vec<Label>,
         pareto: &mut ParetoScratch,
         heap: &mut BinaryHeap<QueueEntry>,
@@ -1284,7 +1684,7 @@ impl RoutingEngine {
         } else {
             (0.0, dist_actual)
         };
-        let certified = self
+        let certified = epoch
             .certificate
             .as_ref()
             .is_some_and(|c| c.certified(edge));
@@ -1320,8 +1720,8 @@ impl RoutingEngine {
             hist: hist.view(),
             incumbent_prob: *best_prob,
             certified,
-            envelope: self.envelope.as_ref(),
-            next_span_lb: self
+            envelope: epoch.envelope.as_ref(),
+            next_span_lb: epoch
                 .min_out_span
                 .as_ref()
                 .map_or(0.0, |s| s[head.index()]),
@@ -1345,14 +1745,14 @@ impl RoutingEngine {
         }
 
         // Pruning (d): dominance against the Pareto set at `head`.
-        if self.dominance.enabled() {
-            let g = self.cost.graph();
+        if epoch.dominance.enabled() {
+            let g = epoch.cost.graph();
             let candidate = LabelView {
                 offset,
                 hist: hist.view(),
                 certified,
             };
-            let need_safety = self.dominance.needs_exchange_safety();
+            let need_safety = epoch.dominance.needs_exchange_safety();
             // A dominated newcomer is discarded outright (dead entries are
             // skipped lazily; compaction is amortized below).
             let n_entries = pareto.entries[head.index()].len();
@@ -1373,7 +1773,7 @@ impl RoutingEngine {
                         .view(),
                     certified: other.certified,
                 };
-                if self.dominance.discards(&keeper, &candidate, safe) {
+                if epoch.dominance.discards(&keeper, &candidate, safe) {
                     stats.pruned_dominance += 1;
                     pool.recycle(hist);
                     return;
@@ -1402,7 +1802,7 @@ impl RoutingEngine {
                             .view(),
                         certified: other.certified,
                     };
-                    self.dominance.discards(&candidate, &incumbent_view, safe)
+                    epoch.dominance.discards(&candidate, &incumbent_view, safe)
                 };
                 if dominated {
                     let retired = &mut arena[oid];
@@ -1440,7 +1840,7 @@ impl RoutingEngine {
             certified,
             alive: true,
         });
-        if self.dominance.enabled() {
+        if epoch.dominance.enabled() {
             pareto.push(head.index(), id);
         }
         heap.push(QueueEntry { ub, id });
@@ -1448,6 +1848,7 @@ impl RoutingEngine {
 
     fn finish(
         &self,
+        epoch: &ModelEpoch,
         incumbent: Incumbent,
         best_prob: f64,
         arena: &[Label],
@@ -1480,7 +1881,7 @@ impl RoutingEngine {
                     cur = l.parent;
                 }
                 edges.reverse();
-                let g = self.cost.graph();
+                let g = epoch.cost.graph();
                 let mut nodes = Vec::with_capacity(edges.len() + 1);
                 nodes.push(g.edge_source(edges[0]));
                 for &e in &edges {

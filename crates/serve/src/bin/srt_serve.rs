@@ -2,23 +2,29 @@
 //! stack end-to-end with `--smoke`.
 //!
 //! ```text
-//! srt_serve [--addr HOST:PORT] [--workers N] [--queue N] [--smoke]
+//! srt_serve [--addr HOST:PORT] [--workers N] [--queue N] [--model PATH] [--smoke]
 //! ```
 //!
 //! Without `--smoke`, trains the tiny synthetic fixture world, starts
-//! the server, and serves until the process is killed. With `--smoke`,
+//! the server, and serves until the process is killed; `--model PATH`
+//! names the snapshot file `POST /reload` re-reads for zero-downtime
+//! hot swaps (without it `/reload` answers `409`). With `--smoke`,
 //! binds an ephemeral port and runs the CI smoke sequence: liveness
 //! probe, bitwise `/route` parity against the in-process engine, a
-//! closed-loop `/route_batch`, `/metrics` counter checks, and a
-//! graceful drain — exiting non-zero on the first violation.
+//! closed-loop `/route_batch`, `/metrics` counter checks, a hot-swap
+//! round (reload → epoch bump → parity, corrupt snapshot → `422` with
+//! the old epoch still serving), and a graceful drain — exiting
+//! non-zero on the first violation.
 
+use srt_core::model::io as model_io;
 use srt_core::model::training::{train_hybrid, TrainingConfig};
 use srt_core::routing::{EngineBuilder, Query, RoutingEngine};
-use srt_core::{CombinePolicy, HybridCost};
+use srt_core::{CombinePolicy, HybridCost, HybridModel};
 use srt_ml::forest::ForestConfig;
 use srt_serve::client::{request_once, Client};
 use srt_serve::{json, Server, ServerConfig};
 use srt_synth::{DistanceCategory, QueryGenerator, SyntheticWorld, WorldConfig};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -26,6 +32,7 @@ struct Args {
     addr: String,
     workers: usize,
     queue: usize,
+    model: Option<PathBuf>,
     smoke: bool,
 }
 
@@ -34,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:7878".into(),
         workers: 0,
         queue: 64,
+        model: None,
         smoke: false,
     };
     let mut it = std::env::args().skip(1);
@@ -54,9 +62,13 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--queue: {e}"))?
             }
+            "--model" => args.model = Some(PathBuf::from(value("--model")?)),
             "--smoke" => args.smoke = true,
             "--help" | "-h" => {
-                println!("usage: srt_serve [--addr HOST:PORT] [--workers N] [--queue N] [--smoke]");
+                println!(
+                    "usage: srt_serve [--addr HOST:PORT] [--workers N] [--queue N] \
+                     [--model PATH] [--smoke]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other:?}")),
@@ -68,7 +80,7 @@ fn parse_args() -> Result<Args, String> {
 /// Trains the tiny fixture world and builds an engine over it — the
 /// same fixture the parity tests use, so the smoke run exercises a real
 /// trained model, not a mock.
-fn fixture_engine() -> (RoutingEngine, SyntheticWorld) {
+fn fixture_engine() -> (RoutingEngine, SyntheticWorld, HybridModel) {
     let world = SyntheticWorld::build(WorldConfig::tiny());
     let cfg = TrainingConfig {
         train_pairs: 120,
@@ -83,7 +95,7 @@ fn fixture_engine() -> (RoutingEngine, SyntheticWorld) {
     };
     let (model, _) = train_hybrid(&world, &cfg).expect("fixture world trains");
     let cost = HybridCost::from_ground_truth(&world, &model, CombinePolicy::Hybrid);
-    (EngineBuilder::new(cost).build(), world)
+    (EngineBuilder::new(cost).build(), world, model)
 }
 
 fn main() -> ExitCode {
@@ -96,17 +108,18 @@ fn main() -> ExitCode {
     };
 
     eprintln!("srt_serve: training fixture world (tiny)...");
-    let (engine, world) = fixture_engine();
+    let (engine, world, model) = fixture_engine();
     let engine = Arc::new(engine);
 
     let config = ServerConfig {
         workers: args.workers,
         queue_capacity: args.queue,
+        model_path: args.model.clone(),
         ..ServerConfig::default()
     };
 
     if args.smoke {
-        return match smoke(engine, world, config) {
+        return match smoke(engine, world, model, config) {
             Ok(()) => {
                 println!("srt_serve --smoke: all checks passed");
                 ExitCode::SUCCESS
@@ -131,24 +144,46 @@ fn main() -> ExitCode {
     }
 }
 
+/// Parses a healthz/reload body and returns its `epoch`, failing if
+/// `ok` is not `true`.
+fn epoch_from_body(text: &str) -> Result<u64, String> {
+    let doc = json::parse(text).map_err(|e| format!("bad JSON: {}", e.msg))?;
+    if doc.get("ok").and_then(|v| v.as_bool()) != Some(true) {
+        return Err(format!("body did not report ok:true: {text:?}"));
+    }
+    doc.get("epoch")
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| format!("no epoch in body: {text:?}"))
+}
+
 fn smoke(
     engine: Arc<RoutingEngine>,
     world: SyntheticWorld,
-    config: ServerConfig,
+    model: HybridModel,
+    mut config: ServerConfig,
 ) -> Result<(), String> {
+    // The hot-swap round re-reads a real snapshot file; keep it inside
+    // the workspace's build tree so the smoke run never writes outside
+    // the repo.
+    let tmp_dir = std::path::Path::new("target/tmp");
+    std::fs::create_dir_all(tmp_dir).map_err(|e| format!("mkdir {}: {e}", tmp_dir.display()))?;
+    let snapshot_path = tmp_dir.join(format!("srt_smoke_model_{}.bin", std::process::id()));
+    model_io::write_file(&snapshot_path, &model).map_err(|e| format!("write snapshot: {e}"))?;
+    config.model_path = Some(snapshot_path.clone());
+
     let server = Server::start(Arc::clone(&engine), "127.0.0.1:0", config)
         .map_err(|e| format!("bind: {e}"))?;
     let addr = server.local_addr();
     eprintln!("srt_serve --smoke: serving on {addr}");
 
-    // 1. Liveness.
+    // 1. Liveness, reporting the starting epoch.
     let health = request_once(addr, "GET", "/healthz", None).map_err(|e| format!("healthz: {e}"))?;
-    if health.status != 200 || health.text() != "ok\n" {
-        return Err(format!(
-            "healthz answered {} {:?}",
-            health.status,
-            health.text()
-        ));
+    if health.status != 200 {
+        return Err(format!("healthz answered {}", health.status));
+    }
+    let epoch0 = epoch_from_body(&health.text()).map_err(|e| format!("healthz: {e}"))?;
+    if epoch0 != 0 {
+        return Err(format!("fresh engine reports epoch {epoch0}, expected 0"));
     }
 
     // 2. Bitwise /route parity against the in-process engine.
@@ -250,7 +285,107 @@ fn smoke(
     }
     eprintln!("srt_serve --smoke: /metrics counters consistent");
 
-    // 5. Graceful drain.
+    // 5. Hot swap: /reload re-reads the snapshot and publishes epoch 1
+    // while this very connection keeps getting served.
+    let resp = conn
+        .request("POST", "/reload", None)
+        .map_err(|e| format!("reload: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("reload answered {}: {}", resp.status, resp.text()));
+    }
+    let epoch1 = epoch_from_body(&resp.text()).map_err(|e| format!("reload: {e}"))?;
+    if epoch1 != 1 {
+        return Err(format!("reload published epoch {epoch1}, expected 1"));
+    }
+    let health = conn
+        .request("GET", "/healthz", None)
+        .map_err(|e| format!("healthz after reload: {e}"))?;
+    if epoch_from_body(&health.text()) != Ok(1) {
+        return Err(format!(
+            "healthz after reload: {:?}, expected epoch 1",
+            health.text()
+        ));
+    }
+    // The snapshot round-trips the same trained model, so every answer
+    // must still be bitwise-identical to the (now also swapped)
+    // in-process engine.
+    for (i, q) in queries.iter().enumerate() {
+        let reference = engine
+            .route(q)
+            .map_err(|e| format!("post-swap query {i} rejected in-process: {e}"))?;
+        let body = format!(
+            "{{\"source\":{},\"target\":{},\"budget_s\":{:?}}}",
+            q.source.0, q.target.0, q.budget_s
+        );
+        let resp = conn
+            .request("POST", "/route", Some(&body))
+            .map_err(|e| format!("post-swap query {i}: {e}"))?;
+        let doc =
+            json::parse(&resp.text()).map_err(|e| format!("post-swap query {i}: {}", e.msg))?;
+        let served = doc
+            .get("probability")
+            .and_then(|p| p.as_f64())
+            .ok_or_else(|| format!("post-swap query {i}: no probability"))?;
+        if served.to_bits() != reference.probability.to_bits() {
+            return Err(format!(
+                "post-swap query {i}: {served} != in-process {}",
+                reference.probability
+            ));
+        }
+    }
+    eprintln!("srt_serve --smoke: reload published epoch 1, answers still bitwise-identical");
+
+    // 6. A corrupt snapshot is rejected with 422 and the old epoch
+    // keeps serving.
+    let good_bytes =
+        std::fs::read(&snapshot_path).map_err(|e| format!("re-read snapshot: {e}"))?;
+    std::fs::write(&snapshot_path, &good_bytes[..good_bytes.len() / 2])
+        .map_err(|e| format!("truncate snapshot: {e}"))?;
+    let resp = conn
+        .request("POST", "/reload", None)
+        .map_err(|e| format!("reload (corrupt): {e}"))?;
+    if resp.status != 422 {
+        return Err(format!(
+            "corrupt snapshot answered {} (expected 422): {}",
+            resp.status,
+            resp.text()
+        ));
+    }
+    let health = conn
+        .request("GET", "/healthz", None)
+        .map_err(|e| format!("healthz after bad reload: {e}"))?;
+    if epoch_from_body(&health.text()) != Ok(1) {
+        return Err(format!(
+            "bad reload moved the epoch: {:?}",
+            health.text()
+        ));
+    }
+    let probe = &queries[0];
+    let body = format!(
+        "{{\"source\":{},\"target\":{},\"budget_s\":{:?}}}",
+        probe.source.0, probe.target.0, probe.budget_s
+    );
+    let resp = conn
+        .request("POST", "/route", Some(&body))
+        .map_err(|e| format!("probe after bad reload: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("probe after bad reload answered {}", resp.status));
+    }
+    let metrics = conn
+        .request("GET", "/metrics", None)
+        .map_err(|e| format!("metrics after reload: {e}"))?;
+    let page = metrics.text();
+    let epoch_line = page
+        .lines()
+        .find(|l| l.starts_with("srt_engine_epoch "))
+        .ok_or("srt_engine_epoch missing from /metrics")?;
+    if epoch_line != "srt_engine_epoch 1" {
+        return Err(format!("unexpected {epoch_line:?} after swap round"));
+    }
+    eprintln!("srt_serve --smoke: corrupt snapshot rejected, epoch 1 kept serving");
+    let _ = std::fs::remove_file(&snapshot_path);
+
+    // 7. Graceful drain.
     drop(conn);
     let report = server.shutdown();
     if report.in_flight_after_drain != 0 {

@@ -1,12 +1,15 @@
-//! Dispatch from a parsed [`Request`] to the four endpoints.
+//! Dispatch from a parsed [`Request`] to the five endpoints.
 //!
 //! Status mapping, fixed across the API: `400` for protocol/schema
 //! garbage (unparseable JSON, missing members), `422` for well-formed
 //! queries the engine rejects with a typed [`EngineError`] (unknown
-//! node, negative budget, zero deadline), `500` for a contained search
-//! panic (`EngineError::Internal`), `404`/`405` for unknown paths and
-//! methods. Load shedding (`503`) never reaches this module — it is
-//! decided at admission, before a worker ever parses the request.
+//! node, negative budget, zero deadline) and for snapshots
+//! `POST /reload` rejects with a typed `SwapError`, `409` for a reload
+//! on a server started without a model path, `500` for a contained
+//! search panic (`EngineError::Internal`) or a reload I/O failure,
+//! `404`/`405` for unknown paths and methods. Load shedding (`503`)
+//! never reaches this module — it is decided at admission, before a
+//! worker ever parses the request.
 
 use crate::http::{Request, Response};
 use crate::json::{
@@ -14,6 +17,7 @@ use crate::json::{
 };
 use crate::metrics::ServeMetrics;
 use srt_core::routing::{EngineError, Query, RoutingEngine};
+use std::path::Path;
 
 /// Hard cap on `route_batch` fan-out per request: the serving layer's
 /// parallelism budget belongs to the worker pool, not to any single
@@ -27,19 +31,24 @@ pub fn handle_request(
     engine: &RoutingEngine,
     metrics: &ServeMetrics,
     queue_depth: usize,
+    model_path: Option<&Path>,
     req: &Request,
 ) -> Response {
     // Path first, then method: a known path with the wrong method (any
     // method — HEAD, DELETE, …) is a 405, never a misleading 404.
     match req.path.as_str() {
-        "/healthz" if req.method == "GET" => Response::text(200, "ok\n"),
+        "/healthz" if req.method == "GET" => Response::json(
+            200,
+            format!("{{\"ok\":true,\"epoch\":{}}}", engine.epoch()),
+        ),
         "/metrics" if req.method == "GET" => Response::text(
             200,
             metrics.render_prometheus(&engine.stats(), queue_depth),
         ),
         "/route" if req.method == "POST" => route_one(engine, &req.body),
         "/route_batch" if req.method == "POST" => route_batch(engine, &req.body),
-        "/healthz" | "/metrics" | "/route" | "/route_batch" => Response::json(
+        "/reload" if req.method == "POST" => reload(engine, model_path),
+        "/healthz" | "/metrics" | "/route" | "/route_batch" | "/reload" => Response::json(
             405,
             protocol_error_body(
                 "method_not_allowed",
@@ -49,6 +58,50 @@ pub fn handle_request(
         _ => Response::json(
             404,
             protocol_error_body("not_found", &format!("no such endpoint: {}", req.path)),
+        ),
+    }
+}
+
+/// `POST /reload`: re-read the server's configured snapshot path and
+/// hot-swap the engine onto it. The path is fixed at server start
+/// (`--model` / [`crate::server::ServerConfig::model_path`]) and the
+/// request body is ignored — accepting client-supplied paths or model
+/// bytes on this endpoint would be an arbitrary-model-injection hole.
+///
+/// Every failure leaves the old epoch serving: `409` when the server
+/// has no model source at all, `500` when the file cannot be read,
+/// `422` when the engine's revalidation rejects the snapshot. Success
+/// answers with the freshly published epoch id.
+fn reload(engine: &RoutingEngine, model_path: Option<&Path>) -> Response {
+    let path = match model_path {
+        Some(p) => p,
+        None => {
+            return Response::json(
+                409,
+                protocol_error_body(
+                    "no_model_source",
+                    "server was started without a model path; /reload has nothing to re-read",
+                ),
+            )
+        }
+    };
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            return Response::json(
+                500,
+                protocol_error_body(
+                    "reload_io",
+                    &format!("reading {}: {e}", path.display()),
+                ),
+            )
+        }
+    };
+    match engine.swap_model_bytes(&bytes) {
+        Ok(epoch) => Response::json(200, format!("{{\"ok\":true,\"epoch\":{epoch}}}")),
+        Err(e) => Response::json(
+            422,
+            protocol_error_body("bad_snapshot", &e.to_string()),
         ),
     }
 }

@@ -13,8 +13,9 @@
 //! |--------|----------------|-----------------------------------------------------|
 //! | `POST` | `/route`       | Route one query; body `{"source","target","budget_s"[,"deadline_ms"]}` |
 //! | `POST` | `/route_batch` | Route many; body `{"queries":[…][,"parallelism"]}`   |
-//! | `GET`  | `/metrics`     | Prometheus text: `srt_serve_*` + `srt_engine_*`      |
-//! | `GET`  | `/healthz`     | Liveness (`200 ok`)                                  |
+//! | `POST` | `/reload`      | Hot-swap: re-read [`ServerConfig::model_path`] and publish a new engine epoch (`409` without a path, `422` bad snapshot, body ignored) |
+//! | `GET`  | `/metrics`     | Prometheus text: `srt_serve_*` + `srt_engine_*` (incl. `srt_engine_epoch`) |
+//! | `GET`  | `/healthz`     | Liveness: `200 {"ok":true,"epoch":N}`                |
 //!
 //! # The admission contract
 //!

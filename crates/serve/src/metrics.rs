@@ -285,6 +285,12 @@ impl ServeMetrics {
             "Queries whose search panicked and was contained (any non-zero value is a bug report).",
             engine.panics,
         );
+        gauge(
+            &mut out,
+            "srt_engine_epoch",
+            "Id of the model epoch currently serving (bumped by each successful /reload).",
+            engine.epoch,
+        );
         out
     }
 }
@@ -335,6 +341,7 @@ mod tests {
             "srt_serve_request_seconds_count 1",
             "srt_engine_queries_total 0",
             "srt_engine_panics_total 0",
+            "srt_engine_epoch 0",
         ] {
             assert!(page.contains(needle), "missing {needle:?} in:\n{page}");
         }

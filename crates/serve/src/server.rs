@@ -41,9 +41,25 @@ pub struct ServerConfig {
     /// Admission-queue capacity; connection number `capacity + workers + 1`
     /// is the first to be shed.
     pub queue_capacity: usize,
-    /// Per-read socket timeout for idle keep-alive connections. A
-    /// connection that stays silent this long is closed.
+    /// Per-read socket timeout while a connection's *first* request is
+    /// awaited (and for every body/write deadline). A connection that
+    /// stays silent this long is closed.
     pub read_timeout: Option<Duration>,
+    /// Read deadline for *parked* keep-alive connections — applied after
+    /// the first response is written. A served connection holds a worker
+    /// while it waits for its next request; without this deadline a
+    /// client that simply stops sending (but keeps the socket open) pins
+    /// that worker forever, and `workers` parked clients brown out the
+    /// whole pool. Kept separate from `read_timeout` because the right
+    /// values differ: generous for a first request still in flight,
+    /// tight for a connection that has already been served once and is
+    /// merely idle. `None` disables reaping (trusted peers only).
+    pub idle_timeout: Option<Duration>,
+    /// Filesystem path `POST /reload` re-reads for a new model snapshot.
+    /// Fixed at server start (never client-supplied — a reload endpoint
+    /// accepting paths or bytes from the wire would be an
+    /// arbitrary-model-injection hole). `None` disables `/reload` (409).
+    pub model_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +68,8 @@ impl Default for ServerConfig {
             workers: 0,
             queue_capacity: 64,
             read_timeout: Some(Duration::from_secs(5)),
+            idle_timeout: Some(Duration::from_secs(2)),
+            model_path: None,
         }
     }
 }
@@ -123,6 +141,8 @@ impl Server {
                 let queue = Arc::clone(&queue);
                 let draining = Arc::clone(&draining);
                 let read_timeout = config.read_timeout;
+                let idle_timeout = config.idle_timeout;
+                let model_path = config.model_path.clone();
                 thread::Builder::new()
                     .name(format!("srt-serve-worker-{i}"))
                     .spawn(move || {
@@ -135,6 +155,8 @@ impl Server {
                                 &queue,
                                 &draining,
                                 read_timeout,
+                                idle_timeout,
+                                model_path.as_deref(),
                             );
                             served += 1;
                         }
@@ -303,6 +325,7 @@ fn shed(mut stream: TcpStream) {
 }
 
 /// Serves one connection's keep-alive session to completion.
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     stream: TcpStream,
     engine: &RoutingEngine,
@@ -310,6 +333,8 @@ fn serve_connection(
     queue: &BoundedQueue<TcpStream>,
     draining: &AtomicBool,
     read_timeout: Option<Duration>,
+    idle_timeout: Option<Duration>,
+    model_path: Option<&std::path::Path>,
 ) {
     let _ = stream.set_read_timeout(read_timeout);
     // Writes get the same deadline: a peer that stops reading would
@@ -323,6 +348,7 @@ fn serve_connection(
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
+    let mut served_one = false;
     loop {
         let req = match read_request(&mut reader) {
             Ok(req) => req,
@@ -343,7 +369,8 @@ fn serve_connection(
         metrics.requests_total.fetch_add(1, Ordering::Relaxed);
         metrics.in_flight.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();
-        let mut resp = crate::handlers::handle_request(engine, metrics, queue.len(), &req);
+        let mut resp =
+            crate::handlers::handle_request(engine, metrics, queue.len(), model_path, &req);
         if req.wants_close() || draining.load(Ordering::SeqCst) {
             resp.close = true;
         }
@@ -353,6 +380,21 @@ fn serve_connection(
         metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
         if !write_ok || resp.close {
             return;
+        }
+        if !served_one {
+            served_one = true;
+            // Reap parked keep-alive connections: from the second request
+            // on, the socket read deadline drops to the idle timeout. A
+            // client that was served and then goes quiet times out, the
+            // read surfaces as `RequestError::Io`, and this worker
+            // returns to the pool instead of being pinned until the peer
+            // deigns to close. (The first request keeps the generous
+            // `read_timeout`: a freshly admitted connection may still be
+            // composing its request — that wait is admission latency, not
+            // idleness.)
+            if let Some(idle) = idle_timeout {
+                let _ = reader.get_ref().set_read_timeout(Some(idle));
+            }
         }
     }
 }

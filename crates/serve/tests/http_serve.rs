@@ -12,7 +12,13 @@
 //!   `500`-kind error in its batch without failing batch-mates, and the
 //!   server keeps serving afterwards,
 //! * **drain** — graceful shutdown finishes every admitted connection
-//!   (zero in-flight afterwards, all responses delivered).
+//!   (zero in-flight afterwards, all responses delivered),
+//! * **hot swap** — `POST /reload` publishes a new engine epoch with
+//!   zero dropped connections, a corrupt snapshot answers `422` while
+//!   the old epoch keeps serving, and a server without a model path
+//!   answers `409`,
+//! * **idle reap** — a parked keep-alive connection stops pinning its
+//!   worker once [`ServerConfig::idle_timeout`] elapses.
 
 use srt_core::model::training::{train_hybrid, TrainingConfig};
 use srt_core::routing::{EngineBuilder, Query, RoutingEngine};
@@ -139,7 +145,11 @@ fn healthz_answers_and_metrics_render() {
     let addr = server.local_addr();
     let health = request_once(addr, "GET", "/healthz", None).unwrap();
     assert_eq!(health.status, 200);
-    assert_eq!(health.text(), "ok\n");
+    // The engine is shared across tests (a reload test may have bumped
+    // its epoch), so assert shape, not the epoch value.
+    let doc = json::parse(&health.text()).expect("healthz is JSON");
+    assert_eq!(doc.get("ok").and_then(|v| v.as_bool()), Some(true));
+    assert!(doc.get("epoch").and_then(|v| v.as_u64()).is_some());
 
     let metrics = request_once(addr, "GET", "/metrics", None).unwrap();
     assert_eq!(metrics.status, 200);
@@ -272,6 +282,7 @@ fn full_queue_sheds_with_503_while_admitted_work_completes() {
         workers: 1,
         queue_capacity: 1,
         read_timeout: Some(Duration::from_secs(10)),
+        ..ServerConfig::default()
     });
     let addr = server.local_addr();
     let q = workload(0x5ED, 1)[0];
@@ -395,6 +406,7 @@ fn graceful_shutdown_drains_admitted_connections_losslessly() {
         workers: 2,
         queue_capacity: 16,
         read_timeout: Some(Duration::from_secs(10)),
+        ..ServerConfig::default()
     });
     let addr = server.local_addr();
     let queries = workload(0xD1A1, 4);
@@ -442,4 +454,123 @@ fn graceful_shutdown_drains_admitted_connections_losslessly() {
         // A TIME_WAIT race can accept then reset; a request must fail.
         request_once(addr, "GET", "/healthz", None).is_err()
     });
+}
+
+#[test]
+fn reload_publishes_a_new_epoch_and_rejects_corrupt_snapshots() {
+    // A private engine (not `shared_engine`): this test moves the epoch
+    // and must not perturb what other tests observe.
+    let (_, model) = fixture();
+    let engine = Arc::new(EngineBuilder::new(cost()).build());
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(dir).unwrap();
+    let snapshot = dir.join("http_serve_reload.bin");
+    srt_core::model::io::write_file(&snapshot, model).expect("snapshot writes");
+
+    let server = Server::start(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServerConfig {
+            model_path: Some(snapshot.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut conn = Client::connect(server.local_addr()).unwrap();
+    let queries = workload(0x4E10AD, 6);
+    let before: Vec<_> = queries.iter().map(|q| engine.route(q).unwrap()).collect();
+
+    // Successful reload: 200, epoch 0 -> 1, visible in /healthz, on the
+    // same keep-alive connection that keeps being served.
+    let resp = conn.request("POST", "/reload", None).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let doc = json::parse(&resp.text()).unwrap();
+    assert_eq!(doc.get("epoch").and_then(|v| v.as_u64()), Some(1));
+    let health = conn.request("GET", "/healthz", None).unwrap();
+    let doc = json::parse(&health.text()).unwrap();
+    assert_eq!(doc.get("epoch").and_then(|v| v.as_u64()), Some(1));
+
+    // The snapshot round-trips the identical model, so answers on the
+    // new epoch are bitwise-identical to the old ones.
+    for (i, (q, reference)) in queries.iter().zip(&before).enumerate() {
+        let resp = conn.request("POST", "/route", Some(&query_body(q))).unwrap();
+        assert_eq!(resp.status, 200, "post-swap query {i}");
+        let doc = json::parse(&resp.text()).unwrap();
+        assert_served_identical(&doc, reference, &format!("post-swap query {i}"));
+    }
+
+    // Corrupt the file: /reload answers 422 and the old epoch keeps
+    // serving, bitwise-unchanged.
+    let good = std::fs::read(&snapshot).unwrap();
+    std::fs::write(&snapshot, &good[..good.len() / 2]).unwrap();
+    let resp = conn.request("POST", "/reload", None).unwrap();
+    assert_eq!(resp.status, 422, "{}", resp.text());
+    assert!(resp.text().contains("bad_snapshot"), "{}", resp.text());
+    assert_eq!(engine.epoch(), 1, "failed reload must not move the epoch");
+    let resp = conn
+        .request("POST", "/route", Some(&query_body(&queries[0])))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let doc = json::parse(&resp.text()).unwrap();
+    assert_served_identical(&doc, &before[0], "post-rejection probe");
+
+    // A vanished file is the server's problem (500), not the snapshot's.
+    std::fs::remove_file(&snapshot).unwrap();
+    let resp = conn.request("POST", "/reload", None).unwrap();
+    assert_eq!(resp.status, 500, "{}", resp.text());
+    assert!(resp.text().contains("reload_io"), "{}", resp.text());
+    assert_eq!(engine.epoch(), 1);
+    server.shutdown();
+}
+
+#[test]
+fn reload_without_a_model_source_is_a_409() {
+    // `shared_engine` servers are started without a model_path, so
+    // /reload must refuse — pinning that the endpoint never invents a
+    // model source (and never reads a client-supplied one).
+    let server = start(ServerConfig::default());
+    let resp = request_once(server.local_addr(), "POST", "/reload", None).unwrap();
+    assert_eq!(resp.status, 409, "{}", resp.text());
+    assert!(resp.text().contains("no_model_source"), "{}", resp.text());
+    let resp = request_once(server.local_addr(), "GET", "/reload", None).unwrap();
+    assert_eq!(resp.status, 405, "{}", resp.text());
+    server.shutdown();
+}
+
+#[test]
+fn idle_keepalive_connections_are_reaped_not_worker_pinning() {
+    // One worker. Before the idle deadline existed, connection A could
+    // finish a request, park forever, and pin the only worker — B would
+    // never be served. Now A's socket gets an idle read deadline after
+    // its first response, the worker reaps it, and B proceeds.
+    let server = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        idle_timeout: Some(Duration::from_millis(150)),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let mut a = Client::connect(addr).unwrap();
+    let resp = a.request("GET", "/healthz", None).unwrap();
+    assert_eq!(resp.status, 200);
+    // A now parks, holding the only worker.
+
+    let started = Instant::now();
+    let mut b = Client::connect(addr).unwrap();
+    let resp = b.request("GET", "/healthz", None).unwrap();
+    assert_eq!(resp.status, 200, "B must be served after A is reaped");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "B waited {:?} — A was never reaped",
+        started.elapsed()
+    );
+
+    // A's socket was closed by the reap: the next request on it fails.
+    assert!(
+        a.request("GET", "/healthz", None).is_err(),
+        "reaped connection must be closed, not resurrected"
+    );
+    drop(b);
+    server.shutdown();
 }

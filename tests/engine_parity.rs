@@ -14,7 +14,12 @@
 //! * **scratch reuse** — a `SearchContext` reused across queries returns
 //!   the same answers as fresh contexts and stops growing its arena once
 //!   warm (steady-state serving reuses search state instead of
-//!   reallocating it).
+//!   reallocating it),
+//! * **stats coherence** — `stats()` racing `reset_stats()` (or any bulk
+//!   rewrite) never observes a torn half-zeroed snapshot,
+//! * **cache bounds under contention** — many workers hammering a
+//!   capacity-clamped bounds cache never overshoot the bound at rest and
+//!   never change an answer.
 
 use std::sync::OnceLock;
 use std::time::Duration;
@@ -519,6 +524,140 @@ fn poisoned_locks_do_not_take_down_serving() {
             &format!("query {i} across lock poisoning"),
         );
     }
+}
+
+#[test]
+fn stats_snapshot_is_never_torn_by_a_concurrent_rewrite() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    // The engine's own scrape path (`/metrics` calls `stats()`) races a
+    // bulk rewrite. Before the seqlock, a scrape could catch `reset`
+    // half-done: some counters zeroed, others not — a torn snapshot
+    // with nonsense hit rates. Pin the contract: every observed
+    // snapshot has all twelve traffic counters from one side of the
+    // rewrite, never a mix.
+    let engine = Arc::new(EngineBuilder::new(cost()).build());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let writer = {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut v = 1u64;
+            while !stop.load(Ordering::Relaxed) {
+                engine.stats_handle().fill_for_tests(v);
+                v += 1;
+            }
+            v
+        })
+    };
+
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut scrapes = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let s = engine.stats();
+                    let fields = [
+                        s.queries,
+                        s.batches,
+                        s.bounds_cache_hits,
+                        s.bounds_cache_misses,
+                        s.bounds_evictions,
+                        s.labels_created,
+                        s.labels_expanded,
+                        s.incomplete,
+                        s.pool_reuse,
+                        s.pool_misses,
+                        s.lattice_fast_path,
+                        s.panics,
+                    ];
+                    assert!(
+                        fields.iter().all(|&f| f == fields[0]),
+                        "torn snapshot: {fields:?}"
+                    );
+                    scrapes += 1;
+                }
+                scrapes
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(200));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let rewrites = writer.join().unwrap();
+    let scrapes: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(rewrites > 10, "writer barely ran ({rewrites} rewrites)");
+    assert!(scrapes > 10, "readers barely ran ({scrapes} scrapes)");
+
+    // And `reset` itself participates in the same protocol: post-reset
+    // snapshots are all-zero traffic (epoch preserved separately).
+    engine.reset_stats();
+    assert_eq!(engine.stats(), Default::default());
+}
+
+#[test]
+fn contended_bounds_cache_never_overshoots_capacity_or_changes_answers() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    // Many workers, a cache clamped to 2 targets, a workload with far
+    // more distinct targets: the old contains_key-then-insert path let
+    // N workers all miss the same full cache and push it N-1 entries
+    // past its bound. The insert-then-trim rewrite makes overshoot
+    // impossible to observe at rest; an observer thread hammers the
+    // accessor the whole time.
+    let queries = workload(10);
+    let reference = EngineBuilder::new(cost())
+        .config(RouterConfig::default())
+        .build()
+        .route_batch(&queries, 1);
+
+    let engine = Arc::new(
+        EngineBuilder::new(cost())
+            .config(RouterConfig::default())
+            .bounds_cache_capacity(2)
+            .build(),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let observer = {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut peak = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                peak = peak.max(engine.bounds_cached());
+            }
+            peak
+        })
+    };
+
+    for round in 0..6 {
+        let results = engine.route_batch(&queries, 8);
+        for (i, (r, expected)) in results.iter().zip(&reference).enumerate() {
+            assert_identical(
+                r.as_ref().unwrap(),
+                expected.as_ref().unwrap(),
+                &format!("round {round} query {i} under contention"),
+            );
+        }
+        assert!(
+            engine.bounds_cached() <= 2,
+            "cache overshot its capacity at rest after round {round}"
+        );
+    }
+    stop.store(true, Ordering::Relaxed);
+    // Insert and trim happen under one write-lock hold, so not even a
+    // mid-flight read can catch the cache past its bound.
+    let peak = observer.join().unwrap();
+    assert!(peak <= 2, "observer saw {peak} cached targets in a capacity-2 cache");
+    assert!(
+        engine.stats().bounds_evictions > 0,
+        "workload never exercised eviction"
+    );
 }
 
 #[test]

@@ -1,13 +1,19 @@
 //! Failure injection: random corruption of the binary snapshot formats
 //! must always produce a clean error (or a valid decode for benign
-//! mutations) — never a panic, hang or absurd allocation.
+//! mutations) — never a panic, hang or absurd allocation. The same
+//! corpus drives the hot-swap admission path: a corrupt v3 snapshot fed
+//! to [`RoutingEngine::swap_model_bytes`] must be rejected with the old
+//! epoch still serving bitwise-identically, and a benign mutation that
+//! decodes must publish exactly one new epoch.
 
 use proptest::prelude::*;
 use stochastic_routing::core::model::io as model_io;
 use stochastic_routing::core::model::training::{train_hybrid, TrainingConfig};
+use stochastic_routing::core::routing::{EngineBuilder, Query, RouteResult, RoutingEngine};
+use stochastic_routing::core::{CombinePolicy, HybridCost, HybridModel};
 use stochastic_routing::graph::io as graph_io;
 use stochastic_routing::ml::forest::ForestConfig;
-use stochastic_routing::synth::{SyntheticWorld, WorldConfig};
+use stochastic_routing::synth::{DistanceCategory, QueryGenerator, SyntheticWorld, WorldConfig};
 use std::sync::OnceLock;
 
 fn world() -> &'static SyntheticWorld {
@@ -15,9 +21,9 @@ fn world() -> &'static SyntheticWorld {
     W.get_or_init(|| SyntheticWorld::build(WorldConfig::tiny()))
 }
 
-fn model_snapshot() -> &'static [u8] {
-    static B: OnceLock<Vec<u8>> = OnceLock::new();
-    B.get_or_init(|| {
+fn model() -> &'static HybridModel {
+    static M: OnceLock<HybridModel> = OnceLock::new();
+    M.get_or_init(|| {
         let cfg = TrainingConfig {
             train_pairs: 80,
             test_pairs: 30,
@@ -30,8 +36,54 @@ fn model_snapshot() -> &'static [u8] {
             ..TrainingConfig::default()
         };
         let (model, _) = train_hybrid(world(), &cfg).expect("fixture trains");
-        model_io::to_bytes(&model).to_vec()
+        // The swap-rejection cases target the full v3 layout.
+        assert!(model.calibration.is_some() && model.envelope.is_some());
+        model
     })
+}
+
+fn model_snapshot() -> &'static [u8] {
+    static B: OnceLock<Vec<u8>> = OnceLock::new();
+    B.get_or_init(|| model_io::to_bytes(model()).to_vec())
+}
+
+/// A fresh engine over the fixture model, plus a probe query and its
+/// epoch-0 answer (the drift detector for rejected swaps).
+fn probe_engine() -> (RoutingEngine, Query, &'static RouteResult) {
+    static PROBE: OnceLock<(Query, RouteResult)> = OnceLock::new();
+    let engine = EngineBuilder::new(HybridCost::from_ground_truth(
+        world(),
+        model(),
+        CombinePolicy::Hybrid,
+    ))
+    .build();
+    let (q, reference) = PROBE.get_or_init(|| {
+        let w = world();
+        let q = Query::from(
+            &QueryGenerator::new(0x5FA2)
+                .generate(&w.graph, &w.model, DistanceCategory::ZeroToOne, 1)[0],
+        );
+        let r = EngineBuilder::new(HybridCost::from_ground_truth(
+            w,
+            model(),
+            CombinePolicy::Hybrid,
+        ))
+        .build()
+        .route(&q)
+        .expect("probe query routes");
+        (q, r)
+    });
+    (engine, *q, reference)
+}
+
+fn assert_probe_unchanged(engine: &RoutingEngine, q: &Query, reference: &RouteResult) {
+    let r = engine.route(q).expect("probe stays routable");
+    assert_eq!(r.probability.to_bits(), reference.probability.to_bits());
+    assert_eq!(
+        r.path.as_ref().map(|p| (&p.nodes, &p.edges)),
+        reference.path.as_ref().map(|p| (&p.nodes, &p.edges))
+    );
+    assert_eq!(r.distribution, reference.distribution);
 }
 
 fn graph_snapshot() -> &'static [u8] {
@@ -75,5 +127,42 @@ proptest! {
     fn decoders_reject_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
         let _ = model_io::from_bytes(&data);
         let _ = graph_io::from_bytes(&data);
+    }
+
+    /// Hot-swapping a byte-flipped v3 snapshot either publishes exactly
+    /// one new epoch (benign flip that still decodes) or is rejected
+    /// with the old epoch serving bitwise-identically — never a crash,
+    /// never a half-applied model.
+    #[test]
+    fn swap_survives_byte_flips(offset in 0usize..1 << 16, bit in 0u8..8) {
+        let mut data = model_snapshot().to_vec();
+        let off = offset % data.len();
+        data[off] ^= 1 << bit;
+        let (engine, q, reference) = probe_engine();
+        match engine.swap_model_bytes(&data) {
+            Ok(epoch) => {
+                prop_assert_eq!(epoch, 1);
+                prop_assert_eq!(engine.epoch(), 1);
+                // A benign flip decodes to *some* valid model; the swap
+                // must still leave the engine answering.
+                let _ = engine.route(&q).expect("engine serves on the new epoch");
+            }
+            Err(_) => {
+                prop_assert_eq!(engine.epoch(), 0);
+                assert_probe_unchanged(&engine, &q, reference);
+            }
+        }
+    }
+
+    /// Truncated v3 snapshots never swap: typed rejection, epoch
+    /// unchanged, answers drift-free.
+    #[test]
+    fn swap_rejects_truncation(cut in 0usize..1 << 16) {
+        let data = model_snapshot();
+        let cut = cut % data.len();
+        let (engine, q, reference) = probe_engine();
+        prop_assert!(engine.swap_model_bytes(&data[..cut]).is_err());
+        prop_assert_eq!(engine.epoch(), 0);
+        assert_probe_unchanged(&engine, &q, reference);
     }
 }
