@@ -5,6 +5,8 @@
 //! construction is paid once per bench binary instead of once per
 //! measurement.
 
+#![forbid(unsafe_code)]
+
 use srt_eval::setup::{build_context, EvalContext, Scale};
 use std::sync::OnceLock;
 

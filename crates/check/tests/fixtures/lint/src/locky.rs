@@ -1,0 +1,7 @@
+//! Lint fixture: plants exactly one `lock-unwrap` violation.
+//! Never compiled — scanned by the lint self-test.
+
+pub fn bad(m: &std::sync::Mutex<u32>) -> u32 {
+    // .lock().unwrap() on the next line is the planted violation.
+    *m.lock().unwrap()
+}

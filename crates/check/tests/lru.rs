@@ -1,0 +1,100 @@
+//! Model suite 3: the bounds-cache LRU (`srt_core::sync::BoundedLru`).
+//!
+//! Proves, over every interleaving at the preemption bound, that the
+//! insert-then-trim discipline keeps `len <= capacity` at EVERY
+//! interleaving point under concurrent misses — the PR 8 overshoot bug,
+//! now proven dead rather than stress-tested dead. The retained buggy
+//! shape (`insert_check_then_act_for_models`, the historical
+//! check-then-insert) is the negative control: the same model MUST
+//! catch it.
+//!
+//! Run with: `RUSTFLAGS="--cfg srt_check" cargo test -p srt-check`
+#![cfg(srt_check)]
+
+use srt_check::sync::thread;
+use srt_check::{explore, replay, CheckOptions};
+use srt_core::sync::BoundedLru;
+use std::sync::Arc;
+
+const CAPACITY: usize = 1;
+
+#[test]
+fn size_never_exceeds_capacity_under_concurrent_misses() {
+    let report = srt_check::check(|| {
+        let lru: Arc<BoundedLru<u32, u32>> = Arc::new(BoundedLru::new());
+        let other = {
+            let lru = Arc::clone(&lru);
+            thread::spawn(move || {
+                let (v, _evicted) = lru.insert_and_trim(1, 10, CAPACITY);
+                assert_eq!(v, 10);
+                // Observation point between this thread's operations:
+                // the bound must already hold.
+                assert!(lru.len() <= CAPACITY, "overshoot after insert(1)");
+            })
+        };
+        // A concurrent miss on a distinct key — the exact two-fresh-
+        // targets race that used to overshoot.
+        let (v, _evicted) = lru.insert_and_trim(2, 20, CAPACITY);
+        assert_eq!(v, 20);
+        assert!(lru.len() <= CAPACITY, "overshoot after insert(2)");
+        other.join().expect("inserter completes");
+        // Quiescent: exactly one resident entry, and it serves hits.
+        assert_eq!(lru.len(), CAPACITY, "trim overshot: cache emptied");
+        let survivor = lru.get(&1).or_else(|| lru.get(&2));
+        assert!(survivor.is_some(), "some entry must survive the trim");
+    });
+    assert!(report.complete, "LRU schedule space not exhausted");
+    assert!(report.executions > 1);
+}
+
+#[test]
+fn duplicate_concurrent_misses_converge() {
+    let report = srt_check::check(|| {
+        let lru: Arc<BoundedLru<u32, u32>> = Arc::new(BoundedLru::new());
+        let other = {
+            let lru = Arc::clone(&lru);
+            thread::spawn(move || lru.insert_and_trim(1, 10, 2).0)
+        };
+        // Same key, racing value: whoever inserts first wins; both
+        // callers must come back with the SAME resident value.
+        let mine = lru.insert_and_trim(1, 11, 2).0;
+        let theirs = other.join().expect("inserter completes");
+        assert_eq!(mine, theirs, "duplicate misses diverged");
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.get(&1), Some(mine));
+    });
+    assert!(report.complete);
+}
+
+/// The negative control: the historical check-then-insert shape decides
+/// whether to evict in one lock tenure and inserts in another, so two
+/// concurrent misses both skip eviction and the bound breaks.
+fn check_then_act_model() {
+    let lru: Arc<BoundedLru<u32, u32>> = Arc::new(BoundedLru::new());
+    let other = {
+        let lru = Arc::clone(&lru);
+        thread::spawn(move || {
+            lru.insert_check_then_act_for_models(1, 10, CAPACITY);
+        })
+    };
+    lru.insert_check_then_act_for_models(2, 20, CAPACITY);
+    other.join().expect("inserter completes");
+    assert!(
+        lru.len() <= CAPACITY,
+        "capacity bound broken: len={} capacity={CAPACITY}",
+        lru.len()
+    );
+}
+
+#[test]
+fn planted_bug_check_then_act_is_caught() {
+    let failure = explore(CheckOptions::default(), check_then_act_model)
+        .expect_err("the checker must find the overshoot the check-then-act shape permits");
+    assert!(
+        failure.message.contains("capacity bound broken"),
+        "unexpected failure: {failure}"
+    );
+    let again = replay(&failure.schedule, check_then_act_model)
+        .expect_err("replaying the failing schedule must reproduce the overshoot");
+    assert!(again.message.contains("capacity bound broken"));
+}

@@ -1,0 +1,130 @@
+//! Model suite 1: the stats seqlock (`srt_core::sync::SeqLock`).
+//!
+//! Proves, over every interleaving at the preemption bound:
+//!
+//! * a reader never observes a torn snapshot across a concurrent bulk
+//!   rewrite (the PR 8 metrics-scrape guarantee), and
+//! * the generation always returns to even once writers quiesce.
+//!
+//! Plus the planted-bug check: a deliberately broken write that skips
+//! the odd-generation claim (`SeqLock::write_unclaimed`) MUST be caught
+//! — proving the explorer actually explores.
+//!
+//! Run with: `RUSTFLAGS="--cfg srt_check" cargo test -p srt-check`
+#![cfg(srt_check)]
+
+use srt_check::sync::atomic::{AtomicU64, Ordering};
+use srt_check::sync::thread;
+use srt_check::{explore, replay, CheckOptions};
+use srt_core::sync::SeqLock;
+use std::sync::Arc;
+
+/// Two counters that a bulk rewrite must update coherently — the
+/// miniature of `EngineStats`' hits/misses pair.
+#[derive(Default)]
+struct Stats {
+    seq: SeqLock,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Stats {
+    /// A coherent snapshot: both counters from entirely-before or
+    /// entirely-after any concurrent rewrite.
+    fn snapshot(&self) -> (u64, u64) {
+        self.seq.read(|| {
+            (
+                self.hits.load(Ordering::Relaxed),
+                self.misses.load(Ordering::Relaxed),
+            )
+        })
+    }
+}
+
+#[test]
+fn no_torn_snapshot_and_generation_returns_even() {
+    let report = srt_check::check(|| {
+        let stats = Arc::new(Stats::default());
+        let writer = {
+            let stats = Arc::clone(&stats);
+            thread::spawn(move || {
+                // A bulk rewrite moving both counters 0 → 7 together.
+                stats.seq.write(|| {
+                    stats.hits.store(7, Ordering::Relaxed);
+                    stats.misses.store(7, Ordering::Relaxed);
+                });
+            })
+        };
+        // Reader concurrent with the rewrite: the pair must be (0, 0)
+        // or (7, 7) — never a mix.
+        let (h, m) = stats.snapshot();
+        assert_eq!(h, m, "torn snapshot: hits={h} misses={m}");
+        writer.join().expect("writer completes");
+        // Writers quiescent: generation must be even, and a fresh read
+        // sees the completed rewrite.
+        assert_eq!(stats.seq.generation() & 1, 0, "generation stuck odd");
+        assert_eq!(stats.snapshot(), (7, 7));
+    });
+    assert!(report.complete, "seqlock schedule space not exhausted");
+    assert!(report.executions > 1, "explorer found only one schedule");
+}
+
+#[test]
+fn concurrent_writers_serialize() {
+    let report = srt_check::check(|| {
+        let stats = Arc::new(Stats::default());
+        let other = {
+            let stats = Arc::clone(&stats);
+            thread::spawn(move || {
+                stats.seq.write(|| {
+                    stats.hits.store(1, Ordering::Relaxed);
+                    stats.misses.store(1, Ordering::Relaxed);
+                });
+            })
+        };
+        stats.seq.write(|| {
+            stats.hits.store(2, Ordering::Relaxed);
+            stats.misses.store(2, Ordering::Relaxed);
+        });
+        other.join().expect("writer completes");
+        // Writes never interleave: whichever won, the pair is coherent
+        // and the lock is quiescent.
+        let (h, m) = stats.snapshot();
+        assert_eq!(h, m, "writers interleaved: hits={h} misses={m}");
+        assert_eq!(stats.seq.generation(), 4, "two rewrites = generation 4");
+    });
+    assert!(report.complete);
+}
+
+/// The deliberately-broken model: the rewrite skips the odd-generation
+/// claim, so some interleaving lets the reader confirm an unchanged
+/// generation around a half-applied rewrite.
+fn broken_writer_model() {
+    let stats = Arc::new(Stats::default());
+    let writer = {
+        let stats = Arc::clone(&stats);
+        thread::spawn(move || {
+            stats.seq.write_unclaimed(|| {
+                stats.hits.store(7, Ordering::Relaxed);
+                stats.misses.store(7, Ordering::Relaxed);
+            });
+        })
+    };
+    let (h, m) = stats.snapshot();
+    assert_eq!(h, m, "torn snapshot: hits={h} misses={m}");
+    writer.join().expect("writer completes");
+}
+
+#[test]
+fn planted_bug_unclaimed_write_is_caught() {
+    let failure = explore(CheckOptions::default(), broken_writer_model)
+        .expect_err("the checker must find the torn read the unclaimed write permits");
+    assert!(
+        failure.message.contains("torn snapshot"),
+        "unexpected failure: {failure}"
+    );
+    // The reported schedule is a deterministic reproduction.
+    let again = replay(&failure.schedule, broken_writer_model)
+        .expect_err("replaying the failing schedule must reproduce the failure");
+    assert!(again.message.contains("torn snapshot"));
+}

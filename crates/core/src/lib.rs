@@ -24,7 +24,18 @@
 //!   owning, `Send + Sync` [`routing::RoutingEngine`] — policies and
 //!   certificates resolved once, per-target bounds cached, batches
 //!   dispatched to a worker pool from reusable
-//!   [`routing::SearchContext`] scratch.
+//!   [`routing::SearchContext`] scratch,
+//! * [`sync`] — the engine's concurrency-protocol cores ([`sync::SeqLock`],
+//!   [`sync::BoundedLru`], [`sync::EpochCell`]), written against
+//!   `srt-check`'s primitive switch so the model checker can prove them
+//!   under exhaustive interleaving (`RUSTFLAGS="--cfg srt_check" cargo
+//!   test -p srt-check`); plain `std::sync` in normal builds.
+//!
+//! # Unsafe policy
+//!
+//! This crate (like every first-party crate in the workspace) is
+//! `#![forbid(unsafe_code)]`: the system is pure safe Rust, enforced at
+//! the crate root and by the `srt-check lint` / clippy CI gates.
 //!
 //! # Quickstart
 //!
@@ -47,10 +58,13 @@
 //! println!("bounds cache: {:?}", engine.stats());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod error;
 pub mod model;
 pub mod routing;
+pub mod sync;
 
 pub use cost::{CombinePolicy, HybridCost};
 pub use error::CoreError;

@@ -112,8 +112,8 @@ impl SupportEnvelope {
     /// fraction `q` (linear interpolation; `q <= 0` gives `0`, `q >= 1`
     /// gives `1`).
     pub fn bound_at_fraction(&self, q: f64) -> f64 {
-        if !(q > 0.0) {
-            return 0.0; // also handles NaN
+        if q.is_nan() || q <= 0.0 {
+            return 0.0;
         }
         let n = self.bins() as f64;
         let t = q * n;

@@ -100,6 +100,10 @@ impl HybridModel {
     /// `out` is bit-identical to the value-returning form. Returns a
     /// [`CombineOutcome`] describing which arm (and convolution route)
     /// ran.
+    // The argument list mirrors `combine` plus the output buffer and
+    // scratch row; collapsing it into a params struct would churn every
+    // routing call site for no clarity gain.
+    #[allow(clippy::too_many_arguments)]
     pub fn combine_into(
         &self,
         g: &RoadGraph,

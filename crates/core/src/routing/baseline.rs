@@ -132,7 +132,7 @@ impl KPathsBaseline {
                 .as_ref()
                 .map(|d| d.prob_within(budget_s))
                 .unwrap_or(1.0);
-            if best.as_ref().map_or(true, |b| probability > b.probability) {
+            if best.as_ref().is_none_or(|b| probability > b.probability) {
                 best = Some(ExpectedTimeBaseline {
                     path,
                     distribution,

@@ -114,16 +114,17 @@ use crate::routing::policy::{
     exchange_safe, BoundMode, BoundPolicy, BudgetGate, ConvCertificate, DominanceMode,
     DominancePolicy, LabelView, PruneCtx, PrunePolicy,
 };
+use crate::sync::{BoundedLru, EpochCell, SeqLock};
 use serde::{Deserialize, Serialize};
 use srt_dist::{Histogram, HistogramBuf, HistogramPool, PoolStats};
 use srt_graph::algo::{DijkstraScratch, Path};
 use srt_graph::bounds::OptimisticBounds;
 use srt_graph::{EdgeId, NodeId};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// One typed budget query: "what is the most reliable way from `source`
@@ -301,7 +302,8 @@ pub struct StatsSnapshot {
 ///
 /// Individual counter updates on the serving path are relaxed and
 /// independent — cheapness there is the point. The *bulk* operations are
-/// coherent with each other via a sequence lock: [`EngineStats::reset`]
+/// coherent with each other via a sequence lock ([`crate::sync::SeqLock`],
+/// model-checked by the `srt-check` seqlock suite): [`EngineStats::reset`]
 /// (and any other whole-struct rewrite) bumps a generation counter to an
 /// odd value for the duration of its stores, and [`EngineStats::snapshot`]
 /// retries until it reads a stable even generation. A snapshot therefore
@@ -312,9 +314,8 @@ pub struct StatsSnapshot {
 /// monotone counters and harmless to rate math.
 #[derive(Default)]
 pub struct EngineStats {
-    /// Seqlock generation: odd while a bulk rewrite (reset) is in flight,
-    /// even and stable otherwise.
-    generation: AtomicU64,
+    /// Seqlock bracketing bulk rewrites against coherent snapshots.
+    seq: SeqLock,
     queries: AtomicU64,
     batches: AtomicU64,
     bounds_cache_hits: AtomicU64,
@@ -338,36 +339,23 @@ impl EngineStats {
     /// is mid-rewrite, so the snapshot reflects either entirely-before or
     /// entirely-after state (see the coherence contract above).
     pub fn snapshot(&self) -> StatsSnapshot {
-        loop {
-            let before = self.generation.load(AtomicOrdering::SeqCst);
-            if before & 1 == 1 {
-                // A rewrite is in flight; wait it out.
-                std::hint::spin_loop();
-                continue;
-            }
-            let snap = StatsSnapshot {
-                queries: self.queries.load(AtomicOrdering::Relaxed),
-                batches: self.batches.load(AtomicOrdering::Relaxed),
-                bounds_cache_hits: self.bounds_cache_hits.load(AtomicOrdering::Relaxed),
-                bounds_cache_misses: self.bounds_cache_misses.load(AtomicOrdering::Relaxed),
-                bounds_evictions: self.bounds_evictions.load(AtomicOrdering::Relaxed),
-                labels_created: self.labels_created.load(AtomicOrdering::Relaxed),
-                labels_expanded: self.labels_expanded.load(AtomicOrdering::Relaxed),
-                incomplete: self.incomplete.load(AtomicOrdering::Relaxed),
-                pool_reuse: self.pool_reuse.load(AtomicOrdering::Relaxed),
-                pool_misses: self.pool_misses.load(AtomicOrdering::Relaxed),
-                lattice_fast_path: self.lattice_fast_path.load(AtomicOrdering::Relaxed),
-                panics: self.panics.load(AtomicOrdering::Relaxed),
-                epoch: self.epoch.load(AtomicOrdering::Relaxed),
-            };
-            // Order the relaxed counter reads before the confirming
-            // generation load.
-            std::sync::atomic::fence(AtomicOrdering::SeqCst);
-            if self.generation.load(AtomicOrdering::SeqCst) == before {
-                return snap;
-            }
-            // A reset completed underneath us; take the whole pass again.
-        }
+        // The seqlock retries the pass while a reset is mid-rewrite and
+        // confirms a stable even generation bracketed the reads.
+        self.seq.read(|| StatsSnapshot {
+            queries: self.queries.load(AtomicOrdering::Relaxed),
+            batches: self.batches.load(AtomicOrdering::Relaxed),
+            bounds_cache_hits: self.bounds_cache_hits.load(AtomicOrdering::Relaxed),
+            bounds_cache_misses: self.bounds_cache_misses.load(AtomicOrdering::Relaxed),
+            bounds_evictions: self.bounds_evictions.load(AtomicOrdering::Relaxed),
+            labels_created: self.labels_created.load(AtomicOrdering::Relaxed),
+            labels_expanded: self.labels_expanded.load(AtomicOrdering::Relaxed),
+            incomplete: self.incomplete.load(AtomicOrdering::Relaxed),
+            pool_reuse: self.pool_reuse.load(AtomicOrdering::Relaxed),
+            pool_misses: self.pool_misses.load(AtomicOrdering::Relaxed),
+            lattice_fast_path: self.lattice_fast_path.load(AtomicOrdering::Relaxed),
+            panics: self.panics.load(AtomicOrdering::Relaxed),
+            epoch: self.epoch.load(AtomicOrdering::Relaxed),
+        })
     }
 
     /// Zeroes every *traffic* counter (e.g. after a sink has spilled a
@@ -376,43 +364,20 @@ impl EngineStats {
     /// concurrent scrape sees all counters from before the reset or all
     /// from after, never a torn mix.
     pub fn reset(&self) {
-        let begun = self.begin_rewrite();
-        self.queries.store(0, AtomicOrdering::Relaxed);
-        self.batches.store(0, AtomicOrdering::Relaxed);
-        self.bounds_cache_hits.store(0, AtomicOrdering::Relaxed);
-        self.bounds_cache_misses.store(0, AtomicOrdering::Relaxed);
-        self.bounds_evictions.store(0, AtomicOrdering::Relaxed);
-        self.labels_created.store(0, AtomicOrdering::Relaxed);
-        self.labels_expanded.store(0, AtomicOrdering::Relaxed);
-        self.incomplete.store(0, AtomicOrdering::Relaxed);
-        self.pool_reuse.store(0, AtomicOrdering::Relaxed);
-        self.pool_misses.store(0, AtomicOrdering::Relaxed);
-        self.lattice_fast_path.store(0, AtomicOrdering::Relaxed);
-        self.panics.store(0, AtomicOrdering::Relaxed);
-        self.end_rewrite(begun);
-    }
-
-    /// Claims the seqlock for a bulk rewrite: flips the generation from
-    /// even to odd, spinning out any concurrent rewriter.
-    fn begin_rewrite(&self) -> u64 {
-        loop {
-            let g = self.generation.load(AtomicOrdering::SeqCst);
-            if g & 1 == 0
-                && self
-                    .generation
-                    .compare_exchange(g, g + 1, AtomicOrdering::SeqCst, AtomicOrdering::SeqCst)
-                    .is_ok()
-            {
-                return g;
-            }
-            std::hint::spin_loop();
-        }
-    }
-
-    /// Releases the seqlock: publishes the rewrite at the next even
-    /// generation.
-    fn end_rewrite(&self, begun: u64) {
-        self.generation.store(begun + 2, AtomicOrdering::SeqCst);
+        self.seq.write(|| {
+            self.queries.store(0, AtomicOrdering::Relaxed);
+            self.batches.store(0, AtomicOrdering::Relaxed);
+            self.bounds_cache_hits.store(0, AtomicOrdering::Relaxed);
+            self.bounds_cache_misses.store(0, AtomicOrdering::Relaxed);
+            self.bounds_evictions.store(0, AtomicOrdering::Relaxed);
+            self.labels_created.store(0, AtomicOrdering::Relaxed);
+            self.labels_expanded.store(0, AtomicOrdering::Relaxed);
+            self.incomplete.store(0, AtomicOrdering::Relaxed);
+            self.pool_reuse.store(0, AtomicOrdering::Relaxed);
+            self.pool_misses.store(0, AtomicOrdering::Relaxed);
+            self.lattice_fast_path.store(0, AtomicOrdering::Relaxed);
+            self.panics.store(0, AtomicOrdering::Relaxed);
+        });
     }
 
     /// Bulk-fills every traffic counter with `v` under the seqlock (test
@@ -421,20 +386,20 @@ impl EngineStats {
     /// assert no torn mix is ever observed).
     #[doc(hidden)]
     pub fn fill_for_tests(&self, v: u64) {
-        let begun = self.begin_rewrite();
-        self.queries.store(v, AtomicOrdering::Relaxed);
-        self.batches.store(v, AtomicOrdering::Relaxed);
-        self.bounds_cache_hits.store(v, AtomicOrdering::Relaxed);
-        self.bounds_cache_misses.store(v, AtomicOrdering::Relaxed);
-        self.bounds_evictions.store(v, AtomicOrdering::Relaxed);
-        self.labels_created.store(v, AtomicOrdering::Relaxed);
-        self.labels_expanded.store(v, AtomicOrdering::Relaxed);
-        self.incomplete.store(v, AtomicOrdering::Relaxed);
-        self.pool_reuse.store(v, AtomicOrdering::Relaxed);
-        self.pool_misses.store(v, AtomicOrdering::Relaxed);
-        self.lattice_fast_path.store(v, AtomicOrdering::Relaxed);
-        self.panics.store(v, AtomicOrdering::Relaxed);
-        self.end_rewrite(begun);
+        self.seq.write(|| {
+            self.queries.store(v, AtomicOrdering::Relaxed);
+            self.batches.store(v, AtomicOrdering::Relaxed);
+            self.bounds_cache_hits.store(v, AtomicOrdering::Relaxed);
+            self.bounds_cache_misses.store(v, AtomicOrdering::Relaxed);
+            self.bounds_evictions.store(v, AtomicOrdering::Relaxed);
+            self.labels_created.store(v, AtomicOrdering::Relaxed);
+            self.labels_expanded.store(v, AtomicOrdering::Relaxed);
+            self.incomplete.store(v, AtomicOrdering::Relaxed);
+            self.pool_reuse.store(v, AtomicOrdering::Relaxed);
+            self.pool_misses.store(v, AtomicOrdering::Relaxed);
+            self.lattice_fast_path.store(v, AtomicOrdering::Relaxed);
+            self.panics.store(v, AtomicOrdering::Relaxed);
+        });
     }
 }
 
@@ -670,7 +635,7 @@ impl EngineBuilder {
         } = self;
         let epoch = ModelEpoch::resolve(cost, &cfg, certificate, 0);
         RoutingEngine {
-            epoch: RwLock::new(Arc::new(epoch)),
+            epoch: EpochCell::new(epoch),
             cfg,
             gate: BudgetGate {
                 enabled: cfg.budget_gate,
@@ -710,10 +675,9 @@ pub struct ModelEpoch {
     /// envelope mode.
     min_out_span: Option<Vec<f64>>,
     /// Target-keyed cache of the reverse optimistic-bound Dijkstra, with
-    /// LRU eviction at the engine's capacity.
-    bounds_cache: RwLock<HashMap<NodeId, BoundsEntry>>,
-    /// Monotone logical clock stamping bounds-cache uses (LRU order).
-    bounds_clock: AtomicU64,
+    /// LRU eviction at the engine's capacity ([`crate::sync::BoundedLru`],
+    /// model-checked by the `srt-check` LRU suite).
+    bounds_cache: BoundedLru<NodeId, Arc<OptimisticBounds>>,
 }
 
 impl ModelEpoch {
@@ -755,8 +719,7 @@ impl ModelEpoch {
             certificate,
             envelope,
             min_out_span,
-            bounds_cache: RwLock::new(HashMap::new()),
-            bounds_clock: AtomicU64::new(0),
+            bounds_cache: BoundedLru::new(),
         }
     }
 
@@ -786,19 +749,6 @@ impl ModelEpoch {
         self.envelope.as_ref()
     }
 
-    /// This epoch's bounds cache, poison-tolerantly (see
-    /// `RoutingEngine::lock_contexts` for the recovery contract).
-    fn bounds_read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<NodeId, BoundsEntry>> {
-        self.bounds_cache
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
-
-    fn bounds_write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<NodeId, BoundsEntry>> {
-        self.bounds_cache
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
 }
 
 /// Typed rejection of a [`RoutingEngine::swap_model`] candidate. A
@@ -857,8 +807,10 @@ impl std::error::Error for SwapError {}
 pub struct RoutingEngine {
     /// The live model epoch. Queries pin it once at entry (read lock +
     /// `Arc` clone); [`RoutingEngine::swap_model`] replaces it under a
-    /// momentary write lock. Everything model-derived lives inside.
-    epoch: RwLock<Arc<ModelEpoch>>,
+    /// momentary write lock ([`crate::sync::EpochCell`], model-checked by
+    /// the `srt-check` epoch suite). Everything model-derived lives
+    /// inside.
+    epoch: EpochCell<ModelEpoch>,
     cfg: RouterConfig,
     gate: BudgetGate,
     bound: BoundPolicy,
@@ -870,13 +822,6 @@ pub struct RoutingEngine {
     /// Fault injection (test support): panic while routing this exact
     /// `(source, target)` pair. See [`EngineBuilder::panic_on_query`].
     panic_on: Option<(NodeId, NodeId)>,
-}
-
-/// One bounds-cache slot: the shared bounds plus its last-use stamp
-/// (updated under the read lock, so hits stay concurrent).
-struct BoundsEntry {
-    bounds: Arc<OptimisticBounds>,
-    last_used: AtomicU64,
 }
 
 /// Cap on idle contexts the engine retains (a context is small — its
@@ -927,13 +872,13 @@ impl RoutingEngine {
     /// subsequent swaps; the epoch's storage is freed when the last pin
     /// drops.
     pub fn current_epoch(&self) -> Arc<ModelEpoch> {
-        Arc::clone(&self.epoch_read())
+        self.epoch.pin()
     }
 
     /// The id of the epoch currently serving (`0` at build, `+1` per
     /// successful [`RoutingEngine::swap_model`]).
     pub fn epoch(&self) -> u64 {
-        self.epoch_read().id
+        self.epoch.with(|live| live.id)
     }
 
     /// Atomically replaces the serving model with `model`, keeping the
@@ -960,10 +905,10 @@ impl RoutingEngine {
         // write lock, so concurrent swaps serialize without ever running
         // the (expensive) certificate recompute inside the lock.
         let prepared = ModelEpoch::resolve(cost, &self.cfg, None, 0);
-        let mut live = self.epoch_write();
-        let id = live.id + 1;
-        *live = Arc::new(ModelEpoch { id, ..prepared });
-        drop(live);
+        let id = self.epoch.publish_with(|live| {
+            let id = live.id + 1;
+            (Arc::new(ModelEpoch { id, ..prepared }), id)
+        });
         self.counters.epoch.store(id, AtomicOrdering::SeqCst);
         Ok(id)
     }
@@ -1015,20 +960,6 @@ impl RoutingEngine {
             env.validate().map_err(SwapError::Envelope)?;
         }
         Ok(())
-    }
-
-    /// The live epoch pointer, poison-tolerantly (the guarded value is a
-    /// single `Arc`, structurally valid after any interrupted operation).
-    fn epoch_read(&self) -> std::sync::RwLockReadGuard<'_, Arc<ModelEpoch>> {
-        self.epoch
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
-
-    fn epoch_write(&self) -> std::sync::RwLockWriteGuard<'_, Arc<ModelEpoch>> {
-        self.epoch
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// A fresh per-worker scratch context.
@@ -1098,27 +1029,20 @@ impl RoutingEngine {
             let _guard = self.lock_contexts();
             panic!("poisoning the context pool");
         }));
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = self.epoch_write();
-            panic!("poisoning the epoch pointer");
-        }));
-        let epoch = self.current_epoch();
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = epoch.bounds_write();
-            panic!("poisoning the bounds cache");
-        }));
+        self.epoch.poison_for_tests();
+        self.current_epoch().bounds_cache.poison_for_tests();
     }
 
     /// Drops every cached per-target bound of the current epoch (useful
     /// for cold-start measurements, or to bound memory on workloads with
     /// unbounded target sets).
     pub fn clear_bounds_cache(&self) {
-        self.current_epoch().bounds_write().clear();
+        self.current_epoch().bounds_cache.clear();
     }
 
     /// Number of distinct targets cached by the current epoch.
     pub fn bounds_cached(&self) -> usize {
-        self.current_epoch().bounds_read().len()
+        self.current_epoch().bounds_cache.len()
     }
 
     /// Validates a query against this engine's graph and configuration.
@@ -1303,13 +1227,11 @@ impl RoutingEngine {
     /// logical-use stamp under the read lock; an insert past capacity
     /// evicts the stalest entries (and counts them).
     fn bounds_for(&self, epoch: &ModelEpoch, target: NodeId) -> Arc<OptimisticBounds> {
-        if let Some(entry) = epoch.bounds_read().get(&target) {
-            let stamp = epoch.bounds_clock.fetch_add(1, AtomicOrdering::Relaxed);
-            entry.last_used.store(stamp, AtomicOrdering::Relaxed);
+        if let Some(bounds) = epoch.bounds_cache.get(&target) {
             self.counters
                 .bounds_cache_hits
                 .fetch_add(1, AtomicOrdering::Relaxed);
-            return Arc::clone(&entry.bounds);
+            return bounds;
         }
         // Compute outside the lock; a concurrent duplicate computation is
         // benign (the Dijkstra is deterministic) and the entry converges.
@@ -1319,45 +1241,19 @@ impl RoutingEngine {
         self.counters
             .bounds_cache_misses
             .fetch_add(1, AtomicOrdering::Relaxed);
-        let mut cache = epoch.bounds_write();
-        // Insert first, trim second. The historical shape — decide
-        // whether to evict by checking `contains_key` and `len` *before*
-        // inserting — was a read→write-upgrade hazard in disguise: N
-        // workers that all missed on distinct fresh targets each saw
-        // `len == capacity - k` under their own write-lock tenure, each
-        // skipped eviction, and the cache transiently overshot its bound
-        // by up to N-1 entries. Adopting the entry first and then
-        // trimming to capacity makes the invariant structural: whatever
-        // interleaving got us here, the cache leaves this critical
-        // section at `len <= capacity`. The just-inserted entry is never
-        // the victim — it carries the newest stamp by construction (and
-        // capacity is clamped to at least one).
-        let stamp = epoch.bounds_clock.fetch_add(1, AtomicOrdering::Relaxed);
-        let result = cache
-            .entry(target)
-            .or_insert(BoundsEntry {
-                bounds,
-                last_used: AtomicU64::new(stamp),
-            })
-            .bounds
-            .clone();
-        while cache.len() > self.bounds_cache_capacity {
-            // Evict the least recently used entry. A linear scan is fine:
-            // eviction only happens once the (generous) capacity is hit,
-            // and it is already paying for a reverse Dijkstra.
-            let stale = cache
-                .iter()
-                .min_by_key(|(_, e)| e.last_used.load(AtomicOrdering::Relaxed))
-                .map(|(&k, _)| k);
-            match stale {
-                Some(stale) => {
-                    cache.remove(&stale);
-                    self.counters
-                        .bounds_evictions
-                        .fetch_add(1, AtomicOrdering::Relaxed);
-                }
-                None => break,
-            }
+        // Insert first, trim second ([`crate::sync::BoundedLru`]): the
+        // historical check-then-insert shape let N concurrent misses each
+        // skip eviction and transiently overshoot capacity by N-1 — now
+        // structural in the LRU and proven dead by the `srt-check` model
+        // suite rather than stress-tested dead.
+        let (result, evicted) =
+            epoch
+                .bounds_cache
+                .insert_and_trim(target, bounds, self.bounds_cache_capacity);
+        if evicted > 0 {
+            self.counters
+                .bounds_evictions
+                .fetch_add(evicted, AtomicOrdering::Relaxed);
         }
         result
     }

@@ -1,0 +1,425 @@
+//! The engine's reusable concurrency-protocol cores, extracted so the
+//! `srt-check` model checker can drive them under exhaustive
+//! interleaving.
+//!
+//! Everything here is written against [`sys`] — `srt-check`'s
+//! sync-primitive switch. In a normal build `sys` *is* `std::sync` (the
+//! re-exports are zero-cost, codegen-identical); under
+//! `RUSTFLAGS="--cfg srt_check"` every atomic and lock operation yields
+//! to the checker's cooperative scheduler, and the model suites in
+//! `crates/check/tests/` prove the protocols under **every**
+//! interleaving at the preemption bound, not just the ones a stress
+//! test happened to sample.
+//!
+//! The three cores:
+//!
+//! * [`SeqLock`] — the stats seqlock (PR 8): bulk rewrites flip a
+//!   generation counter odd; readers retry until a stable even
+//!   generation brackets their pass. Model: no torn snapshot, the
+//!   generation always returns to even.
+//! * [`BoundedLru`] — the insert-then-trim bounds cache (PR 8): misses
+//!   insert first and trim second, so the capacity bound is structural
+//!   at every critical-section exit. Model: size never exceeds capacity
+//!   at any interleaving point.
+//! * [`EpochCell`] — the pin/publish epoch swap (PR 8): readers pin an
+//!   immutable `Arc` snapshot once; writers replace the pointer under a
+//!   momentary write lock. Model: a pinned epoch never observes
+//!   neighboring epochs' state.
+//!
+//! The poison-tolerance contract of `routing::engine` carries over:
+//! every lock acquisition in this module recovers the guard via
+//! [`PoisonError::into_inner`], because the guarded state is
+//! structurally valid after any interrupted operation (see
+//! `RoutingEngine::lock_contexts` for the full argument).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, PoisonError};
+
+pub use srt_check::sync as sys;
+
+use sys::atomic::{AtomicU64, Ordering};
+
+// ---------------------------------------------------------------------------
+// SeqLock
+// ---------------------------------------------------------------------------
+
+/// A sequence lock over external state: coordinates bulk rewrites of a
+/// set of relaxed atomics against coherent multi-value reads, without
+/// ever blocking the writers of *individual* values.
+///
+/// The generation counter is odd while a rewrite is in flight, even and
+/// stable otherwise. [`SeqLock::read`] retries its closure until an
+/// even generation brackets the whole pass; [`SeqLock::write`] claims
+/// odd, runs the closure, publishes at the next even value.
+#[derive(Default)]
+pub struct SeqLock {
+    generation: AtomicU64,
+}
+
+impl SeqLock {
+    /// A new lock at generation 0 (even: quiescent).
+    pub const fn new() -> Self {
+        SeqLock {
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs `body` until a pass is bracketed by one stable even
+    /// generation — the result then reflects entirely-before or
+    /// entirely-after state of any concurrent [`SeqLock::write`], never
+    /// a torn mix.
+    pub fn read<T>(&self, mut body: impl FnMut() -> T) -> T {
+        loop {
+            let before = self.generation.load(Ordering::SeqCst);
+            if before & 1 == 1 {
+                // A rewrite is in flight; wait it out.
+                sys::spin_loop();
+                continue;
+            }
+            let value = body();
+            // Order the (relaxed) reads inside `body` before the
+            // confirming generation load.
+            sys::atomic::fence(Ordering::SeqCst);
+            if self.generation.load(Ordering::SeqCst) == before {
+                return value;
+            }
+            // A rewrite completed underneath us; take the pass again.
+        }
+    }
+
+    /// Runs `body` as a claimed bulk rewrite: generation odd for its
+    /// duration, published at the next even value. Concurrent writers
+    /// serialize on the claim.
+    pub fn write<R>(&self, body: impl FnOnce() -> R) -> R {
+        let begun = self.claim();
+        let out = body();
+        self.release(begun);
+        out
+    }
+
+    /// Claims the lock: flips the generation from even to odd, spinning
+    /// out any concurrent rewriter. Returns the claimed (even)
+    /// generation for [`SeqLock::release`].
+    fn claim(&self) -> u64 {
+        loop {
+            let g = self.generation.load(Ordering::SeqCst);
+            if g & 1 == 0
+                && self
+                    .generation
+                    .compare_exchange(g, g + 1, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                return g;
+            }
+            sys::spin_loop();
+        }
+    }
+
+    /// Releases the lock: publishes the rewrite at the next even
+    /// generation.
+    fn release(&self, begun: u64) {
+        self.generation.store(begun + 2, Ordering::SeqCst);
+    }
+
+    /// The current generation (model/test support: even means
+    /// quiescent).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// **Deliberately broken** write for the checker's planted-bug
+    /// suite: runs the rewrite *without claiming an odd generation*, so
+    /// a concurrent [`SeqLock::read`] that completes before the final
+    /// publication confirms against an unchanged generation and returns
+    /// a torn mix. The seqlock model must catch this — it proves the
+    /// explorer explores. Only exists under the checker cfg.
+    #[cfg(srt_check)]
+    pub fn write_unclaimed<R>(&self, body: impl FnOnce() -> R) -> R {
+        let begun = self.generation.load(Ordering::SeqCst);
+        let out = body();
+        self.generation.store(begun + 2, Ordering::SeqCst);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BoundedLru
+// ---------------------------------------------------------------------------
+
+/// One cache slot: the value plus its last-use stamp (updated under the
+/// *read* lock, so hits stay concurrent).
+struct LruEntry<V> {
+    value: V,
+    last_used: AtomicU64,
+}
+
+/// A capacity-bounded LRU map with lock-free-stamp recency: the engine's
+/// per-target bounds cache (PR 8), generic over key and value.
+///
+/// * [`BoundedLru::get`] takes the read lock only — a hit refreshes the
+///   entry's stamp from a monotone logical clock without writer
+///   exclusion.
+/// * [`BoundedLru::insert_and_trim`] adopts the entry *first* and trims
+///   to capacity *second*, making `len <= capacity` structural at every
+///   critical-section exit — the historical check-then-insert shape let
+///   N concurrent misses each skip eviction and transiently overshoot
+///   by N−1 (the PR 8 bug, now model-checked dead).
+pub struct BoundedLru<K, V> {
+    map: sys::RwLock<HashMap<K, LruEntry<V>>>,
+    /// Monotone logical clock stamping uses (LRU order).
+    clock: AtomicU64,
+}
+
+impl<K, V> Default for BoundedLru<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> BoundedLru<K, V> {
+    /// A new empty cache.
+    pub fn new() -> Self {
+        BoundedLru {
+            map: sys::RwLock::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Copy, V: Clone> BoundedLru<K, V> {
+    fn read_map(&self) -> sys::RwLockReadGuard<'_, HashMap<K, LruEntry<V>>> {
+        self.map.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_map(&self) -> sys::RwLockWriteGuard<'_, HashMap<K, LruEntry<V>>> {
+        self.map.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks `key` up, refreshing its recency stamp on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let map = self.read_map();
+        let entry = map.get(key)?;
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        entry.last_used.store(stamp, Ordering::Relaxed);
+        Some(entry.value.clone())
+    }
+
+    /// Adopts `(key, value)` (keeping a pre-existing entry for the key —
+    /// concurrent duplicate computations converge on the first one in),
+    /// then trims stalest-first to `capacity`. Returns the resident
+    /// value and the number of evictions. The just-inserted entry is
+    /// never the victim: it carries the newest stamp by construction
+    /// (and callers clamp capacity to at least one).
+    pub fn insert_and_trim(&self, key: K, value: V, capacity: usize) -> (V, u64) {
+        let mut map = self.write_map();
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let resident = map
+            .entry(key)
+            .or_insert(LruEntry {
+                value,
+                last_used: AtomicU64::new(stamp),
+            })
+            .value
+            .clone();
+        let mut evicted = 0u64;
+        while map.len() > capacity {
+            // Evict the least recently used entry. A linear scan is
+            // fine: eviction only happens once the (generous) capacity
+            // is hit, and callers are already paying for the miss that
+            // produced the value.
+            let stale = map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(&k, _)| k);
+            match stale {
+                Some(stale) => {
+                    map.remove(&stale);
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
+        (resident, evicted)
+    }
+
+    /// **Deliberately broken** insert for the checker's planted-bug
+    /// suite: the historical check-then-insert shape — decide whether
+    /// trimming is needed *before* adopting the entry, in a separate
+    /// lock tenure. Two concurrent misses both observe `len <
+    /// capacity`, both skip eviction, and the cache transiently exceeds
+    /// its bound — the LRU model must catch it. Only exists under the
+    /// checker cfg.
+    #[cfg(srt_check)]
+    pub fn insert_check_then_act_for_models(&self, key: K, value: V, capacity: usize) -> V {
+        let needs_evict = { self.read_map().len() >= capacity };
+        if needs_evict {
+            let mut map = self.write_map();
+            let stale = map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(&k, _)| k);
+            if let Some(stale) = stale {
+                map.remove(&stale);
+            }
+        }
+        let mut map = self.write_map();
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        map.entry(key)
+            .or_insert(LruEntry {
+                value,
+                last_used: AtomicU64::new(stamp),
+            })
+            .value
+            .clone()
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.read_map().len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.read_map().is_empty()
+    }
+
+    /// Drops every entry.
+    pub fn clear(&self) {
+        self.write_map().clear();
+    }
+
+    /// Poisons the map's lock (test support for the poison-tolerance
+    /// contract): panics while holding the write guard, inside
+    /// `catch_unwind`.
+    #[doc(hidden)]
+    pub fn poison_for_tests(&self) {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = self.write_map();
+            panic!("poisoning the bounded-lru map");
+        }));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EpochCell
+// ---------------------------------------------------------------------------
+
+/// The pin/publish cell behind zero-downtime model swaps (PR 8): a
+/// swappable `Arc` snapshot. Readers pin the live value once (a read
+/// lock and an `Arc` clone) and never look back; writers replace the
+/// pointer
+/// under a momentary write lock. A pin is immutable and survives any
+/// number of subsequent publishes; the pinned storage is freed when the
+/// last pin drops.
+pub struct EpochCell<T> {
+    slot: sys::RwLock<Arc<T>>,
+}
+
+impl<T> EpochCell<T> {
+    /// A cell serving `value`.
+    pub fn new(value: T) -> Self {
+        EpochCell {
+            slot: sys::RwLock::new(Arc::new(value)),
+        }
+    }
+
+    fn read_slot(&self) -> sys::RwLockReadGuard<'_, Arc<T>> {
+        // Poison-tolerant: the guarded value is a single `Arc`,
+        // structurally valid after any interrupted operation.
+        self.slot.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Pins the live value: one read-lock acquisition plus one `Arc`
+    /// clone.
+    pub fn pin(&self) -> Arc<T> {
+        Arc::clone(&self.read_slot())
+    }
+
+    /// Runs `f` on the live value without cloning the `Arc` (the read
+    /// lock is held for the duration — keep `f` cheap).
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        f(&self.read_slot())
+    }
+
+    /// Publishes a successor: `f` sees the currently-live value (under
+    /// the write lock, so concurrent publishers serialize) and returns
+    /// the replacement plus a caller result. Expensive preparation
+    /// belongs *outside* this call; `f` should only claim identity
+    /// (e.g. the next epoch id) and wrap.
+    pub fn publish_with<R>(&self, f: impl FnOnce(&Arc<T>) -> (Arc<T>, R)) -> R {
+        let mut slot = self.slot.write().unwrap_or_else(PoisonError::into_inner);
+        let (next, out) = f(&slot);
+        *slot = next;
+        out
+    }
+
+    /// Poisons the cell's lock (test support for the poison-tolerance
+    /// contract): panics while holding the write guard, inside
+    /// `catch_unwind`.
+    #[doc(hidden)]
+    pub fn poison_for_tests(&self) {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = self.slot.write();
+            panic!("poisoning the epoch cell");
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seqlock_roundtrip_and_generation_parity() {
+        let lock = SeqLock::new();
+        assert_eq!(lock.generation(), 0);
+        lock.write(|| {});
+        assert_eq!(lock.generation(), 2);
+        assert_eq!(lock.read(|| 7), 7);
+        assert_eq!(lock.generation() & 1, 0);
+    }
+
+    #[test]
+    fn lru_insert_get_trim() {
+        let lru: BoundedLru<u32, u64> = BoundedLru::new();
+        assert!(lru.is_empty());
+        let (v, ev) = lru.insert_and_trim(1, 10, 2);
+        assert_eq!((v, ev), (10, 0));
+        let (v, ev) = lru.insert_and_trim(2, 20, 2);
+        assert_eq!((v, ev), (20, 0));
+        // Refresh 1 so 2 is the eviction victim.
+        assert_eq!(lru.get(&1), Some(10));
+        let (v, ev) = lru.insert_and_trim(3, 30, 2);
+        assert_eq!((v, ev), (30, 1));
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(&2), None);
+        // Duplicate insert converges on the resident value.
+        let (v, ev) = lru.insert_and_trim(1, 99, 2);
+        assert_eq!((v, ev), (10, 0));
+        lru.clear();
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn epoch_cell_pin_survives_publish() {
+        let cell = EpochCell::new(1u64);
+        let pin = cell.pin();
+        let out = cell.publish_with(|live| (Arc::new(**live + 1), "published"));
+        assert_eq!(out, "published");
+        assert_eq!(*pin, 1);
+        assert_eq!(*cell.pin(), 2);
+        assert_eq!(cell.with(|v| *v), 2);
+    }
+
+    #[test]
+    fn poison_is_tolerated() {
+        let lru: BoundedLru<u32, u64> = BoundedLru::new();
+        lru.insert_and_trim(1, 10, 4);
+        lru.poison_for_tests();
+        assert_eq!(lru.get(&1), Some(10));
+        let cell = EpochCell::new(5u64);
+        cell.poison_for_tests();
+        assert_eq!(*cell.pin(), 5);
+    }
+}

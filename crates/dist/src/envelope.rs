@@ -269,13 +269,13 @@ impl MassEnvelope {
         let mut bounds = vec![0.0; n];
         for w in hull.windows(2) {
             let (a, b) = (w[0], w[1]);
-            for k in a..=b {
+            for (k, slot) in bounds.iter_mut().enumerate().take(b + 1).skip(a) {
                 let t = if b == a {
                     0.0
                 } else {
                     (k - a) as f64 / (b - a) as f64
                 };
-                bounds[k] = (self.bounds[a] * (1.0 - t) + self.bounds[b] * t).min(1.0);
+                *slot = (self.bounds[a] * (1.0 - t) + self.bounds[b] * t).min(1.0);
             }
         }
         MassEnvelope {

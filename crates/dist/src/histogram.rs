@@ -686,7 +686,7 @@ mod tests {
         // A zero-mass *prefix*: tiny q lands in the first positive bucket.
         let shifted = Histogram::new(0.0, 1.0, vec![0.0, 0.0, 1.0]).unwrap();
         let q = shifted.quantile(1e-12);
-        assert!(q >= 2.0 && q < 3.0, "got {q}");
+        assert!((2.0..3.0).contains(&q), "got {q}");
     }
 
     #[test]

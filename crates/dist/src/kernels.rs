@@ -476,7 +476,9 @@ impl<'a> CdfScanner<'a> {
         if t >= self.probs.len() as f64 {
             return 1.0;
         }
-        let full = t.floor() as usize;
+        // `t > 0` here, so the `as usize` cast truncates toward zero —
+        // exactly the floor, without the libm call.
+        let full = t as usize;
         while self.idx < full {
             self.cum += self.probs[self.idx];
             self.idx += 1;

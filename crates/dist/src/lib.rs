@@ -85,6 +85,8 @@
 //! assert!((path.prob(2) - 0.25).abs() < 1e-12);
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod dominance;

@@ -7,6 +7,8 @@
 //! Output is GitHub-flavoured Markdown, ready to paste into
 //! EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 use srt_eval::experiments::{
     ablation, buckets, dependence, efficiency, intro, model_quality, motivating, policy, quality,
     training_size,

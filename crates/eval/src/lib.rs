@@ -17,6 +17,8 @@
 //! | A2 | bucket-count sweep | [`experiments::buckets`] |
 //! | A3 | training-size sweep | [`experiments::training_size`] |
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod report;
 pub mod setup;

@@ -36,6 +36,8 @@
 //! assert_eq!(path.edges.len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod algo;
 pub mod bounds;
 pub mod builder;

@@ -542,10 +542,10 @@ mod tests {
             for (a, b) in proba.iter().zip(&value) {
                 assert_eq!(a.to_bits(), b.to_bits());
             }
-            for class in 0..2 {
+            for (class, expected) in value.iter().enumerate() {
                 assert_eq!(
                     c.predict_proba_class(&row, class).to_bits(),
-                    value[class].to_bits()
+                    expected.to_bits()
                 );
             }
         }

@@ -34,6 +34,8 @@
 //! assert_eq!(pred.len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub(crate) mod codec;
 pub mod dataset;
 pub mod error;

@@ -16,6 +16,8 @@
 //! the old epoch still serving), and a graceful drain — exiting
 //! non-zero on the first violation.
 
+#![forbid(unsafe_code)]
+
 use srt_core::model::io as model_io;
 use srt_core::model::training::{train_hybrid, TrainingConfig};
 use srt_core::routing::{EngineBuilder, Query, RoutingEngine};

@@ -78,13 +78,6 @@ impl Json {
         }
     }
 
-    /// Serializes the value.
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -114,6 +107,16 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+}
+
+/// Serialization: `json.to_string()` comes from this impl via the
+/// blanket `ToString`.
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
     }
 }
 

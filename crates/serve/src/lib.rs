@@ -39,6 +39,8 @@
 //! ([`EngineError`](srt_core::routing::EngineError) rendered as
 //! `{"error":{"kind",…}}`), `500` contained search panics, `503` shed.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod handlers;
 pub mod http;

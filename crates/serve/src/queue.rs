@@ -13,9 +13,15 @@
 //! queued — `pop` returns `None` only once the queue is both closed
 //! *and* empty, which is what makes the server's graceful drain
 //! lossless.
+//!
+//! The close-then-drain machine is written against
+//! `srt_core::sync::sys` (plain `std::sync` in normal builds), so the
+//! `srt-check` queue model proves losslessness under every interleaving
+//! at the preemption bound.
 
+use srt_core::sync::sys::{Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::PoisonError;
 
 /// A fixed-capacity multi-producer/multi-consumer queue with
 /// non-blocking admission and blocking, drain-to-empty consumption.

@@ -29,6 +29,8 @@
 //! could only approximate with data density. Every sampler is seeded and
 //! deterministic.
 
+#![forbid(unsafe_code)]
+
 pub mod congestion;
 pub mod ground_truth;
 pub mod network;

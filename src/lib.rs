@@ -13,6 +13,8 @@
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
+#![forbid(unsafe_code)]
+
 pub use srt_core as core;
 pub use srt_dist as dist;
 pub use srt_eval as eval;

@@ -6,6 +6,8 @@
 //! frozen read-only buffer, and the [`Buf`]/[`BufMut`] traits with the
 //! corresponding `get_*` readers on `&[u8]`.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Deref;
 
 /// A growable byte buffer (thin wrapper over `Vec<u8>`).

@@ -14,6 +14,8 @@
 //! body exactly once, as the real harness does, so CI can smoke-test the
 //! bench suite without paying for measurement.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

@@ -13,6 +13,8 @@
 //! its case index and message but is not minimized), persisted failure
 //! regressions, and the full strategy combinator zoo.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

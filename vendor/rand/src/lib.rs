@@ -10,6 +10,8 @@
 //! gen_bool}` for the unsigned/float ranges the stack draws from, and
 //! `seq::SliceRandom::{shuffle, choose}`.
 
+#![forbid(unsafe_code)]
+
 /// Low-level entropy source: 64 random bits per call.
 pub trait RngCore {
     /// The next 64 random bits.

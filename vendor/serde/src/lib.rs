@@ -9,6 +9,8 @@
 //! bounds keep compiling. Swapping this stub for the real crate is a
 //! `Cargo.toml` change only.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Marker stand-in for `serde::Serialize`; blanket-implemented.

@@ -7,6 +7,8 @@
 //! — no serde serializer is ever invoked. These derives therefore expand
 //! to nothing: the attribute compiles, and no impls are generated.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Expands to nothing; satisfies `#[derive(Serialize)]`.
