@@ -1,25 +1,40 @@
-//! Closed-loop serving-latency bench for `srt-serve` — the repo's first
-//! perf datapoint *behind a socket* rather than in-process.
+//! Closed-loop serving-latency bench for `srt-serve` — the repo's perf
+//! datapoint *behind a socket* rather than in-process.
 //!
-//! Not a criterion bench: the quantity under test is the client-observed
-//! latency distribution (p50/p99/p999) of a real server under two
-//! regimes, plus the load-shedding contract itself:
+//! Not a criterion bench: the quantities under test are the
+//! client-observed latency distribution (p50/p99/p999) and the accepted
+//! throughput of a real server, measured across the **two serving
+//! machineries** behind the same wire protocol:
 //!
-//! * **uncontended** — as many closed-loop clients as workers; every
-//!   connection is admitted, latencies are pure connect + service time.
-//! * **2× overload** — twice as many clients as the server can hold
-//!   (workers + queue). The bounded queue must *shed* the excess with
-//!   immediate `503`s, keeping the p99 of **accepted** requests within
-//!   3× the uncontended p99 — overload degrades into refusals, not into
-//!   unbounded queueing delay. The bench asserts both.
+//! * **legacy** (`max_batch 1`) — thread-per-worker connection
+//!   dispatch with a bounded connection queue,
+//! * **batched** (`max_batch 8`) — the continuous-batching planes:
+//!   nonblocking connection loop, request-granular dispatch queue,
+//!   micro-batched engine calls.
 //!
-//! Every client runs connect-per-request (admission is per connection),
-//! and the uncontended phase double-checks bitwise parity between HTTP
-//! answers and direct `RoutingEngine::route` calls. Before shutdown the
-//! bench scrapes `/metrics` so the committed datapoint carries the
-//! server's own view (shed counter — cross-checked against the clients'
-//! 503 count — latency histogram totals, serving epoch) next to the
-//! client-observed percentiles. Output is one JSON document on stdout
+//! Each machinery runs the same two regimes: **uncontended** (as many
+//! closed-loop clients as workers; pure connect + service time) and
+//! **2× overload** (twice the server's holding capacity in closed-loop
+//! clients; the bounded queue sheds the excess with immediate `503`s).
+//! The committed `batching` block then certifies the continuous-batching
+//! contract on this machine:
+//!
+//! * accepted throughput at 2× overload ≥ **1.3×** the legacy path's
+//!   (request-granular admission wastes no accepted work on connection
+//!   churn and refuses excess without burning a thread per refusal),
+//! * uncontended p50 within **10%** of the legacy single-request path
+//!   (the inline-when-idle fast path: a lone client pays no
+//!   cross-thread handoff), and
+//! * a parked keep-alive fleet (1000 connections) holds **without
+//!   thread-per-connection** while new traffic stays fast behind it.
+//!
+//! Both machineries double-check bitwise parity between HTTP answers
+//! and direct `RoutingEngine::route` calls, and the final `/metrics`
+//! scrape (batched server) is committed alongside the client-observed
+//! numbers — including the new `srt_serve_batch_size` histogram,
+//! `srt_serve_pipelined_total` and `srt_serve_inflight_requests`
+//! families, with the requests-total/histogram coherence asserted on
+//! the scraped page itself. Output is one JSON document on stdout
 //! (committed as `BENCH_serve.json`); `--test` runs a fast smoke with
 //! the assertions that are meaningful at tiny sample sizes.
 
@@ -34,13 +49,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-// Sized for the smallest CI box (1 core): the latency under test is
-// queueing behavior, not scheduler contention between bench threads.
-// The queue must still absorb a same-instant reconnect burst from the
-// uncontended clients (push beats the popping worker's condvar wakeup)
-// so that phase never sheds.
+// Sized for the smallest CI box (1 core): the quantity under test is
+// queueing/dispatch behavior, not scheduler contention between bench
+// threads. Identical knobs for both machineries keep the comparison
+// honest — same worker count, same queue capacity, same offered load.
 const WORKERS: usize = 1;
 const QUEUE_CAPACITY: usize = 1;
+const MAX_BATCH: usize = 8;
 /// How long a shed client waits before retrying — the backoff the 503
 /// body asks for. Without it the refusals themselves become a retry
 /// storm that starves the workers.
@@ -58,19 +73,27 @@ struct PhaseOutcome {
     latencies_s: Vec<f64>,
     shed: u64,
     errors: u64,
+    elapsed_s: f64,
+}
+
+impl PhaseOutcome {
+    /// Accepted (200-answered) requests per wall-clock second.
+    fn accepted_per_s(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.latencies_s.len() as f64 / self.elapsed_s
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Runs `clients` closed-loop connect-per-request drivers for
 /// `per_client` attempts each. A `503` counts as shed (no latency
 /// sample); a `200` contributes its client-observed latency.
-fn drive(
-    addr: SocketAddr,
-    queries: &[Query],
-    clients: usize,
-    per_client: usize,
-) -> PhaseOutcome {
+fn drive(addr: SocketAddr, queries: &[Query], clients: usize, per_client: usize) -> PhaseOutcome {
     let shed = Arc::new(AtomicU64::new(0));
     let errors = Arc::new(AtomicU64::new(0));
+    let started_phase = Instant::now();
     let handles: Vec<_> = (0..clients)
         .map(|c| {
             let shed = Arc::clone(&shed);
@@ -108,21 +131,26 @@ fn drive(
         .into_iter()
         .flat_map(|h| h.join().expect("client thread"))
         .collect();
+    let elapsed_s = started_phase.elapsed().as_secs_f64();
     latencies_s.sort_by(|a, b| a.partial_cmp(b).unwrap());
     PhaseOutcome {
         latencies_s,
         shed: shed.load(Ordering::Relaxed),
         errors: errors.load(Ordering::Relaxed),
+        elapsed_s,
     }
 }
 
 fn phase_json(name: &str, p: &PhaseOutcome) -> String {
     format!(
-        "  \"{name}\": {{\n    \"samples\": {},\n    \"shed\": {},\n    \"errors\": {},\n    \
-         \"p50_s\": {:?},\n    \"p99_s\": {:?},\n    \"p999_s\": {:?}\n  }}",
+        "    \"{name}\": {{\n      \"samples\": {},\n      \"shed\": {},\n      \"errors\": {},\n      \
+         \"elapsed_s\": {:?},\n      \"accepted_per_s\": {:?},\n      \
+         \"p50_s\": {:?},\n      \"p99_s\": {:?},\n      \"p999_s\": {:?}\n    }}",
         p.latencies_s.len(),
         p.shed,
         p.errors,
+        p.elapsed_s,
+        p.accepted_per_s(),
         percentile(&p.latencies_s, 0.50),
         percentile(&p.latencies_s, 0.99),
         percentile(&p.latencies_s, 0.999),
@@ -130,7 +158,7 @@ fn phase_json(name: &str, p: &PhaseOutcome) -> String {
 }
 
 /// Bitwise parity spot-check: HTTP answers equal direct engine answers.
-fn check_parity(addr: SocketAddr, engine: &RoutingEngine, queries: &[Query]) {
+fn check_parity(addr: SocketAddr, engine: &RoutingEngine, queries: &[Query], what: &str) {
     let mut conn = Client::connect(addr).expect("parity connect");
     for (i, q) in queries.iter().enumerate() {
         let reference = engine.route(q).expect("bench queries are valid");
@@ -141,7 +169,7 @@ fn check_parity(addr: SocketAddr, engine: &RoutingEngine, queries: &[Query]) {
         let resp = conn
             .request("POST", "/route", Some(&body))
             .expect("parity request");
-        assert_eq!(resp.status, 200, "parity query {i}");
+        assert_eq!(resp.status, 200, "{what}: parity query {i}");
         let doc = json::parse(&resp.text()).expect("parity JSON");
         let served = doc
             .get("probability")
@@ -150,14 +178,148 @@ fn check_parity(addr: SocketAddr, engine: &RoutingEngine, queries: &[Query]) {
         assert_eq!(
             served.to_bits(),
             reference.probability.to_bits(),
-            "query {i}: HTTP answer drifted from the in-process engine"
+            "{what}: query {i}: HTTP answer drifted from the in-process engine"
         );
     }
+}
+
+/// Runs the uncontended + 2× overload regimes against one server.
+fn run_regimes(
+    addr: SocketAddr,
+    queries: &[Query],
+    per_client: usize,
+    what: &str,
+) -> (PhaseOutcome, PhaseOutcome) {
+    // Warm the engine's pools and bounds cache out of the measurement.
+    drive(addr, queries, WORKERS, 10);
+    let uncontended = drive(addr, queries, WORKERS, per_client);
+    assert_eq!(uncontended.shed, 0, "{what}: uncontended traffic must not shed");
+    assert_eq!(uncontended.errors, 0, "{what}: uncontended traffic must not error");
+
+    let overload_clients = 2 * (WORKERS + QUEUE_CAPACITY);
+    let overload = drive(addr, queries, overload_clients, per_client);
+    assert_eq!(overload.errors, 0, "{what}: shedding must be clean 503s, not resets");
+    (uncontended, overload)
+}
+
+fn thread_count() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+struct FleetOutcome {
+    connections: usize,
+    threads_before: u64,
+    threads_after: u64,
+    p50_behind_fleet_s: f64,
+}
+
+/// The 1k-idle-keep-alive scenario: a parked fleet must cost scan
+/// slots, not threads, and traffic behind it must stay fast.
+fn idle_fleet(engine: &Arc<RoutingEngine>, queries: &[Query], connections: usize) -> FleetOutcome {
+    let server = Server::start(
+        Arc::clone(engine),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: WORKERS,
+            max_batch: MAX_BATCH,
+            queue_capacity: 64,
+            // Parked peers are reaped by deadline in production; here
+            // they must survive the whole scenario.
+            idle_timeout: None,
+            max_connections: connections + 64,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind fleet server");
+    let addr = server.local_addr();
+    let threads_before = thread_count();
+
+    let mut fleet: Vec<Client> = Vec::with_capacity(connections);
+    for i in 0..connections {
+        let mut c = Client::connect(addr).unwrap_or_else(|e| panic!("fleet connect {i}: {e}"));
+        let resp = c
+            .request("GET", "/healthz", None)
+            .unwrap_or_else(|e| panic!("fleet probe {i}: {e}"));
+        assert_eq!(resp.status, 200, "fleet member {i}");
+        fleet.push(c);
+    }
+    let threads_after = thread_count();
+    if threads_before > 0 {
+        assert!(
+            threads_after.saturating_sub(threads_before) < 32,
+            "{connections} parked connections grew the process by {} threads — \
+             that is thread-per-connection",
+            threads_after.saturating_sub(threads_before)
+        );
+    }
+
+    // Fresh traffic behind the parked fleet.
+    let mut live = Client::connect(addr).expect("live connect behind fleet");
+    let mut latencies: Vec<f64> = (0..50)
+        .map(|i| {
+            let q = &queries[i % queries.len()];
+            let body = format!(
+                "{{\"source\":{},\"target\":{},\"budget_s\":{:?}}}",
+                q.source.0, q.target.0, q.budget_s
+            );
+            let started = Instant::now();
+            let resp = live
+                .request("POST", "/route", Some(&body))
+                .expect("request behind fleet");
+            assert_eq!(resp.status, 200, "request {i} behind the fleet");
+            started.elapsed().as_secs_f64()
+        })
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p50_behind_fleet_s = percentile(&latencies, 0.50);
+
+    // The parked fleet is still alive (spot-check), then drains clean.
+    for (i, c) in fleet.iter_mut().rev().take(5).enumerate() {
+        let resp = c
+            .request("GET", "/healthz", None)
+            .unwrap_or_else(|e| panic!("parked connection {i} died: {e}"));
+        assert_eq!(resp.status, 200);
+    }
+    drop(live);
+    drop(fleet);
+    let report = server.shutdown();
+    assert_eq!(report.in_flight_after_drain, 0);
+
+    FleetOutcome {
+        connections,
+        threads_before,
+        threads_after,
+        p50_behind_fleet_s,
+    }
+}
+
+fn start_server(engine: &Arc<RoutingEngine>, max_batch: usize) -> Server {
+    Server::start(
+        Arc::clone(engine),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: WORKERS,
+            queue_capacity: QUEUE_CAPACITY,
+            max_batch,
+            read_timeout: Some(Duration::from_secs(10)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port")
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--test");
     let per_client = if smoke { 20 } else { 300 };
+    let fleet_size = if smoke { 100 } else { 1000 };
 
     let ctx = tiny_context();
     let cost = HybridCost::from_ground_truth(&ctx.world, &ctx.model, CombinePolicy::Hybrid);
@@ -174,56 +336,73 @@ fn main() {
         .collect();
     assert!(!queries.is_empty(), "fixture produced no queries");
 
-    let server = Server::start(
-        Arc::clone(&engine),
-        "127.0.0.1:0",
-        ServerConfig {
-            workers: WORKERS,
-            queue_capacity: QUEUE_CAPACITY,
-            read_timeout: Some(Duration::from_secs(10)),
-            ..ServerConfig::default()
-        },
-    )
-    .expect("bind ephemeral port");
-    let addr = server.local_addr();
-
-    check_parity(addr, &engine, &queries);
-
-    // Warm the engine's pools and bounds cache out of the measurement.
-    drive(addr, &queries, WORKERS, 10);
-
-    // Phase 1 — uncontended: concurrency == workers, nothing queues.
-    let uncontended = drive(addr, &queries, WORKERS, per_client);
-    assert_eq!(uncontended.shed, 0, "uncontended traffic must not shed");
-    assert_eq!(uncontended.errors, 0, "uncontended traffic must not error");
-
-    // Phase 2 — 2× overload: twice the server's holding capacity
-    // (workers + queue slots) in concurrent closed-loop clients.
-    let overload_clients = 2 * (WORKERS + QUEUE_CAPACITY);
-    let overload = drive(addr, &queries, overload_clients, per_client);
+    // ── Machinery 1: the legacy connection-granular path. ──
+    let legacy = start_server(&engine, 1);
+    check_parity(legacy.local_addr(), &engine, &queries, "legacy");
+    let (legacy_unc, legacy_over) =
+        run_regimes(legacy.local_addr(), &queries, per_client, "legacy");
     assert!(
-        overload.shed > 0,
-        "2x overload must trip the bounded queue into shedding"
+        legacy_over.shed > 0,
+        "2x overload must trip the legacy bounded queue into shedding"
     );
-    assert_eq!(overload.errors, 0, "shedding must be clean 503s, not resets");
+    let report = legacy.shutdown();
+    assert_eq!(report.in_flight_after_drain, 0);
 
-    let p99_unc = percentile(&uncontended.latencies_s, 0.99);
-    let p99_over = percentile(&overload.latencies_s, 0.99);
-    // The admission contract, asserted: accepted requests never pay
-    // unbounded queueing delay. (Skipped at smoke sample sizes, where
-    // p99 is a single noisy order statistic.)
+    // The legacy admission contract, unchanged: accepted requests never
+    // pay unbounded queueing delay. (Skipped at smoke sample sizes,
+    // where p99 is a single noisy order statistic.)
+    let p99_unc = percentile(&legacy_unc.latencies_s, 0.99);
+    let p99_over = percentile(&legacy_over.latencies_s, 0.99);
     if !smoke {
         assert!(
             p99_over <= 3.0 * p99_unc,
-            "accepted p99 under overload ({p99_over:.6}s) exceeds 3x uncontended ({p99_unc:.6}s): \
-             the queue is smearing latency instead of shedding"
+            "legacy accepted p99 under overload ({p99_over:.6}s) exceeds 3x uncontended \
+             ({p99_unc:.6}s): the queue is smearing latency instead of shedding"
         );
     }
 
-    // Scrape the server's own view before shutdown: the datapoint
-    // records not just client-observed latency but what an operator's
-    // Prometheus would have seen (shed counter, server-side latency
-    // histogram, serving epoch).
+    // ── Machinery 2: the continuous-batching planes, same knobs. ──
+    let batched = start_server(&engine, MAX_BATCH);
+    let addr = batched.local_addr();
+    check_parity(addr, &engine, &queries, "batched");
+    let (batched_unc, batched_over) = run_regimes(addr, &queries, per_client, "batched");
+
+    // A pipelined burst on one connection, so the committed scrape
+    // carries real samples in the new metric families. Against a
+    // capacity-1 dispatch queue most of the burst sheds — request-
+    // granular 503s on a connection that stays usable.
+    let mut burst_shed: u64 = 0;
+    {
+        let q = &queries[0];
+        let body = format!(
+            "{{\"source\":{},\"target\":{},\"budget_s\":{:?}}}",
+            q.source.0, q.target.0, q.budget_s
+        );
+        let one = format!(
+            "POST /route HTTP/1.1\r\nHost: srt-serve\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let mut conn = Client::connect(addr).expect("pipeline connect");
+        let burst: Vec<u8> = one.as_bytes().repeat(32);
+        conn.send_raw(&burst).expect("pipeline burst");
+        for i in 0..32 {
+            let resp = conn
+                .read_response()
+                .unwrap_or_else(|e| panic!("pipelined response {i} lost: {e}"));
+            assert!(
+                resp.status == 200 || resp.status == 503,
+                "pipelined response {i}: status {}",
+                resp.status
+            );
+            if resp.status == 503 {
+                burst_shed += 1;
+            }
+        }
+    }
+
+    // Scrape the batched server's own view before shutdown: what an
+    // operator's Prometheus would have seen, including the families
+    // this serving mode introduced.
     let page = Client::connect(addr)
         .and_then(|mut c| c.request_closing("GET", "/metrics", None))
         .expect("metrics scrape")
@@ -239,31 +418,99 @@ fn main() {
     let served_shed = scrape("srt_serve_shed_total");
     let served_latency_count = scrape("srt_serve_request_seconds_count");
     let served_latency_sum_s = scrape("srt_serve_request_seconds_sum");
+    let batch_size_count = scrape("srt_serve_batch_size_count");
+    let batch_size_sum = scrape("srt_serve_batch_size_sum");
+    let pipelined_total = scrape("srt_serve_pipelined_total");
+    let inflight_requests = scrape("srt_serve_inflight_requests");
     let engine_epoch = scrape("srt_engine_epoch");
+    // The scrape-coherence regression, asserted on the wire: the page
+    // itself may never show the counter and the histogram apart.
     assert_eq!(
-        served_shed as u64, overload.shed,
+        served_requests as u64, served_latency_count as u64,
+        "scrape shows requests_total and request_seconds_count apart"
+    );
+    assert_eq!(
+        served_shed as u64,
+        batched_over.shed + burst_shed,
         "server-side shed counter disagrees with client-observed 503s"
     );
+    assert!(batch_size_count > 0.0, "no batches were observed");
+    assert!(pipelined_total > 0.0, "the burst must register as pipelined");
 
-    let report = server.shutdown();
+    let report = batched.shutdown();
     assert_eq!(report.in_flight_after_drain, 0);
+
+    // ── The continuous-batching contract. ──
+    let throughput_ratio = if legacy_over.accepted_per_s() > 0.0 {
+        batched_over.accepted_per_s() / legacy_over.accepted_per_s()
+    } else {
+        0.0
+    };
+    let legacy_p50 = percentile(&legacy_unc.latencies_s, 0.50);
+    let batched_p50 = percentile(&batched_unc.latencies_s, 0.50);
+    let p50_ratio = if legacy_p50 > 0.0 {
+        batched_p50 / legacy_p50
+    } else {
+        0.0
+    };
+    if !smoke {
+        assert!(
+            throughput_ratio >= 1.3,
+            "batched accepted throughput at 2x overload is only {throughput_ratio:.3}x the \
+             legacy path ({:.0}/s vs {:.0}/s) — the continuous-batching contract requires 1.3x",
+            batched_over.accepted_per_s(),
+            legacy_over.accepted_per_s()
+        );
+        assert!(
+            p50_ratio <= 1.1,
+            "batched uncontended p50 ({batched_p50:.6}s) regressed past 10% of the legacy \
+             single-request path ({legacy_p50:.6}s)"
+        );
+    }
+
+    // ── The parked keep-alive fleet. ──
+    let fleet = idle_fleet(&engine, &queries, fleet_size);
+    assert!(
+        fleet.p50_behind_fleet_s < 0.01,
+        "p50 behind the parked fleet is {:.6}s — idle connections are taxing live traffic",
+        fleet.p50_behind_fleet_s
+    );
 
     println!(
         "{{\n  \"bench\": \"serve_latency\",\n  \"mode\": \"{}\",\n  \"workers\": {WORKERS},\n  \
-         \"queue_capacity\": {QUEUE_CAPACITY},\n  \"overload_clients\": {overload_clients},\n\
-         {},\n{},\n  \"overload_p99_over_uncontended_p99\": {:?},\n  \
+         \"queue_capacity\": {QUEUE_CAPACITY},\n  \"overload_clients\": {},\n  \
+         \"legacy\": {{\n    \"max_batch\": 1,\n{},\n{}\n  }},\n  \
+         \"batched\": {{\n    \"max_batch\": {MAX_BATCH},\n    \"batch_window_us\": 0,\n{},\n{}\n  }},\n  \
+         \"batching\": {{\n    \"accepted_throughput_ratio_at_2x\": {:?},\n    \
+         \"uncontended_p50_ratio\": {:?},\n    \
+         \"idle_keepalive\": {{\n      \"connections\": {},\n      \"threads_before\": {},\n      \
+         \"threads_after\": {},\n      \"p50_behind_fleet_s\": {:?}\n    }}\n  }},\n  \
          \"server_metrics\": {{\n    \"srt_serve_requests_total\": {},\n    \
          \"srt_serve_shed_total\": {},\n    \"srt_serve_request_seconds_count\": {},\n    \
-         \"srt_serve_request_seconds_sum\": {:?},\n    \"srt_engine_epoch\": {}\n  }},\n  \
-         \"parity\": \"bitwise-identical to in-process RoutingEngine::route\"\n}}",
+         \"srt_serve_request_seconds_sum\": {:?},\n    \"srt_serve_batch_size_count\": {},\n    \
+         \"srt_serve_batch_size_sum\": {},\n    \"srt_serve_pipelined_total\": {},\n    \
+         \"srt_serve_inflight_requests\": {},\n    \"srt_engine_epoch\": {}\n  }},\n  \
+         \"parity\": \"bitwise-identical to in-process RoutingEngine::route (both machineries)\"\n}}",
         if smoke { "smoke" } else { "full" },
-        phase_json("uncontended", &uncontended),
-        phase_json("overload_2x", &overload),
-        if p99_unc > 0.0 { p99_over / p99_unc } else { 0.0 },
+        2 * (WORKERS + QUEUE_CAPACITY),
+        phase_json("uncontended", &legacy_unc),
+        phase_json("overload_2x", &legacy_over),
+        phase_json("uncontended", &batched_unc),
+        phase_json("overload_2x", &batched_over),
+        throughput_ratio,
+        p50_ratio,
+        fleet.connections,
+        fleet.threads_before,
+        fleet.threads_after,
+        fleet.p50_behind_fleet_s,
         served_requests as u64,
         served_shed as u64,
         served_latency_count as u64,
         served_latency_sum_s,
+        batch_size_count as u64,
+        batch_size_sum as u64,
+        pipelined_total as u64,
+        inflight_requests as u64,
         engine_epoch as u64,
     );
 }

@@ -1,0 +1,153 @@
+//! Model suite 5: the request-granular dispatch queue behind
+//! continuous batching (`srt_serve::DispatchQueue`) and its
+//! connection-plane → batcher handoff.
+//!
+//! Proves, over every interleaving at the preemption bound:
+//!
+//! * close-then-drain is lossless at request granularity: every request
+//!   `try_push` admitted before `close` is popped exactly once, in FIFO
+//!   order, and the batcher exits (`pop_batch` → `None`) only once the
+//!   queue is closed AND empty,
+//! * `pop_batch(max)` never returns an empty batch and never exceeds
+//!   `max`, under racing producers,
+//! * a batch already popped when shutdown lands — the non-empty
+//!   `--batch-window` in flight — is still fully processed, together
+//!   with everything `close` left behind: the drain contract holds
+//!   across the window, not just the queue,
+//! * the `try_drain_into` top-up never duplicates or loses a request
+//!   racing an admission.
+//!
+//! Run with: `RUSTFLAGS="--cfg srt_check" cargo test -p srt-check`
+#![cfg(srt_check)]
+
+use srt_check::sync::thread;
+use srt_check::CheckOptions;
+use srt_serve::DispatchQueue;
+use std::sync::Arc;
+
+#[test]
+fn close_then_drain_answers_every_admitted_request() {
+    let report = srt_check::explore(CheckOptions::with_preemptions(2), || {
+        let q: Arc<DispatchQueue<u32>> = Arc::new(DispatchQueue::new(4));
+        let batcher = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(batch) = q.pop_batch(2) {
+                    assert!(
+                        (1..=2).contains(&batch.len()),
+                        "pop_batch returned an empty or oversized batch"
+                    );
+                    seen.extend(batch);
+                }
+                seen
+            })
+        };
+        let mut admitted = Vec::new();
+        for item in 1..=2u32 {
+            // Capacity 4 ≥ items: admission never sheds here.
+            q.try_push(item).expect("queue has room");
+            admitted.push(item);
+        }
+        q.close();
+        // Post-close admission always sheds the request back — the
+        // request-granular 503, never a dropped or wedged request.
+        assert_eq!(q.try_push(99), Err(99), "closed queue admitted a request");
+        let seen = batcher.join().expect("batcher completes");
+        assert_eq!(seen, admitted, "drain lost, duplicated or reordered");
+        assert!(q.is_empty());
+    })
+    .unwrap_or_else(|failure| panic!("{failure}"));
+    assert!(report.complete, "dispatch schedule space not exhausted");
+    assert!(report.executions > 1);
+}
+
+#[test]
+fn pop_batch_bounds_hold_under_racing_producers() {
+    let report = srt_check::explore(CheckOptions::with_preemptions(2), || {
+        let q: Arc<DispatchQueue<u32>> = Arc::new(DispatchQueue::new(4));
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                q.try_push(10).expect("queue has room");
+                q.try_push(11).expect("queue has room");
+                q.close();
+            })
+        };
+        let mut seen = Vec::new();
+        while let Some(batch) = q.pop_batch(1) {
+            assert_eq!(batch.len(), 1, "max-batch bound violated");
+            seen.extend(batch);
+        }
+        producer.join().expect("producer completes");
+        // However the push/pop steps interleave, the batcher drains
+        // exactly the admitted requests, in order, one per batch.
+        assert_eq!(seen, vec![10, 11]);
+    })
+    .unwrap_or_else(|failure| panic!("{failure}"));
+    assert!(report.complete, "dispatch schedule space not exhausted");
+}
+
+#[test]
+fn shutdown_flushes_the_non_empty_window() {
+    let report = srt_check::explore(CheckOptions::with_preemptions(2), || {
+        let q: Arc<DispatchQueue<u32>> = Arc::new(DispatchQueue::new(4));
+        // The first request is popped into the batcher's window before
+        // shutdown; the second may land before or after close observes
+        // it — in every interleaving both must be answered.
+        q.try_push(1).expect("queue has room");
+        let batcher = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut answered = Vec::new();
+                while let Some(mut window) = q.pop_batch(4) {
+                    // Model the batcher's top-up: the window in hand is
+                    // executed in full even if close() lands right now.
+                    q.try_drain_into(&mut window, 4);
+                    answered.extend(window);
+                }
+                answered
+            })
+        };
+        let second_admitted = q.try_push(2).is_ok();
+        q.close();
+        let answered = batcher.join().expect("batcher completes");
+        let mut expected = vec![1];
+        if second_admitted {
+            expected.push(2);
+        }
+        assert_eq!(
+            answered, expected,
+            "an admitted request was dropped (or invented) across shutdown"
+        );
+        assert!(q.is_empty(), "drain left requests behind");
+    })
+    .unwrap_or_else(|failure| panic!("{failure}"));
+    assert!(report.complete, "dispatch schedule space not exhausted");
+}
+
+#[test]
+fn top_up_never_duplicates_or_loses_against_admission() {
+    let report = srt_check::explore(CheckOptions::with_preemptions(2), || {
+        let q: Arc<DispatchQueue<u32>> = Arc::new(DispatchQueue::new(4));
+        q.try_push(1).expect("queue has room");
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.try_push(2).is_ok())
+        };
+        let mut window = q.pop_batch(4).expect("a request is ready");
+        q.try_drain_into(&mut window, 4);
+        let second_admitted = producer.join().expect("producer completes");
+        // The racing push lands in the window, in the queue, or not at
+        // all — but never twice and never nowhere.
+        let total = window.iter().filter(|&&x| x == 2).count() + q.len();
+        assert_eq!(window[0], 1, "FIFO head moved");
+        assert_eq!(
+            total,
+            usize::from(second_admitted),
+            "racing request duplicated or lost"
+        );
+    })
+    .unwrap_or_else(|failure| panic!("{failure}"));
+    assert!(report.complete, "dispatch schedule space not exhausted");
+}

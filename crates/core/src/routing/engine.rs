@@ -124,7 +124,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// One typed budget query: "what is the most reliable way from `source`
@@ -1112,10 +1112,24 @@ impl RoutingEngine {
         // Pin the epoch once: the whole query — validation included —
         // runs against this one model even if a swap publishes mid-search.
         let epoch = self.current_epoch();
-        self.validate_on(&epoch, query)?;
+        self.route_pinned(&epoch, query, ctx)
+    }
+
+    /// Routes one query against an explicitly pinned epoch. This is the
+    /// body of [`RoutingEngine::route_with`] with the pin hoisted out:
+    /// batch executors pin once and serve every query of the batch
+    /// against the same model generation, so a swap that publishes
+    /// mid-batch cannot split the batch across epochs.
+    pub fn route_pinned(
+        &self,
+        epoch: &ModelEpoch,
+        query: &Query,
+        ctx: &mut SearchContext,
+    ) -> Result<RouteResult, EngineError> {
+        self.validate_on(epoch, query)?;
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.route_on(
-                &epoch,
+                epoch,
                 query.source,
                 query.target,
                 query.budget_s,
@@ -1801,4 +1815,297 @@ impl RoutingEngine {
             }
         }
     }
+}
+
+/// A snapshot of a [`BatchExecutor`]'s dispatch counters.
+///
+/// `inline_batches` counts executions answered entirely on the calling
+/// thread — no worker lane was woken, no thread spawned. A batch of
+/// length 1, or any batch on a single-lane executor, always takes this
+/// path; tests pin the fast-path contract through these counters.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct ExecutorStats {
+    /// `execute` calls served.
+    pub batches: u64,
+    /// Queries routed across all batches.
+    pub queries: u64,
+    /// Batches routed inline on the caller (no lane handoff).
+    pub inline_batches: u64,
+    /// Batches published to the persistent worker lanes.
+    pub dispatched_batches: u64,
+    /// Total lanes (helper threads plus the participating caller).
+    pub lanes: usize,
+    /// Helper threads actually spawned at construction.
+    pub worker_threads: usize,
+}
+
+#[derive(Default)]
+struct ExecCounters {
+    batches: AtomicU64,
+    queries: AtomicU64,
+    inline_batches: AtomicU64,
+    dispatched_batches: AtomicU64,
+}
+
+/// One published batch: the lanes steal indices off `next` and write
+/// results (and the completion count) under `done`. The job owns its
+/// queries — lanes outlive any one `execute` call, so nothing borrowed
+/// may cross into them.
+struct ExecJob {
+    queries: Vec<Query>,
+    epoch: Arc<ModelEpoch>,
+    next: AtomicUsize,
+    done: Mutex<ExecDone>,
+    all_done: Condvar,
+}
+
+struct ExecDone {
+    results: Vec<Option<Result<RouteResult, EngineError>>>,
+    completed: usize,
+}
+
+struct ExecSlot {
+    /// Bumped once per published job; lanes remember the last seq they
+    /// served so a stale wakeup never re-runs a finished batch.
+    seq: u64,
+    job: Option<Arc<ExecJob>>,
+    shutdown: bool,
+}
+
+struct ExecShared {
+    engine: Arc<RoutingEngine>,
+    slot: Mutex<ExecSlot>,
+    work_ready: Condvar,
+    counters: ExecCounters,
+}
+
+/// A persistent worker pool over one [`RoutingEngine`].
+///
+/// [`RoutingEngine::route_batch`] spawns scoped threads per call; a
+/// server dispatching micro-batches thousands of times per second wants
+/// the lanes long-lived instead. The executor keeps `lanes - 1` helper
+/// threads parked on a condvar; `execute` publishes the batch, the
+/// caller participates as the remaining lane, and the same shared-index
+/// work stealing as `route_batch` balances skewed query costs. Results
+/// come back in input order and are bitwise-identical to sequential
+/// routing at any lane count. The epoch is pinned **once per batch**:
+/// every query of a batch is answered by the same model generation even
+/// if `swap_model` publishes mid-flight.
+///
+/// Batches of length 1 — and every batch on a single-lane executor —
+/// are routed inline on the caller's context without touching the
+/// lanes (see [`ExecutorStats::inline_batches`]).
+pub struct BatchExecutor {
+    shared: Arc<ExecShared>,
+    /// Serializes `execute` calls: the slot holds one job at a time.
+    submit: Mutex<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl BatchExecutor {
+    /// Builds an executor with `lanes` total lanes (`0` = the machine's
+    /// available parallelism). `lanes - 1` helper threads are spawned
+    /// now and live until drop; the caller is always the final lane, so
+    /// a single-lane executor spawns no threads at all.
+    pub fn new(engine: Arc<RoutingEngine>, lanes: usize) -> Self {
+        let lanes = if lanes == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            lanes
+        };
+        let shared = Arc::new(ExecShared {
+            engine,
+            slot: Mutex::new(ExecSlot {
+                seq: 0,
+                job: None,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            counters: ExecCounters::default(),
+        });
+        let workers = (1..lanes)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || Self::worker_loop(&shared))
+            })
+            .collect();
+        Self {
+            shared,
+            submit: Mutex::new(()),
+            workers,
+        }
+    }
+
+    /// Total lanes, counting the participating caller.
+    pub fn lanes(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// The engine this executor routes on.
+    pub fn engine(&self) -> &Arc<RoutingEngine> {
+        &self.shared.engine
+    }
+
+    pub fn stats(&self) -> ExecutorStats {
+        let c = &self.shared.counters;
+        ExecutorStats {
+            batches: c.batches.load(AtomicOrdering::Relaxed),
+            queries: c.queries.load(AtomicOrdering::Relaxed),
+            inline_batches: c.inline_batches.load(AtomicOrdering::Relaxed),
+            dispatched_batches: c.dispatched_batches.load(AtomicOrdering::Relaxed),
+            lanes: self.lanes(),
+            worker_threads: self.workers.len(),
+        }
+    }
+
+    /// Routes `queries`, returning results in input order. Concurrent
+    /// callers are serialized (one job occupies the lanes at a time);
+    /// the dispatch-plane batcher is single-threaded, so in practice
+    /// this mutex is uncontended.
+    pub fn execute(&self, queries: Vec<Query>) -> Vec<Result<RouteResult, EngineError>> {
+        let engine = &self.shared.engine;
+        let c = &self.shared.counters;
+        c.batches.fetch_add(1, AtomicOrdering::Relaxed);
+        c.queries
+            .fetch_add(queries.len() as u64, AtomicOrdering::Relaxed);
+        engine.counters.batches.fetch_add(1, AtomicOrdering::Relaxed);
+        // Pin once: the whole batch answers against one model generation.
+        let epoch = engine.current_epoch();
+
+        if queries.len() <= 1 || self.workers.is_empty() {
+            // Inline fast path: no lane handoff, no condvar touch, no
+            // thread spawned — just the caller and one pooled context.
+            c.inline_batches.fetch_add(1, AtomicOrdering::Relaxed);
+            let mut ctx = engine.checkout_context();
+            let results = queries
+                .iter()
+                .map(|q| {
+                    let r = engine.route_pinned(&epoch, q, &mut ctx);
+                    if matches!(r, Err(EngineError::Internal)) {
+                        ctx = SearchContext::new();
+                    }
+                    r
+                })
+                .collect();
+            engine.checkin_context(ctx);
+            return results;
+        }
+
+        c.dispatched_batches.fetch_add(1, AtomicOrdering::Relaxed);
+        let len = queries.len();
+        let job = Arc::new(ExecJob {
+            queries,
+            epoch,
+            next: AtomicUsize::new(0),
+            done: Mutex::new(ExecDone {
+                results: (0..len).map(|_| None).collect(),
+                completed: 0,
+            }),
+            all_done: Condvar::new(),
+        });
+
+        let _serial = lock_unpoisoned(&self.submit);
+        {
+            let mut slot = lock_unpoisoned(&self.shared.slot);
+            slot.seq = slot.seq.wrapping_add(1);
+            slot.job = Some(Arc::clone(&job));
+        }
+        self.shared.work_ready.notify_all();
+
+        // The caller is a lane too: steal until the shared index runs
+        // out, then wait for the stragglers the helpers still hold.
+        Self::run_lane(engine, &job);
+        {
+            let mut done = lock_unpoisoned(&job.done);
+            while done.completed < len {
+                done = job
+                    .all_done
+                    .wait(done)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        // Clear the slot so the job (and its queries) drop promptly;
+        // lanes that wake late see a stale seq and go back to sleep.
+        lock_unpoisoned(&self.shared.slot).job = None;
+
+        let mut done = lock_unpoisoned(&job.done);
+        done.results
+            .iter_mut()
+            .map(|r| {
+                r.take().unwrap_or_else(|| {
+                    engine.counters.panics.fetch_add(1, AtomicOrdering::Relaxed);
+                    Err(EngineError::Internal)
+                })
+            })
+            .collect()
+    }
+
+    fn run_lane(engine: &RoutingEngine, job: &ExecJob) {
+        let mut ctx = engine.checkout_context();
+        let len = job.queries.len();
+        loop {
+            let i = job.next.fetch_add(1, AtomicOrdering::Relaxed);
+            if i >= len {
+                break;
+            }
+            let r = engine.route_pinned(&job.epoch, &job.queries[i], &mut ctx);
+            if matches!(r, Err(EngineError::Internal)) {
+                // Contain the panic to this query: fresh context, keep
+                // stealing.
+                ctx = SearchContext::new();
+            }
+            let mut done = lock_unpoisoned(&job.done);
+            done.results[i] = Some(r);
+            done.completed += 1;
+            if done.completed == len {
+                job.all_done.notify_all();
+            }
+        }
+        engine.checkin_context(ctx);
+    }
+
+    fn worker_loop(shared: &ExecShared) {
+        let mut last_seq = 0u64;
+        loop {
+            let job = {
+                let mut slot = lock_unpoisoned(&shared.slot);
+                loop {
+                    if slot.shutdown {
+                        return;
+                    }
+                    if slot.seq != last_seq {
+                        last_seq = slot.seq;
+                        if let Some(job) = slot.job.clone() {
+                            break job;
+                        }
+                        // seq advanced but the job is already cleared —
+                        // the batch finished without us; keep waiting.
+                    }
+                    slot = shared
+                        .work_ready
+                        .wait(slot)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            };
+            Self::run_lane(&shared.engine, &job);
+        }
+    }
+}
+
+impl Drop for BatchExecutor {
+    fn drop(&mut self) {
+        lock_unpoisoned(&self.shared.slot).shutdown = true;
+        self.shared.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }

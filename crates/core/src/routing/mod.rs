@@ -24,8 +24,8 @@ pub mod policy;
 pub use baseline::{expected_time_path, ExpectedTimeBaseline, KPathsBaseline};
 pub use budget::{BudgetRouter, RouteResult, RouterConfig, SearchStats};
 pub use engine::{
-    EngineBuilder, EngineError, EngineStats, ModelEpoch, Query, RoutingEngine, SearchContext,
-    StatsSnapshot, SwapError, DEFAULT_BOUNDS_CACHE_CAPACITY,
+    BatchExecutor, EngineBuilder, EngineError, EngineStats, ExecutorStats, ModelEpoch, Query,
+    RoutingEngine, SearchContext, StatsSnapshot, SwapError, DEFAULT_BOUNDS_CACHE_CAPACITY,
 };
 pub use oracle::{OracleRoute, OracleRouter};
 pub use policy::{

@@ -2,13 +2,21 @@
 //! stack end-to-end with `--smoke`.
 //!
 //! ```text
-//! srt_serve [--addr HOST:PORT] [--workers N] [--queue N] [--model PATH] [--smoke]
+//! srt_serve [--addr HOST:PORT] [--workers N] [--queue N] [--model PATH]
+//!           [--max-batch N] [--batch-window MICROS] [--smoke]
 //! ```
 //!
 //! Without `--smoke`, trains the tiny synthetic fixture world, starts
 //! the server, and serves until the process is killed; `--model PATH`
 //! names the snapshot file `POST /reload` re-reads for zero-downtime
-//! hot swaps (without it `/reload` answers `409`). With `--smoke`,
+//! hot swaps (without it `/reload` answers `409`). `--max-batch`
+//! selects the serving machinery: `1` is the legacy thread-per-worker
+//! connection path, anything larger (the binary's default is 8) runs
+//! the continuous-batching planes — nonblocking connection loop,
+//! request-granular dispatch, micro-batched engine calls.
+//! `--batch-window` (microseconds, default 0) lets the batcher wait to
+//! top up a partial batch, trading a bounded slice of latency for
+//! larger batches. With `--smoke`,
 //! binds an ephemeral port and runs the CI smoke sequence: liveness
 //! probe, bitwise `/route` parity against the in-process engine, a
 //! closed-loop `/route_batch`, `/metrics` counter checks, a hot-swap
@@ -35,6 +43,8 @@ struct Args {
     workers: usize,
     queue: usize,
     model: Option<PathBuf>,
+    max_batch: usize,
+    batch_window_us: u64,
     smoke: bool,
 }
 
@@ -44,6 +54,8 @@ fn parse_args() -> Result<Args, String> {
         workers: 0,
         queue: 64,
         model: None,
+        max_batch: 8,
+        batch_window_us: 0,
         smoke: false,
     };
     let mut it = std::env::args().skip(1);
@@ -65,11 +77,22 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--queue: {e}"))?
             }
             "--model" => args.model = Some(PathBuf::from(value("--model")?)),
+            "--max-batch" => {
+                args.max_batch = value("--max-batch")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--max-batch: {e}"))?
+                    .max(1)
+            }
+            "--batch-window" => {
+                args.batch_window_us = value("--batch-window")?
+                    .parse()
+                    .map_err(|e| format!("--batch-window: {e}"))?
+            }
             "--smoke" => args.smoke = true,
             "--help" | "-h" => {
                 println!(
                     "usage: srt_serve [--addr HOST:PORT] [--workers N] [--queue N] \
-                     [--model PATH] [--smoke]"
+                     [--model PATH] [--max-batch N] [--batch-window MICROS] [--smoke]"
                 );
                 std::process::exit(0);
             }
@@ -117,10 +140,17 @@ fn main() -> ExitCode {
         workers: args.workers,
         queue_capacity: args.queue,
         model_path: args.model.clone(),
+        max_batch: args.max_batch,
+        batch_window: std::time::Duration::from_micros(args.batch_window_us),
         ..ServerConfig::default()
     };
 
     if args.smoke {
+        eprintln!(
+            "srt_serve --smoke: {} mode (max_batch {})",
+            if args.max_batch > 1 { "batched" } else { "legacy" },
+            args.max_batch
+        );
         return match smoke(engine, world, model, config) {
             Ok(()) => {
                 println!("srt_serve --smoke: all checks passed");

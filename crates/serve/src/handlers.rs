@@ -11,12 +11,13 @@
 //! never reaches this module — it is decided at admission, before a
 //! worker ever parses the request.
 
+use crate::dispatch::EngineWork;
 use crate::http::{Request, Response};
 use crate::json::{
     self, engine_error_to_json, protocol_error_body, query_from_json, route_result_to_json,
 };
 use crate::metrics::ServeMetrics;
-use srt_core::routing::{EngineError, Query, RoutingEngine};
+use srt_core::routing::{EngineError, Query, RouteResult, RoutingEngine};
 use std::path::Path;
 
 /// Hard cap on `route_batch` fan-out per request: the serving layer's
@@ -26,7 +27,11 @@ pub const MAX_BATCH_PARALLELISM: usize = 8;
 /// Hard cap on queries per `route_batch` request.
 pub const MAX_BATCH_QUERIES: usize = 10_000;
 
-/// Routes one parsed request to its handler.
+/// Routes one parsed request to its handler, executing engine work
+/// synchronously — the legacy connection-granular path. The batched
+/// planes share every parse and render step through
+/// [`classify_request`] and the `respond_*` helpers, so the bytes on
+/// the wire are identical whichever plane served them.
 pub fn handle_request(
     engine: &RoutingEngine,
     metrics: &ServeMetrics,
@@ -34,32 +39,82 @@ pub fn handle_request(
     model_path: Option<&Path>,
     req: &Request,
 ) -> Response {
+    match classify_request(engine, metrics, queue_depth, req) {
+        Err(resp) => resp,
+        Ok(EngineWork::Route(query)) => respond_route(&engine.route(&query)),
+        Ok(EngineWork::Batch {
+            queries,
+            parallelism,
+        }) => respond_batch(&engine.route_batch(&queries, parallelism)),
+        Ok(EngineWork::Reload) => reload(engine, model_path),
+    }
+}
+
+/// Splits a parsed request into an immediately-answerable response
+/// (cheap endpoints, protocol errors — the connection plane serves
+/// these inline) or validated engine-bound work for the dispatch
+/// queue. All request-body parsing happens here, on the caller's
+/// thread, so a malformed body costs a `400` and never a queue slot.
+pub(crate) fn classify_request(
+    engine: &RoutingEngine,
+    metrics: &ServeMetrics,
+    queue_depth: usize,
+    req: &Request,
+) -> Result<EngineWork, Response> {
     // Path first, then method: a known path with the wrong method (any
     // method — HEAD, DELETE, …) is a 405, never a misleading 404.
     match req.path.as_str() {
-        "/healthz" if req.method == "GET" => Response::json(
+        "/healthz" if req.method == "GET" => Err(Response::json(
             200,
             format!("{{\"ok\":true,\"epoch\":{}}}", engine.epoch()),
-        ),
-        "/metrics" if req.method == "GET" => Response::text(
+        )),
+        "/metrics" if req.method == "GET" => Err(Response::text(
             200,
             metrics.render_prometheus(&engine.stats(), queue_depth),
-        ),
-        "/route" if req.method == "POST" => route_one(engine, &req.body),
-        "/route_batch" if req.method == "POST" => route_batch(engine, &req.body),
-        "/reload" if req.method == "POST" => reload(engine, model_path),
-        "/healthz" | "/metrics" | "/route" | "/route_batch" | "/reload" => Response::json(
+        )),
+        "/route" if req.method == "POST" => parse_route(&req.body).map(EngineWork::Route),
+        "/route_batch" if req.method == "POST" => parse_route_batch(&req.body),
+        "/reload" if req.method == "POST" => Ok(EngineWork::Reload),
+        "/healthz" | "/metrics" | "/route" | "/route_batch" | "/reload" => Err(Response::json(
             405,
             protocol_error_body(
                 "method_not_allowed",
                 &format!("{} does not accept {}", req.path, req.method),
             ),
-        ),
-        _ => Response::json(
+        )),
+        _ => Err(Response::json(
             404,
             protocol_error_body("not_found", &format!("no such endpoint: {}", req.path)),
-        ),
+        )),
     }
+}
+
+/// Renders one `/route` outcome — shared by the legacy path and the
+/// batcher, so batched responses stay bitwise-identical.
+pub(crate) fn respond_route(result: &Result<RouteResult, EngineError>) -> Response {
+    match result {
+        Ok(result) => Response::json(200, route_result_to_json(result)),
+        Err(e) => Response::json(engine_error_status(e), engine_error_to_json(e)),
+    }
+}
+
+/// Renders a `/route_batch` outcome: `{"results":[...]}` in input
+/// order — one bad or even panicking query never fails its
+/// batch-mates (the engine's containment guarantee, on the wire).
+pub(crate) fn respond_batch(results: &[Result<RouteResult, EngineError>]) -> Response {
+    let mut out = String::with_capacity(64 * results.len().max(1));
+    out.push_str("{\"results\":[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match r {
+            Ok(result) => out.push_str(&route_result_to_json(result)),
+            Err(e) => out.push_str(&engine_error_to_json(e)),
+        }
+    }
+    out.push_str("]}");
+    Response::json(200, out)
 }
 
 /// `POST /reload`: re-read the server's configured snapshot path and
@@ -72,7 +127,7 @@ pub fn handle_request(
 /// has no model source at all, `500` when the file cannot be read,
 /// `422` when the engine's revalidation rejects the snapshot. Success
 /// answers with the freshly published epoch id.
-fn reload(engine: &RoutingEngine, model_path: Option<&Path>) -> Response {
+pub(crate) fn reload(engine: &RoutingEngine, model_path: Option<&Path>) -> Response {
     let path = match model_path {
         Some(p) => p,
         None => {
@@ -134,61 +189,45 @@ fn engine_error_status(e: &EngineError) -> u16 {
     }
 }
 
-fn route_one(engine: &RoutingEngine, body: &[u8]) -> Response {
-    let doc = match parse_body(body) {
-        Ok(doc) => doc,
-        Err(resp) => return resp,
-    };
-    let query = match query_from_json(&doc) {
-        Ok(q) => q,
-        Err(msg) => return Response::json(400, protocol_error_body("bad_request", &msg)),
-    };
-    match engine.route(&query) {
-        Ok(result) => Response::json(200, route_result_to_json(&result)),
-        Err(e) => Response::json(engine_error_status(&e), engine_error_to_json(&e)),
-    }
+fn parse_route(body: &[u8]) -> Result<Query, Response> {
+    let doc = parse_body(body)?;
+    query_from_json(&doc)
+        .map_err(|msg| Response::json(400, protocol_error_body("bad_request", &msg)))
 }
 
-/// `POST /route_batch`: `{"queries":[...], "parallelism": n?}`. Answers
-/// `200` with `{"results":[...]}` where each element is either a route
-/// result object or an `{"error":...}` object in input order — one bad
-/// or even panicking query never fails its batch-mates (the engine's
-/// containment guarantee, surfaced on the wire).
-fn route_batch(engine: &RoutingEngine, body: &[u8]) -> Response {
-    let doc = match parse_body(body) {
-        Ok(doc) => doc,
-        Err(resp) => return resp,
-    };
+/// `POST /route_batch`: `{"queries":[...], "parallelism": n?}`.
+fn parse_route_batch(body: &[u8]) -> Result<EngineWork, Response> {
+    let doc = parse_body(body)?;
     let raw_queries = match doc.get("queries").and_then(|q| q.as_arr()) {
         Some(items) => items,
         None => {
-            return Response::json(
+            return Err(Response::json(
                 400,
                 protocol_error_body("bad_request", "missing array member \"queries\""),
-            )
+            ))
         }
     };
     if raw_queries.len() > MAX_BATCH_QUERIES {
-        return Response::json(
+        return Err(Response::json(
             400,
             protocol_error_body(
                 "bad_request",
                 &format!("batch exceeds {MAX_BATCH_QUERIES} queries"),
             ),
-        );
+        ));
     }
     let parallelism = match doc.get("parallelism") {
         None => 1,
         Some(raw) => match raw.as_u64() {
             Some(p) => (p as usize).clamp(1, MAX_BATCH_PARALLELISM),
             None => {
-                return Response::json(
+                return Err(Response::json(
                     400,
                     protocol_error_body(
                         "bad_request",
                         "\"parallelism\" must be an unsigned integer",
                     ),
-                )
+                ))
             }
         },
     };
@@ -197,25 +236,15 @@ fn route_batch(engine: &RoutingEngine, body: &[u8]) -> Response {
         match query_from_json(raw) {
             Ok(q) => queries.push(q),
             Err(msg) => {
-                return Response::json(
+                return Err(Response::json(
                     400,
                     protocol_error_body("bad_request", &format!("queries[{i}]: {msg}")),
-                )
+                ))
             }
         }
     }
-    let results = engine.route_batch(&queries, parallelism);
-    let mut out = String::with_capacity(64 * results.len().max(1));
-    out.push_str("{\"results\":[");
-    for (i, r) in results.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        match r {
-            Ok(result) => out.push_str(&route_result_to_json(result)),
-            Err(e) => out.push_str(&engine_error_to_json(e)),
-        }
-    }
-    out.push_str("]}");
-    Response::json(200, out)
+    Ok(EngineWork::Batch {
+        queries,
+        parallelism,
+    })
 }

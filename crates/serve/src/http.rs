@@ -220,6 +220,57 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, RequestError> {
     Ok(req)
 }
 
+/// Index just past the head-terminating blank line, if the buffer holds
+/// a complete request head. Lines end at `\n` with an optional `\r`
+/// before it — the same framing [`read_line`] accepts.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        let j = i + buf[i..].iter().position(|&b| b == b'\n')?;
+        let line = &buf[i..j];
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        if line.is_empty() {
+            return Some(j + 1);
+        }
+        i = j + 1;
+    }
+    None
+}
+
+/// Incremental parse for the nonblocking connection plane: attempts to
+/// parse one complete request from the front of `buf`.
+///
+/// * `Ok(Some((req, consumed)))` — a full request was parsed from
+///   `buf[..consumed]`; the caller drains those bytes and calls again,
+///   which is what makes HTTP/1.1 pipelining work (every complete
+///   request already in the buffer is parsed, not one per read),
+/// * `Ok(None)` — the buffer holds only a prefix (head unterminated, or
+///   a declared body still arriving); read more and retry,
+/// * `Err(_)` — the prefix can never become a valid request; same
+///   status mapping as [`read_request`], and the connection is done.
+///
+/// Validation is byte-for-byte [`read_request`] — this wrapper only
+/// adds the completeness check a non-blocking reader needs.
+pub fn parse_buffered(buf: &[u8]) -> Result<Option<(Request, usize)>, RequestError> {
+    if head_end(buf).is_none() {
+        // `>=`: a head that has already filled the whole budget without
+        // terminating can never become valid by growing further.
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(RequestError::HeadTooLarge);
+        }
+        return Ok(None);
+    }
+    let mut slice = buf;
+    match read_request(&mut slice) {
+        Ok(req) => Ok(Some((req, buf.len() - slice.len()))),
+        // The head is complete, so EOF can only mean the declared body
+        // has not fully arrived yet (the length cap was already
+        // enforced before any body byte was read).
+        Err(RequestError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
 /// One response, framed with `Content-Length` (never chunked).
 #[derive(Debug)]
 pub struct Response {
@@ -374,6 +425,48 @@ mod tests {
     #[test]
     fn clean_eof_is_closed_not_malformed() {
         assert!(matches!(parse("").unwrap_err(), RequestError::Closed));
+    }
+
+    #[test]
+    fn parse_buffered_handles_partials_pipelines_and_garbage() {
+        // A bare prefix parses to "not yet".
+        let full = b"POST /route HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+        for cut in [0, 5, 21, 44, full.len() - 1] {
+            assert!(
+                parse_buffered(&full[..cut]).unwrap().is_none(),
+                "prefix of {cut} bytes is incomplete"
+            );
+        }
+        let (req, consumed) = parse_buffered(full).unwrap().unwrap();
+        assert_eq!(consumed, full.len());
+        assert_eq!(req.body, b"abcd");
+
+        // Two pipelined requests: the first parse consumes exactly the
+        // first request, the remainder parses to the second.
+        let mut piped = full.to_vec();
+        piped.extend_from_slice(b"GET /healthz HTTP/1.1\r\n\r\n");
+        let (first, consumed) = parse_buffered(&piped).unwrap().unwrap();
+        assert_eq!(first.path, "/route");
+        assert_eq!(consumed, full.len());
+        let (second, rest) = parse_buffered(&piped[consumed..]).unwrap().unwrap();
+        assert_eq!(second.path, "/healthz");
+        assert_eq!(rest, piped.len() - consumed);
+
+        // Same validation as the blocking reader.
+        assert_eq!(
+            parse_buffered(b"NOT A REQUEST\r\n\r\n").unwrap_err().status(),
+            Some(400)
+        );
+        assert_eq!(
+            parse_buffered(b"POST /route HTTP/1.1\r\n\r\n")
+                .unwrap_err()
+                .status(),
+            Some(411)
+        );
+        // An unterminated head that already filled the budget can never
+        // become valid.
+        let endless = vec![b'a'; MAX_HEAD_BYTES];
+        assert_eq!(parse_buffered(&endless).unwrap_err().status(), Some(431));
     }
 
     #[test]

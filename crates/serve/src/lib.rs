@@ -41,7 +41,9 @@
 
 #![forbid(unsafe_code)]
 
+pub mod batched;
 pub mod client;
+pub mod dispatch;
 pub mod handlers;
 pub mod http;
 pub mod json;
@@ -49,6 +51,9 @@ pub mod metrics;
 pub mod queue;
 pub mod server;
 
-pub use metrics::{LatencyHistogram, ServeMetrics, LATENCY_BUCKETS_S};
+pub use dispatch::DispatchQueue;
+pub use metrics::{
+    BatchHistogram, LatencyHistogram, ServeMetrics, BATCH_SIZE_BUCKETS, LATENCY_BUCKETS_S,
+};
 pub use queue::BoundedQueue;
 pub use server::{DrainReport, Server, ServerConfig};

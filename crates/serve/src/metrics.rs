@@ -2,13 +2,27 @@
 //! `GET /metrics`.
 //!
 //! Two metric families share the page: `srt_serve_*` (owned here —
-//! admission, shedding, response classes, request latency) and
-//! `srt_engine_*` (projected from the live
+//! admission, shedding, response classes, request latency, batching)
+//! and `srt_engine_*` (projected from the live
 //! [`srt_core::routing::StatsSnapshot`] at scrape time). Everything is
 //! lock-free atomics, so recording on the hot path costs a handful of
 //! relaxed increments.
+//!
+//! # Scrape coherence
+//!
+//! `srt_serve_requests_total` and the `srt_serve_request_seconds`
+//! histogram are updated together inside one
+//! [`SeqLock`](srt_core::sync::SeqLock) write section, and the page
+//! render runs as a seqlock read — so a scrape can never observe a
+//! request counted in one but not the other. (The committed
+//! `BENCH_serve.json` once showed `requests_total 1248` against
+//! `request_seconds_count 1247`: the count was bumped at parse time,
+//! the histogram at response time, and the scrape's own request sat in
+//! the gap. Both now move at response time, atomically-enough, which
+//! also excludes the in-progress scrape itself consistently.)
 
 use srt_core::routing::StatsSnapshot;
+use srt_core::sync::SeqLock;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -98,6 +112,70 @@ impl Default for LatencyHistogram {
     }
 }
 
+/// Upper bounds of the dispatched-batch-size histogram; an implicit
+/// `+Inf` bucket follows. Powers of two up to the practical `--max-batch`
+/// range.
+pub const BATCH_SIZE_BUCKETS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// A fixed-bucket histogram over micro-batch sizes (how many requests
+/// the dispatch plane managed to coalesce per engine call).
+pub struct BatchHistogram {
+    buckets: [AtomicU64; BATCH_SIZE_BUCKETS.len() + 1],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl BatchHistogram {
+    pub fn new() -> Self {
+        BatchHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one dispatched batch of `size` requests.
+    pub fn observe(&self, size: usize) {
+        let size = size as u64;
+        let idx = BATCH_SIZE_BUCKETS
+            .iter()
+            .position(|&le| size <= le)
+            .unwrap_or(BATCH_SIZE_BUCKETS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(size, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Batches observed so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Requests observed across all batches.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn render(&self, name: &str, out: &mut String) {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, le) in BATCH_SIZE_BUCKETS.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        cumulative += self.buckets[BATCH_SIZE_BUCKETS.len()].load(Ordering::Relaxed);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_sum {}", self.sum());
+        let _ = writeln!(out, "{name}_count {}", self.count());
+    }
+}
+
+impl Default for BatchHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// The server's own counters (the engine keeps its own in
 /// [`srt_core::routing::EngineStats`]).
 pub struct ServeMetrics {
@@ -106,8 +184,9 @@ pub struct ServeMetrics {
     /// Connections refused with `503` because the queue was full or the
     /// server was draining.
     pub shed_total: AtomicU64,
-    /// HTTP requests parsed and dispatched (a keep-alive connection can
-    /// contribute many).
+    /// HTTP requests answered (a keep-alive connection can contribute
+    /// many). Bumped together with the latency histogram under
+    /// `coherence` — see [`ServeMetrics::record_request`].
     pub requests_total: AtomicU64,
     /// Responses by class.
     pub responses_2xx: AtomicU64,
@@ -117,6 +196,18 @@ pub struct ServeMetrics {
     pub in_flight: AtomicU64,
     /// End-to-end handler latency (parse-complete to response-written).
     pub latency: LatencyHistogram,
+    /// Requests admitted to the dispatch queue and not yet answered
+    /// (gauge; batched mode only — the legacy path has no dispatch
+    /// queue).
+    pub inflight_requests: AtomicU64,
+    /// Requests that arrived pipelined: parsed off a connection that
+    /// already had an unanswered request in flight.
+    pub pipelined_total: AtomicU64,
+    /// Sizes of the micro-batches the dispatch plane coalesced.
+    pub batch_size: BatchHistogram,
+    /// Brackets `record_request` against the page render so a scrape
+    /// never sees `requests_total` and the histogram disagree.
+    coherence: SeqLock,
 }
 
 impl ServeMetrics {
@@ -130,6 +221,10 @@ impl ServeMetrics {
             responses_5xx: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
+            inflight_requests: AtomicU64::new(0),
+            pipelined_total: AtomicU64::new(0),
+            batch_size: BatchHistogram::new(),
+            coherence: SeqLock::new(),
         }
     }
 
@@ -143,9 +238,28 @@ impl ServeMetrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one answered request: the request counter, the latency
+    /// histogram and the response-class counter move together inside
+    /// one claimed seqlock write, so a concurrent scrape (whose render
+    /// is a seqlock read) observes either none of them or all of them.
+    pub fn record_request(&self, status: u16, elapsed: Duration) {
+        self.coherence.write(|| {
+            self.requests_total.fetch_add(1, Ordering::Relaxed);
+            self.latency.observe(elapsed);
+            self.record_response(status);
+        });
+    }
+
     /// Renders the full `/metrics` page: server families first, then the
-    /// engine snapshot taken by the caller at scrape time.
+    /// engine snapshot taken by the caller at scrape time. Runs as a
+    /// seqlock read against [`ServeMetrics::record_request`], so the
+    /// page is retried (rebuilt) if a request completed mid-render —
+    /// the count/histogram pair is always coherent.
     pub fn render_prometheus(&self, engine: &StatsSnapshot, queue_depth: usize) -> String {
+        self.coherence.read(|| self.render_page(engine, queue_depth))
+    }
+
+    fn render_page(&self, engine: &StatsSnapshot, queue_depth: usize) -> String {
         let mut out = String::with_capacity(2048);
         let counter = |out: &mut String, name: &str, help: &str, v: u64| {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -174,8 +288,14 @@ impl ServeMetrics {
         counter(
             &mut out,
             "srt_serve_requests_total",
-            "HTTP requests parsed and dispatched.",
+            "HTTP requests answered (moves with the latency histogram).",
             load(&self.requests_total),
+        );
+        counter(
+            &mut out,
+            "srt_serve_pipelined_total",
+            "Requests that arrived pipelined behind an unanswered request on the same connection.",
+            load(&self.pipelined_total),
         );
         counter(
             &mut out,
@@ -203,6 +323,12 @@ impl ServeMetrics {
         );
         gauge(
             &mut out,
+            "srt_serve_inflight_requests",
+            "Requests admitted to the dispatch queue and not yet answered.",
+            load(&self.inflight_requests),
+        );
+        gauge(
+            &mut out,
             "srt_serve_queue_depth",
             "Connections waiting in the admission queue.",
             queue_depth as u64,
@@ -212,6 +338,11 @@ impl ServeMetrics {
             "# HELP srt_serve_request_seconds Handler latency from parse-complete to response-written."
         );
         self.latency.render("srt_serve_request_seconds", &mut out);
+        let _ = writeln!(
+            out,
+            "# HELP srt_serve_batch_size Requests coalesced per dispatched micro-batch."
+        );
+        self.batch_size.render("srt_serve_batch_size", &mut out);
 
         counter(
             &mut out,
@@ -320,6 +451,78 @@ mod tests {
         // Beyond the last bound lands in +Inf.
         h.observe(Duration::from_secs(10));
         assert_eq!(h.quantile(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn batch_histogram_buckets_by_size() {
+        let h = BatchHistogram::new();
+        h.observe(1);
+        h.observe(3);
+        h.observe(200);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 204);
+        let mut page = String::new();
+        h.render("srt_serve_batch_size", &mut page);
+        for needle in [
+            "srt_serve_batch_size_bucket{le=\"1\"} 1",
+            "srt_serve_batch_size_bucket{le=\"4\"} 2",
+            "srt_serve_batch_size_bucket{le=\"64\"} 2",
+            "srt_serve_batch_size_bucket{le=\"+Inf\"} 3",
+            "srt_serve_batch_size_sum 204",
+            "srt_serve_batch_size_count 3",
+        ] {
+            assert!(page.contains(needle), "missing {needle:?} in:\n{page}");
+        }
+    }
+
+    /// The regression the committed BENCH_serve.json exposed: scrapes
+    /// racing traffic once caught `requests_total` and the histogram
+    /// count one apart. Hammer both sides and assert every scrape sees
+    /// them equal.
+    #[test]
+    fn scrapes_never_observe_count_and_histogram_apart() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let metrics = Arc::new(ServeMetrics::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let metrics = Arc::clone(&metrics);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        metrics.record_request(200, Duration::from_micros(100 + n % 500));
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+
+        let sample = |page: &str, name: &str| -> u64 {
+            page.lines()
+                .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+                .and_then(|l| l.rsplit(' ').next())
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("no sample {name} in:\n{page}"))
+        };
+        for _ in 0..500 {
+            let page = metrics.render_prometheus(&StatsSnapshot::default(), 0);
+            let count = sample(&page, "srt_serve_requests_total");
+            let hist = sample(&page, "srt_serve_request_seconds_count");
+            assert_eq!(
+                count, hist,
+                "scrape observed requests_total and the histogram apart"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        let recorded: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert!(recorded > 0, "writers made progress");
+        let page = metrics.render_prometheus(&StatsSnapshot::default(), 0);
+        assert_eq!(sample(&page, "srt_serve_requests_total"), recorded);
+        assert_eq!(sample(&page, "srt_serve_request_seconds_count"), recorded);
     }
 
     #[test]

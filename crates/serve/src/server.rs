@@ -60,6 +60,23 @@ pub struct ServerConfig {
     /// accepting paths or bytes from the wire would be an
     /// arbitrary-model-injection hole). `None` disables `/reload` (409).
     pub model_path: Option<std::path::PathBuf>,
+    /// Requests coalesced per engine call. `1` (the default) selects the
+    /// legacy connection-granular path above; any larger value selects
+    /// the continuous-batching planes in [`crate::batched`]: a
+    /// nonblocking readiness loop, a request-granular dispatch queue of
+    /// `queue_capacity` requests, and a persistent
+    /// [`srt_core::routing::BatchExecutor`] with `workers` lanes.
+    pub max_batch: usize,
+    /// How long the batcher waits to top up a partial micro-batch
+    /// (batched mode only). Zero — the default — is natural continuous
+    /// batching: serve whatever has queued, immediately; uncontended
+    /// latency never pays an artificial wait.
+    pub batch_window: Duration,
+    /// Cap on concurrently registered connections in batched mode
+    /// (beyond it, new connections are refused with a best-effort `503`
+    /// and a close). The legacy path bounds connections by
+    /// `queue_capacity + workers` instead.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -70,12 +87,15 @@ impl Default for ServerConfig {
             read_timeout: Some(Duration::from_secs(5)),
             idle_timeout: Some(Duration::from_secs(2)),
             model_path: None,
+            max_batch: 1,
+            batch_window: Duration::ZERO,
+            max_connections: 4096,
         }
     }
 }
 
 impl ServerConfig {
-    fn resolved_workers(&self) -> usize {
+    pub(crate) fn resolved_workers(&self) -> usize {
         if self.workers > 0 {
             self.workers
         } else {
@@ -100,7 +120,11 @@ pub struct DrainReport {
     pub in_flight_after_drain: u64,
 }
 
-/// A running HTTP front-end over one shared [`RoutingEngine`].
+/// A running HTTP front-end over one shared [`RoutingEngine`]. With
+/// [`ServerConfig::max_batch`] `> 1` the threaded acceptor/worker
+/// machinery below is replaced wholesale by the continuous-batching
+/// planes in [`crate::batched`]; the public surface (and the wire
+/// bytes) are identical either way.
 pub struct Server {
     engine: Arc<RoutingEngine>,
     metrics: Arc<ServeMetrics>,
@@ -109,11 +133,12 @@ pub struct Server {
     addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<u64>>,
+    batched: Option<crate::batched::BatchedState>,
 }
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// acceptor and worker threads. Serving begins before this returns.
+    /// serving threads. Serving begins before this returns.
     pub fn start(
         engine: Arc<RoutingEngine>,
         addr: impl ToSocketAddrs,
@@ -124,6 +149,25 @@ impl Server {
         let metrics = Arc::new(ServeMetrics::new());
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let draining = Arc::new(AtomicBool::new(false));
+
+        if config.max_batch > 1 {
+            let batched = crate::batched::BatchedState::start(
+                Arc::clone(&engine),
+                listener,
+                Arc::clone(&metrics),
+                &config,
+            )?;
+            return Ok(Server {
+                engine,
+                metrics,
+                queue,
+                draining,
+                addr,
+                acceptor: None,
+                workers: Vec::new(),
+                batched: Some(batched),
+            });
+        }
 
         let acceptor = {
             let metrics = Arc::clone(&metrics);
@@ -173,6 +217,7 @@ impl Server {
             addr,
             acceptor: Some(acceptor),
             workers,
+            batched: None,
         })
     }
 
@@ -191,9 +236,13 @@ impl Server {
         &self.engine
     }
 
-    /// Connections currently waiting for a worker.
+    /// Work currently queued: connections waiting for a worker (legacy
+    /// path) or requests waiting for the batcher (batched mode).
     pub fn queue_depth(&self) -> usize {
-        self.queue.len()
+        match &self.batched {
+            Some(b) => b.queue_depth(),
+            None => self.queue.len(),
+        }
     }
 
     /// Graceful drain: stop accepting, finish every admitted
@@ -204,6 +253,16 @@ impl Server {
     }
 
     fn shutdown_inner(&mut self) -> DrainReport {
+        if let Some(batched) = self.batched.as_mut() {
+            let report = batched.shutdown();
+            return DrainReport {
+                connections_served: report.connections_served,
+                connections_shed: self.metrics.shed_total.load(Ordering::Relaxed),
+                // Batched mode tracks in-flight at request granularity;
+                // the drain exits only once it reaches zero.
+                in_flight_after_drain: self.metrics.inflight_requests.load(Ordering::Relaxed),
+            };
+        }
         self.draining.store(true, Ordering::SeqCst);
         if let Some(acceptor) = self.acceptor.take() {
             // The acceptor blocks in accept(); a throwaway self-connect
@@ -228,7 +287,8 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if self.acceptor.is_some() || !self.workers.is_empty() {
+        let batched_running = self.batched.as_ref().is_some_and(|b| b.is_running());
+        if self.acceptor.is_some() || !self.workers.is_empty() || batched_running {
             self.shutdown_inner();
         }
     }
@@ -366,7 +426,6 @@ fn serve_connection(
                 return;
             }
         };
-        metrics.requests_total.fetch_add(1, Ordering::Relaxed);
         metrics.in_flight.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();
         let mut resp =
@@ -375,8 +434,11 @@ fn serve_connection(
             resp.close = true;
         }
         let write_ok = write_response(&mut writer, &resp).is_ok();
-        metrics.latency.observe(started.elapsed());
-        metrics.record_response(resp.status);
+        // One seqlock-bracketed record moves the request counter, the
+        // latency histogram and the class counter together: a scrape
+        // rendering concurrently (including the one this very request
+        // may be serving) sees all three or none.
+        metrics.record_request(resp.status, started.elapsed());
         metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
         if !write_ok || resp.close {
             return;

@@ -1,0 +1,414 @@
+//! End-to-end certification of the continuous-batching planes over
+//! real sockets (`ServerConfig::max_batch > 1`):
+//!
+//! * **parity** — `POST /route` answers under concurrent batched
+//!   dispatch are bitwise-identical to `RoutingEngine::route`
+//!   in-process, and `/route_batch` matches too,
+//! * **pipelining** — many requests written in one burst are all
+//!   parsed and answered, strictly in request order, with cheap
+//!   endpoints interleaved between engine-bound ones,
+//! * **request-granular shedding** — a full dispatch queue costs the
+//!   overflowing *requests* a `503` while the connection survives and
+//!   keeps being served,
+//! * **drain** — graceful shutdown answers every admitted request
+//!   (zero in flight afterwards), even mid-pipeline,
+//! * **connection scaling** — hundreds of parked keep-alive
+//!   connections cost scan slots, not threads, and the server stays
+//!   responsive behind them.
+
+use srt_core::model::training::{train_hybrid, TrainingConfig};
+use srt_core::routing::{EngineBuilder, Query, RoutingEngine};
+use srt_core::{CombinePolicy, HybridCost, HybridModel};
+use srt_ml::forest::ForestConfig;
+use srt_serve::client::Client;
+use srt_serve::json::{self, Json};
+use srt_serve::{Server, ServerConfig};
+use srt_synth::{DistanceCategory, QueryGenerator, SyntheticWorld, WorldConfig};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+fn fixture() -> &'static (SyntheticWorld, HybridModel) {
+    static FIX: OnceLock<(SyntheticWorld, HybridModel)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let world = SyntheticWorld::build(WorldConfig::tiny());
+        let cfg = TrainingConfig {
+            train_pairs: 120,
+            test_pairs: 40,
+            min_obs: 5,
+            bins: 10,
+            forest: ForestConfig {
+                n_trees: 6,
+                ..ForestConfig::default()
+            },
+            ..TrainingConfig::default()
+        };
+        let (model, _) = train_hybrid(&world, &cfg).expect("fixture trains");
+        (world, model)
+    })
+}
+
+fn shared_engine() -> Arc<RoutingEngine> {
+    static ENGINE: OnceLock<Arc<RoutingEngine>> = OnceLock::new();
+    Arc::clone(ENGINE.get_or_init(|| {
+        let (world, model) = fixture();
+        let cost = HybridCost::from_ground_truth(world, model, CombinePolicy::Hybrid);
+        Arc::new(EngineBuilder::new(cost).build())
+    }))
+}
+
+fn workload(seed: u64, n: usize) -> Vec<Query> {
+    let (world, _) = fixture();
+    QueryGenerator::new(seed)
+        .generate(&world.graph, &world.model, DistanceCategory::ZeroToOne, n)
+        .iter()
+        .map(Query::from)
+        .collect()
+}
+
+fn batched_config() -> ServerConfig {
+    ServerConfig {
+        workers: 1,
+        max_batch: 8,
+        ..ServerConfig::default()
+    }
+}
+
+fn start(config: ServerConfig) -> Server {
+    Server::start(shared_engine(), "127.0.0.1:0", config).expect("bind ephemeral port")
+}
+
+fn query_body(q: &Query) -> String {
+    format!(
+        "{{\"source\":{},\"target\":{},\"budget_s\":{:?}}}",
+        q.source.0, q.target.0, q.budget_s
+    )
+}
+
+fn route_request_bytes(q: &Query) -> Vec<u8> {
+    let body = query_body(q);
+    format!(
+        "POST /route HTTP/1.1\r\nHost: srt-serve\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Bitwise comparison of a served `/route` document against the
+/// in-process reference (same checks as the legacy suite).
+fn assert_served_identical(doc: &Json, reference: &srt_core::routing::RouteResult, what: &str) {
+    let prob = doc.get("probability").and_then(|p| p.as_f64()).unwrap();
+    assert_eq!(
+        prob.to_bits(),
+        reference.probability.to_bits(),
+        "{what}: probability differs"
+    );
+    match (&reference.path, doc.get("path")) {
+        (None, Some(Json::Null)) => {}
+        (Some(p), Some(served)) => {
+            let nodes: Vec<u64> = served
+                .get("nodes")
+                .and_then(|n| n.as_arr())
+                .unwrap()
+                .iter()
+                .map(|n| n.as_u64().unwrap())
+                .collect();
+            let want: Vec<u64> = p.nodes.iter().map(|n| n.0 as u64).collect();
+            assert_eq!(nodes, want, "{what}: path nodes differ");
+        }
+        other => panic!("{what}: path presence mismatch: {other:?}"),
+    }
+    if let (Some(d), Some(served)) = (&reference.distribution, doc.get("distribution")) {
+        let probs = served.get("probs").and_then(|p| p.as_arr()).unwrap();
+        assert_eq!(probs.len(), d.probs().len(), "{what}: bin count");
+        for (i, (served_p, want)) in probs.iter().zip(d.probs()).enumerate() {
+            assert_eq!(
+                served_p.as_f64().unwrap().to_bits(),
+                want.to_bits(),
+                "{what}: probs[{i}]"
+            );
+        }
+    }
+}
+
+fn metric_sample(page: &str, name: &str) -> u64 {
+    page.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no sample {name} in:\n{page}"))
+}
+
+#[test]
+fn batched_routes_are_bitwise_identical_under_concurrency() {
+    let server = start(batched_config());
+    let addr = server.local_addr();
+    let engine = shared_engine();
+
+    // Four concurrent keep-alive clients: enough simultaneous requests
+    // that the dispatch plane actually coalesces multi-request batches
+    // while each client checks its own answers bitwise.
+    let drivers: Vec<_> = (0..4)
+        .map(|c| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let mut conn = Client::connect(addr).unwrap();
+                for (i, q) in workload(0xBA7 + c, 12).iter().enumerate() {
+                    let reference = engine.route(q).expect("workload queries are valid");
+                    let resp = conn.request("POST", "/route", Some(&query_body(q))).unwrap();
+                    assert_eq!(resp.status, 200, "client {c} query {i}: {}", resp.text());
+                    let doc = json::parse(&resp.text()).unwrap();
+                    assert_served_identical(&doc, &reference, &format!("client {c} query {i}"));
+                }
+            })
+        })
+        .collect();
+    for d in drivers {
+        d.join().expect("driver panicked");
+    }
+
+    // /route_batch rides the same planes and must match too.
+    let queries = workload(0xBB17, 6);
+    let mut body = String::from("{\"queries\":[");
+    for (i, q) in queries.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&query_body(q));
+    }
+    body.push_str("],\"parallelism\":2}");
+    let mut conn = Client::connect(addr).unwrap();
+    let resp = conn.request("POST", "/route_batch", Some(&body)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let doc = json::parse(&resp.text()).unwrap();
+    let results = doc.get("results").and_then(|r| r.as_arr()).unwrap();
+    for (i, (served, q)) in results.iter().zip(&queries).enumerate() {
+        let reference = engine.route(q).unwrap();
+        assert_served_identical(served, &reference, &format!("batch[{i}]"));
+    }
+
+    // /reload without a model source still answers its 409 through the
+    // dispatch planes, and the new metric families are live.
+    let resp = conn.request("POST", "/reload", None).unwrap();
+    assert_eq!(resp.status, 409, "{}", resp.text());
+    let page = conn.request("GET", "/metrics", None).unwrap().text();
+    assert!(metric_sample(&page, "srt_serve_batch_size_count") > 0);
+    // 48 routes + the /route_batch request (one work item however many
+    // queries it carries) + the /reload.
+    assert!(metric_sample(&page, "srt_serve_batch_size_sum") >= 50);
+    let _ = metric_sample(&page, "srt_serve_inflight_requests");
+    assert_eq!(
+        metric_sample(&page, "srt_serve_requests_total"),
+        metric_sample(&page, "srt_serve_request_seconds_count"),
+        "scrape coherence must hold in batched mode"
+    );
+    drop(conn);
+    let report = server.shutdown();
+    assert_eq!(report.in_flight_after_drain, 0);
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_request_order() {
+    let server = start(batched_config());
+    let engine = shared_engine();
+    let queries = workload(0x919E, 3);
+    let references: Vec<_> = queries.iter().map(|q| engine.route(q).unwrap()).collect();
+
+    // One burst: route, healthz, route, bogus path, route, healthz —
+    // six requests on the wire before the first response is read.
+    let mut burst = Vec::new();
+    burst.extend_from_slice(&route_request_bytes(&queries[0]));
+    burst.extend_from_slice(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+    burst.extend_from_slice(&route_request_bytes(&queries[1]));
+    burst.extend_from_slice(b"GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+    burst.extend_from_slice(&route_request_bytes(&queries[2]));
+    burst.extend_from_slice(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+
+    let mut conn = Client::connect(server.local_addr()).unwrap();
+    conn.send_raw(&burst).unwrap();
+    let statuses: Vec<u16> = (0..6)
+        .map(|i| {
+            let resp = conn.read_response().unwrap_or_else(|e| {
+                panic!("pipelined response {i} never arrived: {e}")
+            });
+            if [0, 2, 4].contains(&i) {
+                let doc = json::parse(&resp.text()).unwrap();
+                assert_served_identical(
+                    &doc,
+                    &references[i / 2],
+                    &format!("pipelined route {}", i / 2),
+                );
+            }
+            resp.status
+        })
+        .collect();
+    // Request order, not completion order: the interleaved cheap
+    // endpoints answered instantly but still waited their turn.
+    assert_eq!(statuses, vec![200, 200, 200, 404, 200, 200]);
+    assert!(
+        server.metrics().pipelined_total.load(Ordering::Relaxed) > 0,
+        "the burst must register as pipelined traffic"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn full_dispatch_queue_sheds_requests_not_the_connection() {
+    // A one-slot dispatch queue behind a 64-request burst: most of the
+    // burst must be refused — but per request, in order, and the
+    // connection must remain fully usable afterwards.
+    let server = start(ServerConfig {
+        workers: 1,
+        max_batch: 4,
+        queue_capacity: 1,
+        read_timeout: Some(Duration::from_secs(10)),
+        ..ServerConfig::default()
+    });
+    let q = workload(0x5ED2, 1)[0];
+    let one = route_request_bytes(&q);
+    let burst: Vec<u8> = one
+        .iter()
+        .copied()
+        .cycle()
+        .take(one.len() * 64)
+        .collect();
+
+    let mut conn = Client::connect(server.local_addr()).unwrap();
+    conn.send_raw(&burst).unwrap();
+    let mut ok = 0u32;
+    let mut shed = 0u32;
+    for i in 0..64 {
+        let resp = conn
+            .read_response()
+            .unwrap_or_else(|e| panic!("response {i} never arrived: {e}"));
+        match resp.status {
+            200 => ok += 1,
+            503 => {
+                shed += 1;
+                assert!(resp.text().contains("overloaded"), "{}", resp.text());
+            }
+            other => panic!("response {i}: unexpected status {other}"),
+        }
+    }
+    assert!(ok >= 1, "at least the head of the burst is served");
+    assert!(shed >= 1, "a one-slot queue cannot absorb a 64-burst");
+    assert!(
+        server.metrics().shed_total.load(Ordering::Relaxed) >= u64::from(shed),
+        "request-granular sheds must be counted"
+    );
+
+    // The same connection lives on and is served normally.
+    let resp = conn.request("POST", "/route", Some(&query_body(&q))).unwrap();
+    assert_eq!(resp.status, 200, "shed connection must survive: {}", resp.text());
+    drop(conn);
+    let report = server.shutdown();
+    assert_eq!(report.in_flight_after_drain, 0);
+}
+
+#[test]
+fn graceful_drain_answers_every_admitted_pipelined_request() {
+    let server = start(ServerConfig {
+        workers: 1,
+        max_batch: 8,
+        queue_capacity: 64,
+        read_timeout: Some(Duration::from_secs(10)),
+        ..ServerConfig::default()
+    });
+    let queries = workload(0xD2A1, 16);
+    let mut burst = Vec::new();
+    for q in &queries {
+        burst.extend_from_slice(&route_request_bytes(q));
+    }
+
+    let mut conn = Client::connect(server.local_addr()).unwrap();
+    conn.send_raw(&burst).unwrap();
+    // Give the readiness loop a moment to parse and admit the burst,
+    // then shut down while responses are still streaming back.
+    std::thread::sleep(Duration::from_millis(5));
+    let reader = std::thread::spawn(move || {
+        (0..16)
+            .map(|i| {
+                conn.read_response()
+                    .unwrap_or_else(|e| panic!("drained request {i} was dropped: {e}"))
+                    .status
+            })
+            .collect::<Vec<_>>()
+    });
+    let report = server.shutdown();
+    let statuses = reader.join().expect("reader panicked");
+
+    // Every request the server admitted is answered — 200 from the
+    // engine or a request-granular 503 if the drain's queue close beat
+    // its admission. Nothing may be silently dropped.
+    assert_eq!(statuses.len(), 16);
+    for (i, s) in statuses.iter().enumerate() {
+        assert!(
+            *s == 200 || *s == 503,
+            "request {i}: unexpected status {s}"
+        );
+    }
+    assert_eq!(report.in_flight_after_drain, 0);
+}
+
+#[test]
+fn parked_keepalive_fleet_holds_without_thread_per_connection() {
+    fn thread_count() -> u64 {
+        std::fs::read_to_string("/proc/self/status")
+            .ok()
+            .and_then(|s| {
+                s.lines()
+                    .find(|l| l.starts_with("Threads:"))
+                    .and_then(|l| l.split_whitespace().nth(1))
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or(0)
+    }
+
+    let server = start(ServerConfig {
+        workers: 1,
+        max_batch: 8,
+        // Parked peers are reaped by deadline in production; here they
+        // must survive the whole test.
+        idle_timeout: None,
+        max_connections: 1024,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let before = thread_count();
+
+    // 256 connections, each served one request, then parked open.
+    let mut fleet: Vec<Client> = Vec::with_capacity(256);
+    for i in 0..256 {
+        let mut c = Client::connect(addr).unwrap();
+        let resp = c.request("GET", "/healthz", None).unwrap();
+        assert_eq!(resp.status, 200, "fleet member {i}");
+        fleet.push(c);
+    }
+    let after = thread_count();
+    if before > 0 && after > 0 {
+        assert!(
+            after.saturating_sub(before) < 32,
+            "256 parked connections grew the process by {} threads — \
+             that is thread-per-connection",
+            after.saturating_sub(before)
+        );
+    }
+
+    // The server is still responsive behind the parked fleet.
+    let q = workload(0x1D1E, 1)[0];
+    let started = Instant::now();
+    let mut live = Client::connect(addr).unwrap();
+    let resp = live.request("POST", "/route", Some(&query_body(&q))).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "a new connection waited {:?} behind parked peers",
+        started.elapsed()
+    );
+
+    drop(live);
+    drop(fleet);
+    let report = server.shutdown();
+    assert_eq!(report.in_flight_after_drain, 0);
+    assert!(report.connections_served >= 257);
+}
